@@ -1,0 +1,396 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper (§8).  Run all sections:
+
+     dune exec bench/main.exe
+
+   or a subset:
+
+     dune exec bench/main.exe -- table3 table4 fig2 fig6 fig7 fig8 micro
+
+   Absolute numbers come from the Table 3 cost model and this machine's
+   clock — the paper's testbed is substituted per DESIGN.md §3 — so the
+   claims to check are the *shapes*: who wins, by what factor, and where
+   the crossovers sit.  EXPERIMENTS.md records paper-vs-measured. *)
+
+open Fhe_ir
+module Reg = Fhe_apps.Registry
+
+let rbits = 60
+
+(* ------------------------------------------------------------------ *)
+(* Shared compilation cache: (app, waterline, compiler) -> managed     *)
+
+type compiler = Eva | Hecate | Rsv of Reserve.Pipeline.variant
+
+let compiler_name = function
+  | Eva -> "EVA"
+  | Hecate -> "Hecate"
+  | Rsv `Full -> "This work"
+  | Rsv `Ba -> "BA"
+  | Rsv `Ra -> "RA"
+
+(* Exploration budgets: paper-scale exploration on LeNet would take
+   hours of wall clock here (the very pathology the paper fixes), so
+   LeNet-class programs explore a reduced budget; Table 4 reports both
+   the measured time and the per-iteration extrapolation. *)
+let paper_iters =
+  [ ("SF", 553); ("HCD", 736); ("LR", 2675); ("MR", 3326); ("PR", 5959);
+    ("MLP", 677); ("Lenet-5", 14763); ("Lenet-C", 13208) ]
+
+let hecate_budget name =
+  let paper = List.assoc name paper_iters in
+  if String.length name > 5 then min paper 120 (* Lenet-* *)
+  else min paper 1200
+
+let progs : (string, Program.t) Hashtbl.t = Hashtbl.create 8
+
+let prog_of (a : Reg.app) =
+  match Hashtbl.find_opt progs a.Reg.name with
+  | Some p -> p
+  | None ->
+      let p = a.Reg.build () in
+      Hashtbl.replace progs a.Reg.name p;
+      p
+
+let xmaxes : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let xmax_of (a : Reg.app) =
+  match Hashtbl.find_opt xmaxes a.Reg.name with
+  | Some x -> x
+  | None ->
+      let x =
+        Fhe_sim.Interp.max_magnitude_bits (prog_of a)
+          ~inputs:(a.Reg.inputs ~seed:42)
+      in
+      Hashtbl.replace xmaxes a.Reg.name x;
+      x
+
+let plan_cache : (string * int * string, Managed.t * float) Hashtbl.t =
+  Hashtbl.create 64
+
+(* compile (cached); returns the managed program and the wall time (ms) *)
+let compile (a : Reg.app) ~wbits c =
+  let key = (a.Reg.name, wbits, compiler_name c) in
+  match Hashtbl.find_opt plan_cache key with
+  | Some r -> r
+  | None ->
+      let p = prog_of a in
+      let xmax_bits = xmax_of a in
+      let m, ms =
+        Fhe_util.Timer.time (fun () ->
+            match c with
+            | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
+            | Hecate ->
+                (Fhe_hecate.Hecate.compile ~xmax_bits
+                   ~iterations:(hecate_budget a.Reg.name) ~rbits ~wbits p)
+                  .Fhe_hecate.Hecate.managed
+            | Rsv variant ->
+                Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p)
+      in
+      Validator.check_exn m;
+      Hashtbl.replace plan_cache key (m, ms);
+      (m, ms)
+
+let latency_s m = Fhe_cost.Model.estimate m /. 1e6
+
+let line = String.make 78 '-'
+
+let section title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 *)
+
+let table3 () =
+  section "Table 3: RNS-CKKS operation latency by level (cost model, us)";
+  Printf.printf "%-22s %10s %10s %10s %10s %10s\n" "Op" "1" "2" "3" "4" "5";
+  List.iter
+    (fun c ->
+      Printf.printf "%-22s" (Fhe_cost.Latency.name c);
+      Array.iter (fun v -> Printf.printf " %10.0f" v) (Fhe_cost.Latency.table c);
+      print_newline ())
+    Fhe_cost.Latency.all;
+  (* the same table measured on the from-scratch CKKS backend *)
+  section
+    "Table 3 (measured): our RNS-CKKS backend, n=2^12, 28-bit primes (us)";
+  Printf.printf
+    "(absolute values differ from SEAL at N=2^15/60-bit; the ordering and\n\
+     growth with level are the claims to check)\n";
+  let ctx = Ckks.Context.make ~n:4096 ~levels:6 () in
+  let keys = Ckks.Keys.keygen ~rotations:[ 1 ] ctx in
+  let nh = Ckks.Context.slot_count ctx in
+  let v = Array.init nh (fun i -> sin (float_of_int i)) in
+  let scale = 2.0 ** 24.0 in
+  let time_op f =
+    (* warm up once, then take the median of 5 single-shot timings *)
+    ignore (f ());
+    let samples =
+      List.init 5 (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (f ());
+          (Unix.gettimeofday () -. t0) *. 1e6)
+    in
+    List.nth (List.sort compare samples) 2
+  in
+  let module E = Ckks.Evaluator in
+  let rows =
+    [ ("modswitch (cipher)", fun ct -> ignore (E.modswitch keys ct));
+      ("cipher + plain", fun ct -> ignore (E.add_plain keys ct v));
+      ("cipher + cipher", fun ct -> ignore (E.add keys ct ct));
+      ( "cipher x plain",
+        fun ct -> ignore (E.mul_plain keys ct ~scale:(2.0 ** 20.0) v) );
+      ("rescale (cipher)", fun ct -> ignore (E.rescale keys ct));
+      ("rotate (cipher)", fun ct -> ignore (E.rotate keys ct 1));
+      ("cipher x cipher", fun ct -> ignore (E.mul keys ct ct)) ]
+  in
+  Printf.printf "%-22s %10s %10s %10s %10s %10s\n" "Op" "2" "3" "4" "5" "6";
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "%-22s" name;
+      (* start at level 2 so rescale/modswitch always have a level to drop *)
+      for level = 2 to 6 do
+        let ct = E.encrypt keys ~level ~scale v in
+        Printf.printf " %10.0f" (time_op (fun () -> f ct))
+      done;
+      print_newline ())
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the worked example *)
+
+let figure2 () =
+  section "Figure 2: scale management plans for x^3*(y^2+y), W=20, R=60";
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let q =
+    Builder.mul b
+      (Builder.mul b x (Builder.mul b x x))
+      (Builder.add b (Builder.mul b y y) y)
+  in
+  let p = Builder.finish b ~outputs:[ q ] in
+  let show tag paper m =
+    Printf.printf "%-28s cost %6.1f (paper: %s)  L=%d  rescales=%d\n" tag
+      (Fhe_cost.Model.estimate m /. 100.0)
+      paper (Managed.input_level m) (Managed.n_rescale m)
+  in
+  show "EVA (Fig 2b)" "390" (Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 p);
+  show "reserve, no hoist (Fig 2c)" "353"
+    (Reserve.Pipeline.compile ~variant:`Ra ~rbits:60 ~wbits:20 p);
+  show "reserve, full (Fig 2d)" "335"
+    (Reserve.Pipeline.compile ~rbits:60 ~wbits:20 p);
+  Printf.printf "(costs in units of 100us, as in the figure)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 *)
+
+let table4 () =
+  section "Table 4: compile time and scale-management time";
+  Printf.printf "%-8s %6s %6s | %9s %9s %9s %8s | %9s %9s %8s\n" "Bench"
+    "#Ops" "#Iters" "EVA(ms)" "Hecate" "Ours(ms)" "Speedup" "SM-Hec"
+    "SM-Ours" "Speedup";
+  let gm_compile = ref 0.0 and gm_sm = ref 0.0 and n = ref 0 in
+  List.iter
+    (fun (a : Reg.app) ->
+      let p = prog_of a in
+      let wbits = 30 in
+      let xmax_bits = xmax_of a in
+      let _, eva_ms = compile a ~wbits Eva in
+      let iters = hecate_budget a.Reg.name in
+      let _, hec_ms = compile a ~wbits Hecate in
+      (* extrapolate the paper-scale exploration cost *)
+      let paper_it = List.assoc a.Reg.name paper_iters in
+      let hec_full = hec_ms *. float_of_int paper_it /. float_of_int iters in
+      let (_, stats), ours_ms =
+        Fhe_util.Timer.time (fun () ->
+            Reserve.Pipeline.compile_with_stats ~xmax_bits ~rbits ~wbits p)
+      in
+      let sm_ours = stats.Reserve.Pipeline.total_ms in
+      let speedup_c = hec_full /. ours_ms in
+      let speedup_sm = hec_full /. sm_ours in
+      gm_compile := !gm_compile +. log speedup_c;
+      gm_sm := !gm_sm +. log speedup_sm;
+      incr n;
+      Printf.printf
+        "%-8s %6d %6d | %9.2f %9.0f %9.2f %7.0fx | %9.0f %9.2f %7.0fx\n"
+        a.Reg.name (Program.n_arith p) paper_it eva_ms hec_full ours_ms
+        speedup_c hec_full sm_ours speedup_sm)
+    Reg.all;
+  Printf.printf
+    "geomean speedup over Hecate: compile %.1fx, scale management %.0fx\n"
+    (exp (!gm_compile /. float_of_int !n))
+    (exp (!gm_sm /. float_of_int !n));
+  Printf.printf
+    "(Hecate columns extrapolate measured per-iteration cost to the paper's\n\
+     iteration counts; measured budgets: %s)\n"
+    (String.concat ", "
+       (List.map
+          (fun (a : Reg.app) ->
+            Printf.sprintf "%s=%d" a.Reg.name (hecate_budget a.Reg.name))
+          Reg.all))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: latency vs waterline *)
+
+let figure6 () =
+  section "Figure 6: latency (s) of compiled programs, waterline 15..45";
+  let waterlines = [ 15; 20; 25; 30; 35; 40; 45 ] in
+  List.iter
+    (fun (a : Reg.app) ->
+      Printf.printf "\n%s (%s)\n" a.Reg.name a.Reg.description;
+      Printf.printf "  %-5s %10s %10s %10s %18s\n" "W" "EVA" "Hecate"
+        "This work" "speedup vs EVA";
+      List.iter
+        (fun w ->
+          let eva, _ = compile a ~wbits:w Eva in
+          let hec, _ = compile a ~wbits:w Hecate in
+          let rsv, _ = compile a ~wbits:w (Rsv `Full) in
+          let le = latency_s eva
+          and lh = latency_s hec
+          and lr = latency_s rsv in
+          Printf.printf "  %-5d %10.3f %10.3f %10.3f %17.2fx\n" w le lh lr
+            (le /. lr))
+        waterlines)
+    Reg.all;
+  (* headline: average speedup over EVA across apps and waterlines *)
+  let acc = ref 0.0 and n = ref 0 in
+  Hashtbl.iter
+    (fun (name, w, c) (m, _) ->
+      if c = "This work" then begin
+        let eva, _ = compile (Reg.find name) ~wbits:w Eva in
+        acc := !acc +. log (latency_s eva /. latency_s m);
+        incr n
+      end)
+    plan_cache;
+  Printf.printf
+    "\ngeomean speedup of this work over EVA across the sweep: %.1f%%\n"
+    ((exp (!acc /. float_of_int !n) -. 1.0) *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: error *)
+
+let figure7 () =
+  section "Figure 7: log2 output error bound, waterlines 2^20 and 2^40";
+  List.iter
+    (fun w ->
+      Printf.printf "\nWaterline = 2^%d\n" w;
+      Printf.printf "  %-8s %10s %10s %10s\n" "Bench" "EVA" "Hecate"
+        "This work";
+      List.iter
+        (fun (a : Reg.app) ->
+          let inputs = a.Reg.inputs ~seed:42 in
+          let err c =
+            let m, _ = compile a ~wbits:w c in
+            Fhe_sim.Interp.max_log2_error m ~inputs
+          in
+          Printf.printf "  %-8s %10.2f %10.2f %10.2f\n" a.Reg.name (err Eva)
+            (err Hecate)
+            (err (Rsv `Full)))
+        Reg.all)
+    [ 20; 40 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: ablation *)
+
+let figure8 () =
+  section
+    "Figure 8: latency normalised to BA (backward analysis only);\n\
+     RA adds reserve redistribution, This work adds rescale hoisting";
+  List.iter
+    (fun w ->
+      Printf.printf "\nWaterline = 2^%d\n" w;
+      Printf.printf "  %-8s %8s %8s %10s\n" "Bench" "BA" "RA" "This work";
+      let gm_ra = ref 0.0 and gm_full = ref 0.0 in
+      let napps = List.length Reg.all in
+      List.iter
+        (fun (a : Reg.app) ->
+          let l v = latency_s (fst (compile a ~wbits:w (Rsv v))) in
+          let ba = l `Ba and ra = l `Ra and full = l `Full in
+          gm_ra := !gm_ra +. log (ra /. ba);
+          gm_full := !gm_full +. log (full /. ba);
+          Printf.printf "  %-8s %8.3f %8.3f %10.3f\n" a.Reg.name 1.0 (ra /. ba)
+            (full /. ba))
+        Reg.all;
+      Printf.printf "  %-8s %8.3f %8.3f %10.3f\n" "GMean" 1.0
+        (exp (!gm_ra /. float_of_int napps))
+        (exp (!gm_full /. float_of_int napps)))
+    [ 20; 40 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: the compiler itself *)
+
+let micro () =
+  section "Bechamel microbenchmarks: scale-management passes (ns/run)";
+  let sobel_like =
+    let b = Builder.create ~n_slots:16384 () in
+    let x = Builder.input b "x" in
+    let gx =
+      Fhe_apps.Kernels.conv2d b x ~width:64 ~height:64
+        ~weights:Fhe_apps.Sobel.sobel_x
+    in
+    Builder.finish b ~outputs:[ Builder.square b gx ]
+  in
+  let mr = prog_of (Reg.find "MR") in
+  let prm = Reserve.Rtype.params ~rbits:60 ~wbits:30 in
+  let order = Reserve.Ordering.run prm mr in
+  let tests =
+    [ Bechamel.Test.make ~name:"eva/sobel-like"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Fhe_eva.Eva.compile ~rbits:60 ~wbits:30 sobel_like)));
+      Bechamel.Test.make ~name:"reserve/sobel-like"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Reserve.Pipeline.compile ~rbits:60 ~wbits:30 sobel_like)));
+      Bechamel.Test.make ~name:"eva/MR"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Fhe_eva.Eva.compile ~rbits:60 ~wbits:30 mr)));
+      Bechamel.Test.make ~name:"reserve/MR"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Reserve.Pipeline.compile ~rbits:60 ~wbits:30 mr)));
+      Bechamel.Test.make ~name:"ordering/MR"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Reserve.Ordering.run prm mr)));
+      Bechamel.Test.make ~name:"allocation/MR"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Reserve.Allocation.run prm ~order mr))) ]
+  in
+  let benchmark test =
+    let open Bechamel in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun t ->
+      let results = benchmark (Bechamel.Test.make_grouped ~name:"g" [ t ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-24s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all_sections =
+  [ ("table3", table3); ("fig2", figure2); ("table4", table4);
+    ("fig6", figure6); ("fig7", figure7); ("fig8", figure8); ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (know: %s)\n" name
+            (String.concat ", " (List.map fst all_sections));
+          exit 1)
+    requested

@@ -1,0 +1,250 @@
+(* fhec — the command-line driver for the RNS-CKKS scale-management
+   compilers.
+
+     fhec list
+     fhec compile --app SF --compiler reserve --waterline 30 --print-ir
+     fhec run --app LR --compiler eva --waterline 20
+     fhec compare --app MLP --waterline 30 *)
+
+open Cmdliner
+open Fhe_ir
+module Reg = Fhe_apps.Registry
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions *)
+
+let app_arg =
+  let doc = "Benchmark application (see $(b,fhec list))." in
+  Arg.(required & opt (some string) None & info [ "app"; "a" ] ~docv:"NAME" ~doc)
+
+let compiler_arg =
+  let doc =
+    "Scale-management compiler: $(b,reserve) (this work), $(b,eva), \
+     $(b,hecate), or the ablations $(b,ba) / $(b,ra)."
+  in
+  Arg.(value & opt string "reserve" & info [ "compiler"; "c" ] ~docv:"NAME" ~doc)
+
+let waterline_arg =
+  let doc = "Waterline in bits (the minimum ciphertext scale)." in
+  Arg.(value & opt int 30 & info [ "waterline"; "w" ] ~docv:"BITS" ~doc)
+
+let rbits_arg =
+  let doc = "Rescaling factor in bits (the paper uses 60)." in
+  Arg.(value & opt int 60 & info [ "rbits" ] ~docv:"BITS" ~doc)
+
+let iterations_arg =
+  let doc = "Exploration budget for the Hecate compiler (0 = auto)." in
+  Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+
+let print_ir_arg =
+  let doc = "Print the managed IR with scale/level annotations." in
+  Arg.(value & flag & info [ "print-ir" ] ~doc)
+
+let seed_arg =
+  let doc = "Seed for the synthetic input data." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let find_app name =
+  match Reg.find name with
+  | a -> Ok a
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown app %S; try: %s" name
+           (String.concat ", " (List.map (fun a -> a.Reg.name) Reg.all)))
+
+let do_compile app compiler ~rbits ~wbits ~iterations =
+  let p = app.Reg.build () in
+  let xmax_bits =
+    Fhe_sim.Interp.max_magnitude_bits p ~inputs:(app.Reg.inputs ~seed:42)
+  in
+  let iterations = if iterations <= 0 then None else Some iterations in
+  match String.lowercase_ascii compiler with
+  | "eva" -> Ok (p, Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p, xmax_bits)
+  | "hecate" ->
+      let r =
+        Fhe_hecate.Hecate.compile ?iterations ~xmax_bits ~rbits ~wbits p
+      in
+      Printf.printf "hecate: %d iterations, %d accepted\n"
+        r.Fhe_hecate.Hecate.iterations r.Fhe_hecate.Hecate.accepted;
+      Ok (p, r.Fhe_hecate.Hecate.managed, xmax_bits)
+  | ("reserve" | "ba" | "ra") as c ->
+      let variant =
+        match c with "ba" -> `Ba | "ra" -> `Ra | _ -> `Full
+      in
+      Ok (p, Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p, xmax_bits)
+  | other -> Error (Printf.sprintf "unknown compiler %S" other)
+
+let report app (m : Managed.t) xmax =
+  Printf.printf "app            : %s (%s)\n" app.Reg.name app.Reg.description;
+  Printf.printf "arith ops      : %d\n" (Program.n_arith m.Managed.prog);
+  Printf.printf "managed ops    : %d (+%d rescale, %d modswitch, %d upscale)\n"
+    (Program.n_ops m.Managed.prog)
+    (Managed.n_rescale m) (Managed.n_modswitch m) (Managed.n_upscale m);
+  Printf.printf "x_max headroom : %d bits\n" xmax;
+  Printf.printf "input level L  : %d (Q = R^%d)\n" (Managed.input_level m)
+    (Managed.input_level m);
+  Printf.printf "est. latency   : %.3f s\n" (Fhe_cost.Model.estimate m /. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (a : Reg.app) ->
+        Printf.printf "%-8s %s\n" a.Reg.name a.Reg.description)
+      Reg.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark applications")
+    Term.(const run $ const ())
+
+let handle = function
+  | Ok () -> `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let compile_cmd =
+  let run app compiler wbits rbits iterations print_ir =
+    handle
+      (Result.bind (find_app app) (fun app ->
+           Result.bind (do_compile app compiler ~rbits ~wbits ~iterations)
+             (fun (_, m, xmax) ->
+               Validator.check_exn m;
+               report app m xmax;
+               if print_ir then
+                 Format.printf "%a"
+                   (Pp.pp_managed ~scale:m.Managed.scale ~level:m.Managed.level)
+                   m.Managed.prog;
+               Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile an application and report statistics")
+    Term.(
+      ret
+        (const run $ app_arg $ compiler_arg $ waterline_arg $ rbits_arg
+       $ iterations_arg $ print_ir_arg))
+
+let run_cmd =
+  let run app compiler wbits rbits iterations seed =
+    handle
+      (Result.bind (find_app app) (fun app ->
+           Result.bind (do_compile app compiler ~rbits ~wbits ~iterations)
+             (fun (p, m, xmax) ->
+               Validator.check_exn m;
+               report app m xmax;
+               let inputs = app.Reg.inputs ~seed in
+               let outs = Fhe_sim.Interp.run m ~inputs in
+               let refs = Fhe_sim.Interp.run_reference p ~inputs in
+               Array.iteri
+                 (fun i (v : Fhe_sim.Interp.value) ->
+                   Printf.printf
+                     "output %d: first slots [%.5f %.5f %.5f] (expected [%.5f \
+                      %.5f %.5f]), error bound 2^%.1f\n"
+                     i v.Fhe_sim.Interp.data.(0) v.Fhe_sim.Interp.data.(1)
+                     v.Fhe_sim.Interp.data.(2) refs.(i).(0) refs.(i).(1)
+                     refs.(i).(2)
+                     (Fhe_util.Bits.log2f v.Fhe_sim.Interp.err))
+                 outs;
+               Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile and execute on the fixed-point/noise simulator")
+    Term.(
+      ret
+        (const run $ app_arg $ compiler_arg $ waterline_arg $ rbits_arg
+       $ iterations_arg $ seed_arg))
+
+let compare_cmd =
+  let run app wbits rbits iterations =
+    handle
+      (Result.bind (find_app app) (fun app ->
+           let one name =
+             Result.map
+               (fun (_, m, _) -> (name, Fhe_cost.Model.estimate m))
+               (do_compile app name ~rbits ~wbits ~iterations)
+           in
+           Result.bind (one "eva") (fun eva ->
+               Result.bind (one "hecate") (fun hec ->
+                   Result.bind (one "reserve") (fun rsv ->
+                       let print (name, cost) =
+                         Printf.printf "%-8s %10.3f s   (%.2fx vs EVA)\n" name
+                           (cost /. 1e6) (snd eva /. cost)
+                       in
+                       List.iter print [ eva; hec; rsv ];
+                       Ok ())))))
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all three compilers on one application")
+    Term.(
+      ret (const run $ app_arg $ waterline_arg $ rbits_arg $ iterations_arg))
+
+let compile_file_cmd =
+  let file_arg =
+    let doc = "Program file in the textual IR format (see Fhe_ir.Parser)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let dot_arg =
+    let doc = "Also write a Graphviz rendering of the managed program." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"OUT.dot" ~doc)
+  in
+  let n_slots_arg =
+    let doc = "Slot count of the program's ciphertexts." in
+    Arg.(value & opt int 4096 & info [ "slots" ] ~docv:"N" ~doc)
+  in
+  let run file compiler wbits rbits n_slots print_ir dot =
+    handle
+      (let ic = open_in_bin file in
+       let text = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       match Parser.parse ~n_slots text with
+       | Error e ->
+           Error (Format.asprintf "%s: %a" file Parser.pp_error e)
+       | Ok p ->
+           let m =
+             match String.lowercase_ascii compiler with
+             | "eva" -> Ok (Fhe_eva.Eva.compile ~rbits ~wbits p)
+             | "hecate" ->
+                 Ok
+                   (Fhe_hecate.Hecate.compile ~rbits ~wbits p)
+                     .Fhe_hecate.Hecate.managed
+             | "reserve" -> Ok (Reserve.Pipeline.compile ~rbits ~wbits p)
+             | other -> Error (Printf.sprintf "unknown compiler %S" other)
+           in
+           Result.bind m (fun m ->
+               Validator.check_exn m;
+               Printf.printf "%s: %d ops -> %d managed, L = %d, est %.3f s\n"
+                 file (Program.n_arith p)
+                 (Program.n_ops m.Managed.prog)
+                 (Managed.input_level m)
+                 (Fhe_cost.Model.estimate m /. 1e6);
+               if print_ir then
+                 Format.printf "%a"
+                   (Pp.pp_managed ~scale:m.Managed.scale
+                      ~level:m.Managed.level)
+                   m.Managed.prog;
+               Option.iter
+                 (fun path ->
+                   let oc = open_out path in
+                   output_string oc (Pp.to_dot ~managed:m m.Managed.prog);
+                   close_out oc;
+                   Printf.printf "wrote %s\n" path)
+                 dot;
+               Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "compile-file"
+       ~doc:"Compile a program written in the textual IR format")
+    Term.(
+      ret
+        (const run $ file_arg $ compiler_arg $ waterline_arg $ rbits_arg
+       $ n_slots_arg $ print_ir_arg $ dot_arg))
+
+let () =
+  let info =
+    Cmd.info "fhec" ~version:"1.0.0"
+      ~doc:"Performance-aware scale management for RNS-CKKS programs"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd ]))

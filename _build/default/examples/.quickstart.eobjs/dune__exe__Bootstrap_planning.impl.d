@@ -1,0 +1,1 @@
+examples/bootstrap_planning.ml: Analysis Builder Fhe_cost Fhe_ir List Managed Printf Program Reserve String

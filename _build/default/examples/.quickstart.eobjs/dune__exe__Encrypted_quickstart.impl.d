@@ -1,0 +1,1 @@
+examples/encrypted_quickstart.ml: Array Builder Ckks Fhe_ir Fhe_util Float Managed Printf Program Reserve

@@ -1,0 +1,1 @@
+examples/lenet_inference.ml: Analysis Array Fhe_apps Fhe_cost Fhe_eva Fhe_hecate Fhe_ir Fhe_sim Fhe_util List Managed Printf Program Reserve Validator

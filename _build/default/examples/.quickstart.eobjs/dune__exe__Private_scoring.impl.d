@@ -1,0 +1,1 @@
+examples/private_scoring.ml: Analysis Builder Fhe_apps Fhe_cost Fhe_hecate Fhe_ir Fhe_sim Fhe_util List Printf Program Validator

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Fhe_cost Fhe_eva Fhe_hecate Fhe_ir Fhe_sim Float Format List Managed Pp Printf Reserve Validator

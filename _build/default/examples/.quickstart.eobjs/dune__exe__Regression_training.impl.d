@@ -1,0 +1,1 @@
+examples/regression_training.ml: Array Fhe_apps Fhe_cost Fhe_eva Fhe_ir Fhe_sim Fhe_util List Printf Reserve

@@ -1,0 +1,1 @@
+examples/sobel_pipeline.ml: Analysis Array Fhe_apps Fhe_cost Fhe_eva Fhe_ir Fhe_sim Fhe_util Float Hashtbl List Managed Op Option Printf Program Reserve String Validator

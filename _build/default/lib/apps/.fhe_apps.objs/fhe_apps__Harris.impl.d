@@ -1,0 +1,1 @@
+lib/apps/harris.ml: Array Builder Data Fhe_ir Kernels Sobel

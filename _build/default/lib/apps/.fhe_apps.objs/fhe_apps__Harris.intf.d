@@ -1,0 +1,1 @@
+lib/apps/harris.mli: Fhe_ir Program

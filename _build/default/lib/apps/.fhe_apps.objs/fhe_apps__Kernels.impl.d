@@ -1,0 +1,1 @@
+lib/apps/kernels.ml: Array Builder Fhe_ir List Printf

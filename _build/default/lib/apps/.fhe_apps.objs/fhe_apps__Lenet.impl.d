@@ -1,0 +1,1 @@
+lib/apps/lenet.ml: Array Builder Data Fhe_ir Fhe_util Hashtbl Kernels List Printf

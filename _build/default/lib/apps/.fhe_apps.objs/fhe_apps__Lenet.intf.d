@@ -1,0 +1,1 @@
+lib/apps/lenet.mli: Fhe_ir Program

@@ -1,0 +1,1 @@
+lib/apps/mlp.ml: Array Builder Data Fhe_ir Kernels

@@ -1,0 +1,1 @@
+lib/apps/mlp.mli: Fhe_ir Program

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Fhe_ir Harris Lenet List Mlp Regression Sobel String

@@ -1,0 +1,1 @@
+lib/apps/regression.ml: Array Builder Data Fhe_ir Fhe_util Kernels List Printf

@@ -1,0 +1,1 @@
+lib/apps/regression.mli: Fhe_ir Program

@@ -1,0 +1,1 @@
+lib/apps/sobel.ml: Builder Data Fhe_ir Kernels

@@ -1,0 +1,1 @@
+lib/apps/sobel.mli: Fhe_ir Program

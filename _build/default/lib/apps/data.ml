@@ -1,0 +1,35 @@
+let image ~seed n =
+  let g = Fhe_util.Prng.create seed in
+  Array.init n (fun _ -> Fhe_util.Prng.float g 1.0)
+
+let signal ~seed ?(lo = -1.0) ?(hi = 1.0) n =
+  let g = Fhe_util.Prng.create seed in
+  Array.init n (fun _ -> Fhe_util.Prng.uniform g ~lo ~hi)
+
+let weights ~seed n =
+  let g = Fhe_util.Prng.create seed in
+  Array.init n (fun _ -> Fhe_util.Prng.uniform g ~lo:(-0.5) ~hi:0.5)
+
+let matrix ~seed ~rows ~cols =
+  let g = Fhe_util.Prng.create seed in
+  Array.init rows (fun _ ->
+      Array.init cols (fun _ -> Fhe_util.Prng.uniform g ~lo:(-0.5) ~hi:0.5))
+
+let kernel ~seed k = matrix ~seed ~rows:k ~cols:k
+
+let linear_samples ~seed ~n ~coeffs ~noise =
+  let g = Fhe_util.Prng.create seed in
+  let nf = Array.length coeffs - 1 in
+  let xs =
+    Array.init nf (fun _ ->
+        Array.init n (fun _ -> Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0))
+  in
+  let y =
+    Array.init n (fun i ->
+        let acc = ref coeffs.(nf) in
+        for f = 0 to nf - 1 do
+          acc := !acc +. (coeffs.(f) *. xs.(f).(i))
+        done;
+        !acc +. (noise *. Fhe_util.Prng.gaussian g))
+  in
+  (xs, y)

@@ -1,0 +1,29 @@
+(** Deterministic synthetic datasets.
+
+    The paper's evaluation measures latency, compile time and
+    fixed-point error — none of which depend on the actual pixel or
+    weight values — so trained MNIST/CIFAR models are substituted by
+    seeded pseudo-random tensors with the same shapes (DESIGN.md §3). *)
+
+val image : seed:int -> int -> float array
+(** [image ~seed n] is [n] pixels in [\[0, 1)]. *)
+
+val signal : seed:int -> ?lo:float -> ?hi:float -> int -> float array
+(** [n] samples uniform in [\[lo, hi)] (default [\[-1, 1)]). *)
+
+val weights : seed:int -> int -> float array
+(** Glorot-ish small weights in [\[-0.5, 0.5)]. *)
+
+val matrix : seed:int -> rows:int -> cols:int -> float array array
+(** [rows] rows of [cols] small weights. *)
+
+val kernel : seed:int -> int -> float array array
+(** A [k×k] convolution kernel of small weights. *)
+
+val linear_samples :
+  seed:int -> n:int -> coeffs:float array -> noise:float ->
+  float array array * float array
+(** [(xs, y)] where [xs.(f)] is feature [f]'s samples and
+    [y = Σ coeffs.(f)·xs.(f) + coeffs.(last) + noise] — ground truth for
+    the regression training workloads (first [length coeffs - 1]
+    features, last coefficient is the intercept). *)

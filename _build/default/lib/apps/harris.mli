@@ -1,0 +1,10 @@
+open Fhe_ir
+
+(** Harris Corner Detection (HCD) on a packed 64×64 image:
+    Sobel gradients, 3×3 box-summed second-moment matrix, response
+    [det(M) − k·trace(M)²] (~110 ops, multiplicative depth 3). *)
+
+val build : ?n_slots:int -> unit -> Program.t
+(** Input: ["img"]. *)
+
+val inputs : seed:int -> (string * float array) list

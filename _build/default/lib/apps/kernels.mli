@@ -1,0 +1,67 @@
+open Fhe_ir
+
+(** Shared homomorphic circuit kernels used by the benchmark apps:
+    packed-ciphertext idioms (rotate-and-sum reductions, shifted-window
+    convolutions, diagonal/BSGS matrix-vector products) in the style of
+    the EVA/Hecate benchmark suites. *)
+
+val sum_slots : Builder.t -> Builder.expr -> n:int -> Builder.expr
+(** Log-depth rotate-and-sum: every one of the first [n] slots ends up
+    holding the sum of all [n].  [n] must be a power of two no larger
+    than the slot count (the vector must be zero outside those slots,
+    or wrap-around terms will pollute the sum). *)
+
+val mean_slots : Builder.t -> Builder.expr -> n:int -> Builder.expr
+(** {!sum_slots} followed by multiplication with [1/n]. *)
+
+val conv2d :
+  Builder.t ->
+  Builder.expr ->
+  width:int ->
+  height:int ->
+  weights:float array array ->
+  Builder.expr
+(** 2-D convolution of a row-major [width×height] image packed in one
+    ciphertext with a scalar-weight kernel: one rotation per tap (shared
+    across callers via builder dedup), one plaintext multiplication per
+    non-zero weight, and a balanced add tree.  Edges wrap around
+    (circular convolution), as in the EVA image benchmarks. *)
+
+val replicate :
+  Builder.t -> Builder.expr -> dim:int -> Builder.expr
+(** [replicate b x ~dim] doubles a clean packed vector ([x || x || 0…])
+    so that full-width rotations by [0..dim-1] emulate cyclic rotations
+    within the first [dim] slots.  [x] must be zero outside its first
+    [dim] slots. *)
+
+val matvec_diag :
+  Builder.t ->
+  Builder.expr ->
+  dim:int ->
+  mat:float array array ->
+  Builder.expr
+(** Halevi–Shoup diagonal matrix-vector product for a [dim×dim] matrix
+    over a vector packed in the first [dim] slots (power of two):
+    [y = Σ_d rotate(x, d) ⊙ diag_d].  One rotation + plaintext mul per
+    nonzero diagonal; the input is replicated internally and the output
+    is clean (zero outside the first [dim] slots). *)
+
+val matvec_bsgs :
+  Builder.t ->
+  Builder.expr ->
+  dim:int ->
+  mat:float array array ->
+  Builder.expr
+(** Baby-step/giant-step variant: [O(√dim)] distinct input rotations
+    (the dominant cost), one plaintext mul per diagonal, one output
+    rotation per giant step, plus a final cleanup mask (one extra
+    plaintext-mul depth).  Used for the LeNet dense layers. *)
+
+val masked_gather :
+  Builder.t ->
+  (Builder.expr * int * int * int) list ->
+  Builder.expr
+(** [masked_gather b parts] with parts [(ct, src_off, len, dst_off)]:
+    select [len] slots starting at [src_off] from each ciphertext with a
+    0/1 mask and rotate them to [dst_off], summing everything into one
+    packed vector (the flatten step between conv and dense layers). *)

@@ -1,0 +1,126 @@
+open Fhe_ir
+
+type variant = Mnist | Cifar
+
+let geometry = function
+  | Mnist -> (28, 1) (* width/height, input channels *)
+  | Cifar -> (32, 3)
+
+(* Convolution over strided (dilated) channel layouts: the logical pixel
+   (r, c) of a stride-s feature map lives in slot s*(r*width + c). *)
+let conv_layer b ~width ~stride ~out_channels ~weights chans =
+  let kh = 5 and kw = 5 in
+  let cy = kh / 2 and cx = kw / 2 in
+  List.init out_channels (fun oc ->
+      let terms = ref [] in
+      List.iteri
+        (fun ic x ->
+          for dy = 0 to kh - 1 do
+            for dx = 0 to kw - 1 do
+              let w = weights oc ic dy dx in
+              let shift = stride * (((dy - cy) * width) + (dx - cx)) in
+              let tap = Builder.rotate b x shift in
+              terms := Builder.mul b tap (Builder.const b w) :: !terms
+            done
+          done)
+        chans;
+      Builder.add_many b (List.rev !terms))
+
+let square_layer b chans = List.map (Builder.square b) chans
+
+let pool_layer b ~width ~stride chans =
+  let quarter = Builder.const b 0.25 in
+  let pool x =
+    let s = stride in
+    let sum =
+      Builder.add b
+        (Builder.add b x (Builder.rotate b x s))
+        (Builder.add b
+           (Builder.rotate b x (s * width))
+           (Builder.rotate b x ((s * width) + s)))
+    in
+    Builder.mul b sum quarter
+  in
+  List.map pool chans
+
+(* One-hot masked flatten: pick each valid strided position and rotate
+   it to its packed destination.  Masks are shared across channels. *)
+let flatten b ~width ~stride chans =
+  let grid = width / stride in
+  let feat_per_chan = grid * grid in
+  let terms = ref [] in
+  List.iteri
+    (fun c x ->
+      for r = 0 to grid - 1 do
+        for cc = 0 to grid - 1 do
+          let pos = stride * ((r * width) + cc) in
+          let dst = (c * feat_per_chan) + (r * grid) + cc in
+          let mask = Array.make (pos + 1) 0.0 in
+          mask.(pos) <- 1.0;
+          let tag = Printf.sprintf "onehot%d" pos in
+          let sel = Builder.mul b x (Builder.vconst b ~tag mask) in
+          terms := Builder.rotate b sel (pos - dst) :: !terms
+        done
+      done)
+    chans;
+  (Builder.add_many b (List.rev !terms), List.length chans * feat_per_chan)
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (2 * k) in
+  go 1
+
+let dense_matrix ~seed ~dim ~rows =
+  let fan = float_of_int dim in
+  let m = Data.matrix ~seed ~rows:dim ~cols:dim in
+  Array.mapi
+    (fun r row ->
+      if r < rows then Array.map (fun w -> 2.0 *. w /. sqrt fan) row
+      else Array.map (fun _ -> 0.0) row)
+    m
+
+let build ?(n_slots = 16384) ?(seed = 11) variant =
+  let width, in_channels = geometry variant in
+  let b = Builder.create ~n_slots () in
+  let chans =
+    List.init in_channels (fun c -> Builder.input b (Printf.sprintf "ch%d" c))
+  in
+  let conv_w layer =
+    let g = Fhe_util.Prng.create (seed + layer) in
+    let tbl = Hashtbl.create 64 in
+    fun oc ic dy dx ->
+      let key = (oc, ic, dy, dx) in
+      match Hashtbl.find_opt tbl key with
+      | Some w -> w
+      | None ->
+          let w = Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0 /. 25.0 in
+          Hashtbl.replace tbl key w;
+          w
+  in
+  (* Conv1 -> x^2 -> AvgPool *)
+  let c1 = conv_layer b ~width ~stride:1 ~out_channels:6 ~weights:(conv_w 1) chans in
+  let s1 = square_layer b c1 in
+  let p1 = pool_layer b ~width ~stride:1 s1 in
+  (* Conv2 -> x^2 -> AvgPool (stride doubled by pool1) *)
+  let c2 = conv_layer b ~width ~stride:2 ~out_channels:16 ~weights:(conv_w 2) p1 in
+  let s2 = square_layer b c2 in
+  let p2 = pool_layer b ~width ~stride:2 s2 in
+  (* Flatten (stride now 4) and dense head *)
+  let flat, feat = flatten b ~width ~stride:4 p2 in
+  let d1 = next_pow2 feat in
+  let fc1 =
+    Kernels.matvec_bsgs b flat ~dim:d1 ~mat:(dense_matrix ~seed:(seed + 10) ~dim:d1 ~rows:120)
+  in
+  let a1 = Builder.square b fc1 in
+  let fc2 =
+    Kernels.matvec_bsgs b a1 ~dim:128 ~mat:(dense_matrix ~seed:(seed + 11) ~dim:128 ~rows:84)
+  in
+  let a2 = Builder.square b fc2 in
+  let fc3 =
+    Kernels.matvec_bsgs b a2 ~dim:128 ~mat:(dense_matrix ~seed:(seed + 12) ~dim:128 ~rows:10)
+  in
+  Builder.finish b ~outputs:[ fc3 ]
+
+let inputs ~seed variant =
+  let width, in_channels = geometry variant in
+  List.init in_channels (fun c ->
+      (Printf.sprintf "ch%d" c, Data.image ~seed:(seed + c) (width * width)))

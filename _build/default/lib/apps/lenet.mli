@@ -1,0 +1,19 @@
+open Fhe_ir
+
+(** LeNet-5 inference (Lenet-5 on MNIST shapes, Lenet-C on CIFAR-10
+    shapes): Conv(5×5,6) → x² → AvgPool → Conv(5×5,16) → x² → AvgPool →
+    FC120 → x² → FC84 → x² → FC10.
+
+    Packing: one ciphertext per input channel; convolutions use shared
+    shifted-window rotations with scalar weights; pooling is strided
+    (no repacking — later layers use dilated rotations); a one-hot
+    masked flatten compacts the strided feature maps into one packed
+    vector for the BSGS dense layers.  Roughly 10k ops at depth ~13,
+    the scale the paper's Lenet rows exercise. *)
+
+type variant = Mnist | Cifar
+
+val build : ?n_slots:int -> ?seed:int -> variant -> Program.t
+(** Inputs: ["ch0"] (and ["ch1"], ["ch2"] for [Cifar]). *)
+
+val inputs : seed:int -> variant -> (string * float array) list

@@ -1,0 +1,23 @@
+open Fhe_ir
+
+let input_dim = 64
+
+(* Rectangular layers are padded to the 64×64 diagonal form: rows past
+   the output dimension are zero, which the diagonal extraction turns
+   into (still dense) masked diagonals. *)
+let layer_matrix ~seed ~rows =
+  let m = Data.matrix ~seed ~rows:input_dim ~cols:input_dim in
+  Array.mapi (fun r row -> if r < rows then row else Array.map (fun _ -> 0.0) row) m
+
+let build ?(n_slots = 16384) ?(seed = 7) () =
+  let b = Builder.create ~n_slots () in
+  let x = Builder.input b "x" in
+  let dense s rows v =
+    Kernels.matvec_diag b v ~dim:input_dim ~mat:(layer_matrix ~seed:s ~rows)
+  in
+  let h1 = Builder.square b (dense (seed + 1) 64 x) in
+  let h2 = Builder.square b (dense (seed + 2) 16 h1) in
+  let logits = dense (seed + 3) 10 h2 in
+  Builder.finish b ~outputs:[ logits ]
+
+let inputs ~seed = [ ("x", Data.signal ~seed ~lo:0.0 ~hi:1.0 input_dim) ]

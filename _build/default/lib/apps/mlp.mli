@@ -1,0 +1,13 @@
+open Fhe_ir
+
+(** Multi-Layer Perceptron (MLP) inference: a 64→64→16→10 network with
+    square activations, dense layers as Halevi–Shoup diagonal
+    matrix-vector products over one packed input ciphertext. *)
+
+val input_dim : int
+
+val build : ?n_slots:int -> ?seed:int -> unit -> Program.t
+(** Input: ["x"] (the feature vector in the first {!input_dim} slots);
+    output: the 10 logits in the first slots. *)
+
+val inputs : seed:int -> (string * float array) list

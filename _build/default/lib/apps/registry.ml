@@ -1,0 +1,52 @@
+type app = {
+  name : string;
+  description : string;
+  build : unit -> Fhe_ir.Program.t;
+  inputs : seed:int -> (string * float array) list;
+}
+
+let all =
+  [ { name = "SF";
+      description = "Sobel filter, 64x64 image";
+      build = (fun () -> Sobel.build ());
+      inputs = (fun ~seed -> Sobel.inputs ~seed) };
+    { name = "HCD";
+      description = "Harris corner detection, 64x64 image";
+      build = (fun () -> Harris.build ());
+      inputs = (fun ~seed -> Harris.inputs ~seed) };
+    { name = "LR";
+      description = "linear regression, 2 GD epochs, 16384 samples";
+      build = (fun () -> Regression.linear ());
+      inputs = (fun ~seed -> Regression.inputs_linear ~seed ()) };
+    { name = "MR";
+      description = "multivariate regression (8 features), 2 GD epochs";
+      build = (fun () -> Regression.multivariate ());
+      inputs = (fun ~seed -> Regression.inputs_multivariate ~seed ()) };
+    { name = "PR";
+      description = "polynomial regression (degree 3), 2 GD epochs";
+      build = (fun () -> Regression.polynomial ());
+      inputs = (fun ~seed -> Regression.inputs_polynomial ~seed ()) };
+    { name = "MLP";
+      description = "64-64-16-10 perceptron, square activations";
+      build = (fun () -> Mlp.build ());
+      inputs = (fun ~seed -> Mlp.inputs ~seed) };
+    { name = "Lenet-5";
+      description = "LeNet-5 inference, MNIST shapes";
+      build = (fun () -> Lenet.build Lenet.Mnist);
+      inputs = (fun ~seed -> Lenet.inputs ~seed Lenet.Mnist) };
+    { name = "Lenet-C";
+      description = "LeNet-5 inference, CIFAR-10 shapes";
+      build = (fun () -> Lenet.build Lenet.Cifar);
+      inputs = (fun ~seed -> Lenet.inputs ~seed Lenet.Cifar) }
+  ]
+
+let small =
+  List.filter (fun a -> not (String.length a.name > 5)) all
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  match
+    List.find_opt (fun a -> String.lowercase_ascii a.name = lower) all
+  with
+  | Some a -> a
+  | None -> raise Not_found

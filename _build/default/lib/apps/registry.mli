@@ -1,0 +1,20 @@
+open Fhe_ir
+
+(** The benchmark registry: the eight applications of the paper's
+    evaluation (§8), by their Table 4 short names. *)
+
+type app = {
+  name : string;  (** short name: SF, HCD, LR, MR, PR, MLP, Lenet-5, Lenet-C *)
+  description : string;
+  build : unit -> Program.t;
+  inputs : seed:int -> (string * float array) list;
+}
+
+val all : app list
+(** In the paper's order: SF, HCD, LR, MR, PR, MLP, Lenet-5, Lenet-C. *)
+
+val small : app list
+(** The six non-LeNet apps (used where LeNet-scale runs are too slow). *)
+
+val find : string -> app
+(** Case-insensitive lookup. @raise Not_found. *)

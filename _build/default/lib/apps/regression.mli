@@ -1,0 +1,28 @@
+open Fhe_ir
+
+(** The regression training workloads (LR, MR, PR): homomorphic
+    gradient descent, two epochs, over 16384 encrypted samples packed
+    one per slot.  Weights start as public constants and become
+    ciphertexts after the first update, so the second epoch multiplies
+    two ciphertexts of different multiplicative depths — the pattern the
+    paper calls out as what makes the regressions hard to scale-manage.
+    Gradient means are internal summations (rotate-and-sum reductions).
+
+    Outputs are the trained weights followed by the intercept. *)
+
+val linear : ?n_slots:int -> ?epochs:int -> unit -> Program.t
+(** LR: one feature ["x0"], target ["y"]. *)
+
+val multivariate : ?n_slots:int -> ?epochs:int -> ?features:int -> unit -> Program.t
+(** MR: [features] (default 8) inputs ["x0"..], target ["y"]. *)
+
+val polynomial : ?n_slots:int -> ?epochs:int -> ?degree:int -> unit -> Program.t
+(** PR: single input ["x0"]; encrypted powers [x, x², …, x^degree]
+    (default 3) serve as features. *)
+
+val inputs_linear : seed:int -> ?n:int -> unit -> (string * float array) list
+
+val inputs_multivariate :
+  seed:int -> ?n:int -> ?features:int -> unit -> (string * float array) list
+
+val inputs_polynomial : seed:int -> ?n:int -> unit -> (string * float array) list

@@ -1,0 +1,19 @@
+open Fhe_ir
+
+(** Sobel Filter (SF): edge-detection on a packed 64×64 image.
+    [Gx² + Gy²] with the two 3×3 Sobel kernels — the smallest benchmark
+    (~60 ops, multiplicative depth 2). *)
+
+val image_width : int
+
+val build : ?n_slots:int -> unit -> Program.t
+(** Input: ["img"] (the 64×64 image in the first 4096 slots). *)
+
+val inputs : seed:int -> (string * float array) list
+(** A matching synthetic input image. *)
+
+val sobel_x : float array array
+(** The horizontal-gradient kernel (shared with Harris). *)
+
+val sobel_y : float array array
+(** The vertical-gradient kernel. *)

@@ -1,0 +1,1 @@
+lib/ckks/backend.ml: Array Context Evaluator Fhe_ir Fhe_util Keys List Managed Op Printf Program

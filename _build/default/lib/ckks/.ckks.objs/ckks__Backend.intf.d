@@ -1,0 +1,1 @@
+lib/ckks/backend.mli: Fhe_ir Keys Managed

@@ -1,0 +1,1 @@
+lib/ckks/bigint.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/ckks/context.ml: Array Fftc List Ntt Primes

@@ -1,0 +1,1 @@
+lib/ckks/context.mli: Fftc Ntt

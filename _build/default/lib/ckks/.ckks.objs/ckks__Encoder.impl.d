@@ -1,0 +1,1 @@
+lib/ckks/encoder.ml: Array Bigint Complex Context Fftc Float List Modarith Poly

@@ -1,0 +1,1 @@
+lib/ckks/encoder.mli: Context Poly

@@ -1,0 +1,1 @@
+lib/ckks/evaluator.ml: Array Context Encoder Fhe_util Float Hashtbl Keys Modarith Ntt Poly Printf Sampler

@@ -1,0 +1,1 @@
+lib/ckks/fftc.ml: Array Complex Float

@@ -1,0 +1,1 @@
+lib/ckks/keys.ml: Array Context Fftc Fhe_util Hashtbl List Poly Sampler

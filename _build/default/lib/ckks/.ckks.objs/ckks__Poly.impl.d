@@ -1,0 +1,1 @@
+lib/ckks/poly.ml: Array Context Fhe_util Modarith Ntt

@@ -1,0 +1,1 @@
+lib/ckks/poly.mli: Context

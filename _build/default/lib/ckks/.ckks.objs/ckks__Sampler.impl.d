@@ -1,0 +1,1 @@
+lib/ckks/sampler.ml: Array Context Fhe_util Float Poly

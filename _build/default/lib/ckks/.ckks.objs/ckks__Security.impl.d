@@ -1,0 +1,1 @@
+lib/ckks/security.ml: Array Context Fhe_util Float List Printf Result

@@ -1,0 +1,1 @@
+lib/ckks/serialize.ml: Array Buffer Bytes Char Context Evaluator Hashtbl Int64 Keys List Poly Printf Sampler String

@@ -1,0 +1,1 @@
+lib/ckks/serialize.mli: Context Evaluator Keys Poly

@@ -1,0 +1,111 @@
+open Fhe_ir
+
+type value =
+  | C of Evaluator.ct
+  | P of float array  (* true (unscaled) plaintext payload *)
+
+let pad n a =
+  let out = Array.make n 0.0 in
+  Array.blit a 0 out 0 (min n (Array.length a));
+  out
+
+let rotl a k =
+  let n = Array.length a in
+  Array.init n (fun i -> a.((i + k) mod n))
+
+let run_with_keys (keys : Keys.t) (m : Managed.t) ~inputs =
+  let ctx = keys.Keys.ctx in
+  let p = m.Managed.prog in
+  let nh = Context.slot_count ctx in
+  if Program.n_slots p <> nh then
+    invalid_arg "Backend.run: program slot count must equal n/2";
+  if m.Managed.rbits <> ctx.Context.level_bits then
+    invalid_arg "Backend.run: program rbits must match context level_bits";
+  let n = Program.n_ops p in
+  let vals : value array = Array.make n (P [||]) in
+  let cipher i =
+    match vals.(i) with C ct -> ct | P _ -> invalid_arg "Backend: not cipher"
+  in
+  let plain i =
+    match vals.(i) with P v -> v | C _ -> invalid_arg "Backend: not plain"
+  in
+  let find name =
+    match List.assoc_opt name inputs with
+    | Some v -> pad nh v
+    | None -> invalid_arg (Printf.sprintf "Backend: missing input %S" name)
+  in
+  let pow2 b = Fhe_util.Bits.pow2f b in
+  Program.iteri
+    (fun i k ->
+      let is_c o = Program.vtype p o = Op.Cipher in
+      vals.(i) <-
+        (match k with
+        | Op.Input { name; vt = Op.Cipher } ->
+            C
+              (Evaluator.encrypt keys ~level:m.Managed.level.(i)
+                 ~scale:(pow2 m.Managed.scale.(i))
+                 (find name))
+        | Op.Input { name; vt = Op.Plain } -> P (find name)
+        | Op.Const c -> P (Array.make nh c)
+        | Op.Vconst { values; _ } -> P (pad nh values)
+        | Op.Add (a, b) -> (
+            match (is_c a, is_c b) with
+            | true, true -> C (Evaluator.add keys (cipher a) (cipher b))
+            | true, false -> C (Evaluator.add_plain keys (cipher a) (plain b))
+            | false, true -> C (Evaluator.add_plain keys (cipher b) (plain a))
+            | false, false ->
+                P (Array.init nh (fun j -> (plain a).(j) +. (plain b).(j))))
+        | Op.Sub (a, b) -> (
+            match (is_c a, is_c b) with
+            | true, true -> C (Evaluator.sub keys (cipher a) (cipher b))
+            | true, false -> C (Evaluator.sub_plain keys (cipher a) (plain b))
+            | false, true ->
+                C
+                  (Evaluator.neg keys
+                     (Evaluator.sub_plain keys (cipher b) (plain a)))
+            | false, false ->
+                P (Array.init nh (fun j -> (plain a).(j) -. (plain b).(j))))
+        | Op.Mul (a, b) -> (
+            match (is_c a, is_c b) with
+            | true, true -> C (Evaluator.mul keys (cipher a) (cipher b))
+            | true, false ->
+                C
+                  (Evaluator.mul_plain keys (cipher a)
+                     ~scale:(pow2 m.Managed.scale.(b))
+                     (plain b))
+            | false, true ->
+                C
+                  (Evaluator.mul_plain keys (cipher b)
+                     ~scale:(pow2 m.Managed.scale.(a))
+                     (plain a))
+            | false, false ->
+                P (Array.init nh (fun j -> (plain a).(j) *. (plain b).(j))))
+        | Op.Neg a ->
+            if is_c a then C (Evaluator.neg keys (cipher a))
+            else P (Array.map (fun x -> -.x) (plain a))
+        | Op.Rotate (a, k) ->
+            if is_c a then C (Evaluator.rotate keys (cipher a) k)
+            else P (rotl (plain a) k)
+        | Op.Rescale a ->
+            if is_c a then C (Evaluator.rescale keys (cipher a))
+            else vals.(a) (* plaintext bookkeeping only *)
+        | Op.Modswitch a ->
+            if is_c a then C (Evaluator.modswitch keys (cipher a))
+            else vals.(a)
+        | Op.Upscale (a, bits) ->
+            if is_c a then C (Evaluator.upscale keys (cipher a) bits)
+            else vals.(a)))
+    p;
+  Array.map
+    (fun o ->
+      match vals.(o) with
+      | C ct -> Evaluator.decrypt keys ct
+      | P v -> v)
+    (Program.outputs p)
+
+let run ?(seed = 0xC0FFEE) (m : Managed.t) ~inputs =
+  let nh = Program.n_slots m.Managed.prog in
+  let levels = max 1 (Managed.max_level m) in
+  let ctx = Context.make ~n:(2 * nh) ~levels ~level_bits:m.Managed.rbits () in
+  let keys = Keys.keygen ~seed ctx in
+  run_with_keys keys m ~inputs

@@ -1,0 +1,26 @@
+open Fhe_ir
+
+(** Execute a scale-managed IR program on the real RNS-CKKS scheme.
+
+    This is the end-to-end path: ciphertext inputs are encrypted at
+    their assigned level and the waterline scale; every IR op maps to
+    one homomorphic operation; outputs are decrypted and decoded.  The
+    program must have been compiled with [rbits] equal to this context's
+    [level_bits] (28-bit chains — see DESIGN.md on the 60→28-bit
+    substitution) and with [n_slots = n/2]. *)
+
+val run :
+  ?seed:int ->
+  Managed.t ->
+  inputs:(string * float array) list ->
+  float array array
+(** Build a context/keys sized for the program, run it, and return one
+    decrypted slot vector per program output.
+    @raise Invalid_argument if [rbits] exceeds the backend's 28-bit
+    prime budget, the slot count is no power of two ≥ 2, or an input is
+    missing. *)
+
+val run_with_keys :
+  Keys.t -> Managed.t -> inputs:(string * float array) list ->
+  float array array
+(** Same, reusing existing key material (context sizes must fit). *)

@@ -1,0 +1,107 @@
+(* little-endian limbs, base 2^26; invariant: no trailing zero limb *)
+type t = int array
+
+let base_bits = 26
+
+let base = 1 lsl base_bits
+
+let mask = base - 1
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero = [||]
+
+let of_int x =
+  if x < 0 then invalid_arg "Bigint.of_int: negative";
+  let rec go x acc = if x = 0 then List.rev acc else go (x lsr base_bits) ((x land mask) :: acc) in
+  Array.of_list (go x [])
+
+let mul_small a k =
+  if k < 0 then invalid_arg "Bigint.mul_small: negative";
+  if k = 0 then zero
+  else begin
+    let n = Array.length a in
+    let out = Array.make (n + 3) 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let v = (a.(i) * k) + !carry in
+      out.(i) <- v land mask;
+      carry := v lsr base_bits
+    done;
+    let i = ref n in
+    while !carry <> 0 do
+      out.(!i) <- !carry land mask;
+      carry := !carry lsr base_bits;
+      incr i
+    done;
+    normalize out
+  end
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let av = if i < Array.length a then a.(i) else 0 in
+    let bv = if i < Array.length b then b.(i) else 0 in
+    let v = av + bv + !carry in
+    out.(i) <- v land mask;
+    carry := v lsr base_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bigint.sub: negative result";
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  let borrow = ref 0 in
+  for i = 0 to n - 1 do
+    let bv = if i < Array.length b then b.(i) else 0 in
+    let v = a.(i) - bv - !borrow in
+    if v < 0 then begin
+      out.(i) <- v + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- v;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let divmod_small a k =
+  if k <= 0 then invalid_arg "Bigint.divmod_small: non-positive divisor";
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    out.(i) <- cur / k;
+    rem := cur mod k
+  done;
+  (normalize out, !rem)
+
+let to_float a =
+  Array.fold_right
+    (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb)
+    a 0.0
+
+let product ks = List.fold_left (fun acc k -> mul_small acc k) (of_int 1) ks

@@ -1,0 +1,31 @@
+(** A minimal unsigned big integer, just large enough for exact CRT
+    reconstruction at decode time (no arbitrary-precision library is
+    available in the sealed build environment).
+
+    Representation: little-endian limbs in base [2^26]. *)
+
+type t
+
+val zero : t
+
+val of_int : int -> t
+(** Of a non-negative OCaml int. *)
+
+val mul_small : t -> int -> t
+(** Multiply by a non-negative word-sized int. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val compare : t -> t -> int
+
+val divmod_small : t -> int -> t * int
+(** Quotient and remainder by a positive word-sized int. *)
+
+val to_float : t -> float
+(** Nearest float (loses precision beyond 53 bits, as expected). *)
+
+val product : int list -> t
+(** Product of non-negative ints. *)

@@ -1,0 +1,38 @@
+type t = {
+  n : int;
+  levels : int;
+  level_bits : int;
+  primes : int array;
+  special : int;
+  plans : Ntt.plan array;
+  special_plan : Ntt.plan;
+  fft : Fftc.plan;
+}
+
+let make ~n ~levels ?(level_bits = 28) () =
+  if n < 4 || n land (n - 1) <> 0 then
+    invalid_arg "Context.make: n must be a power of two >= 4";
+  if levels < 1 then invalid_arg "Context.make: need at least one level";
+  if level_bits < 16 || level_bits > 28 then
+    invalid_arg "Context.make: level_bits must be in 16..28";
+  let primes =
+    Array.of_list (Primes.ntt_prime_chain ~n ~bits:level_bits ~count:levels)
+  in
+  let special =
+    (* one extra bit: the special prime must dominate the chain primes *)
+    List.hd (Primes.ntt_prime_chain ~n ~bits:(level_bits + 1) ~count:1)
+  in
+  { n;
+    levels;
+    level_bits;
+    primes;
+    special;
+    plans = Array.map (fun p -> Ntt.make_plan ~n ~p) primes;
+    special_plan = Ntt.make_plan ~n ~p:special;
+    fft = Fftc.make_plan ~n }
+
+let plan t i = if i = t.levels then t.special_plan else t.plans.(i)
+
+let prime t i = if i = t.levels then t.special else t.primes.(i)
+
+let slot_count t = t.n / 2

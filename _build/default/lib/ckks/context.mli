@@ -1,0 +1,32 @@
+(** RNS-CKKS context: the ring, the modulus chain, and all precomputed
+    transform plans.
+
+    The chain is [q_1 … q_L] (~[level_bits]-bit NTT primes, playing the
+    paper's rescaling factors [R]) plus one {e special prime} [p] used
+    only inside key switching (the noise of a switch is divided by [p],
+    keeping relinearization/rotation noise at the fresh-noise scale). *)
+
+type t = {
+  n : int;  (** ring degree (power of two); slot count is [n/2] *)
+  levels : int;  (** chain length [L] *)
+  level_bits : int;  (** nominal log2 of each chain prime *)
+  primes : int array;  (** [q_1 … q_L] *)
+  special : int;  (** the key-switching prime [p] *)
+  plans : Ntt.plan array;  (** NTT plans for [q_1 … q_L] *)
+  special_plan : Ntt.plan;
+  fft : Fftc.plan;
+}
+
+val make : n:int -> levels:int -> ?level_bits:int -> unit -> t
+(** Build a context ([level_bits] defaults to 28; the special prime gets
+    [level_bits + 1] bits so it dominates every chain prime).
+    @raise Invalid_argument for invalid sizes. *)
+
+val plan : t -> int -> Ntt.plan
+(** Plan for chain index [i] (0-based); index [levels] is the special
+    prime's plan. *)
+
+val prime : t -> int -> int
+(** Prime for chain index [i]; index [levels] is the special prime. *)
+
+val slot_count : t -> int

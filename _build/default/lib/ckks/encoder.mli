@@ -1,0 +1,14 @@
+(** CKKS encoding: real slot vectors ↔ scaled integer ring elements via
+    the canonical embedding ({!Fftc}). *)
+
+val encode :
+  Context.t -> level:int -> scale:float -> float array -> Poly.t
+(** Encode up to [n/2] real values (zero-extended) at the given scale
+    into an NTT-form plaintext polynomial at [level].  Scales above
+    [2^53] lose low-order rounding bits — an error ~[2^-53·|v|] relative
+    to the value, far below the scheme noise. *)
+
+val decode : Context.t -> scale:float -> Poly.t -> float array
+(** Decode a (plaintext) polynomial back to [n/2] real slot values.
+    Uses exact CRT reconstruction ({!Bigint}), so it is precise at any
+    level. *)

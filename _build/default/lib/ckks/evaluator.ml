@@ -1,0 +1,189 @@
+type ct = {
+  c0 : Poly.t;
+  c1 : Poly.t;
+  level : int;
+  scale : float;
+}
+
+let scale_mismatch_tolerance = 1e-3
+
+let fresh_sampler =
+  (* encryption randomness: distinct stream from keygen, deterministic
+     per process for reproducibility *)
+  Sampler.create ~seed:0x5EED5
+
+let encode_at (k : Keys.t) ~level ~scale values =
+  Encoder.encode k.Keys.ctx ~level ~scale values
+
+let encrypt (k : Keys.t) ~level ~scale values =
+  let ctx = k.Keys.ctx in
+  let n = ctx.Context.n in
+  let m = encode_at k ~level ~scale values in
+  let u =
+    Poly.to_ntt ctx
+      (Poly.of_coeff_array ctx ~level ~special:false
+         (Sampler.ternary fresh_sampler ~n))
+  in
+  let e0 =
+    Poly.to_ntt ctx
+      (Poly.of_coeff_array ctx ~level ~special:false
+         (Sampler.gaussian fresh_sampler ~n ()))
+  in
+  let e1 =
+    Poly.to_ntt ctx
+      (Poly.of_coeff_array ctx ~level ~special:false
+         (Sampler.gaussian fresh_sampler ~n ()))
+  in
+  let pb = Poly.restrict ctx k.Keys.pb ~level ~special:false in
+  let pa = Poly.restrict ctx k.Keys.pa ~level ~special:false in
+  { c0 = Poly.add ctx (Poly.add ctx (Poly.mul ctx pb u) e0) m;
+    c1 = Poly.add ctx (Poly.mul ctx pa u) e1;
+    level;
+    scale }
+
+let encrypt_sym (k : Keys.t) ~level ~scale values =
+  let ctx = k.Keys.ctx in
+  let n = ctx.Context.n in
+  let m = encode_at k ~level ~scale values in
+  let a = Sampler.uniform_ntt fresh_sampler ctx ~level ~special:false in
+  let e =
+    Poly.to_ntt ctx
+      (Poly.of_coeff_array ctx ~level ~special:false
+         (Sampler.gaussian fresh_sampler ~n ()))
+  in
+  let s = Poly.restrict ctx k.Keys.s ~level ~special:false in
+  { c0 = Poly.add ctx (Poly.add ctx (Poly.neg ctx (Poly.mul ctx a s)) e) m;
+    c1 = a;
+    level;
+    scale }
+
+let decrypt (k : Keys.t) ct =
+  let ctx = k.Keys.ctx in
+  let s = Poly.restrict ctx k.Keys.s ~level:ct.level ~special:false in
+  let m = Poly.add ctx ct.c0 (Poly.mul ctx ct.c1 s) in
+  Encoder.decode ctx ~scale:ct.scale m
+
+let check_binop a b =
+  if a.level <> b.level then invalid_arg "Evaluator: level mismatch";
+  let rel = Float.abs (a.scale -. b.scale) /. Float.max a.scale b.scale in
+  if rel > scale_mismatch_tolerance then
+    invalid_arg
+      (Printf.sprintf "Evaluator: scale mismatch beyond tolerance (%g vs %g)"
+         a.scale b.scale)
+
+let add (k : Keys.t) a b =
+  check_binop a b;
+  let ctx = k.Keys.ctx in
+  { a with
+    c0 = Poly.add ctx a.c0 b.c0;
+    c1 = Poly.add ctx a.c1 b.c1;
+    scale = Float.max a.scale b.scale }
+
+let sub (k : Keys.t) a b =
+  check_binop a b;
+  let ctx = k.Keys.ctx in
+  { a with
+    c0 = Poly.sub ctx a.c0 b.c0;
+    c1 = Poly.sub ctx a.c1 b.c1;
+    scale = Float.max a.scale b.scale }
+
+let neg (k : Keys.t) a =
+  let ctx = k.Keys.ctx in
+  { a with c0 = Poly.neg ctx a.c0; c1 = Poly.neg ctx a.c1 }
+
+let add_plain (k : Keys.t) a values =
+  let m = encode_at k ~level:a.level ~scale:a.scale values in
+  { a with c0 = Poly.add k.Keys.ctx a.c0 m }
+
+let sub_plain (k : Keys.t) a values =
+  let m = encode_at k ~level:a.level ~scale:a.scale values in
+  { a with c0 = Poly.sub k.Keys.ctx a.c0 m }
+
+(* Σ_j [x]_{q_j} · ksk_j, then divide by the special prime: returns the
+   (b, a) pair adding [x·target] under the secret key. *)
+let key_switch (k : Keys.t) x (sk : Keys.switch_key) =
+  let ctx = k.Keys.ctx in
+  let level = x.Poly.level in
+  let acc_b = ref (Poly.zero ctx ~level ~special:true ~ntt:true) in
+  let acc_a = ref (Poly.zero ctx ~level ~special:true ~ntt:true) in
+  for j = 0 to level - 1 do
+    let row = Array.copy x.Poly.data.(j) in
+    Ntt.inverse (Context.plan ctx j) row;
+    let d =
+      Poly.extend_row ctx ~level ~special:true
+        ~row_prime:(Context.prime ctx j) row
+    in
+    let kb = Poly.restrict ctx sk.Keys.kb.(j) ~level ~special:true in
+    let ka = Poly.restrict ctx sk.Keys.ka.(j) ~level ~special:true in
+    acc_b := Poly.add ctx !acc_b (Poly.mul ctx d kb);
+    acc_a := Poly.add ctx !acc_a (Poly.mul ctx d ka)
+  done;
+  (Poly.drop_last ctx !acc_b, Poly.drop_last ctx !acc_a)
+
+let mul (k : Keys.t) a b =
+  if a.level <> b.level then invalid_arg "Evaluator.mul: level mismatch";
+  let ctx = k.Keys.ctx in
+  let e0 = Poly.mul ctx a.c0 b.c0 in
+  let e1 = Poly.add ctx (Poly.mul ctx a.c0 b.c1) (Poly.mul ctx a.c1 b.c0) in
+  let e2 = Poly.mul ctx a.c1 b.c1 in
+  let rb, ra = key_switch k e2 k.Keys.relin in
+  { c0 = Poly.add ctx e0 rb;
+    c1 = Poly.add ctx e1 ra;
+    level = a.level;
+    scale = a.scale *. b.scale }
+
+let mul_plain (k : Keys.t) a ?scale values =
+  let ctx = k.Keys.ctx in
+  let pscale =
+    match scale with
+    | Some s -> s
+    | None -> Fhe_util.Bits.pow2f (ctx.Context.level_bits / 2)
+  in
+  let m = encode_at k ~level:a.level ~scale:pscale values in
+  { a with
+    c0 = Poly.mul ctx a.c0 m;
+    c1 = Poly.mul ctx a.c1 m;
+    scale = a.scale *. pscale }
+
+let rescale (k : Keys.t) a =
+  if a.level <= 1 then invalid_arg "Evaluator.rescale: bottom level";
+  let ctx = k.Keys.ctx in
+  let q = float_of_int ctx.Context.primes.(a.level - 1) in
+  { c0 = Poly.drop_last ctx a.c0;
+    c1 = Poly.drop_last ctx a.c1;
+    level = a.level - 1;
+    scale = a.scale /. q }
+
+let modswitch (k : Keys.t) a =
+  if a.level <= 1 then invalid_arg "Evaluator.modswitch: bottom level";
+  let ctx = k.Keys.ctx in
+  { a with
+    c0 = Poly.restrict ctx a.c0 ~level:(a.level - 1) ~special:false;
+    c1 = Poly.restrict ctx a.c1 ~level:(a.level - 1) ~special:false;
+    level = a.level - 1 }
+
+let upscale (k : Keys.t) a bits =
+  if bits <= 0 then invalid_arg "Evaluator.upscale: non-positive bits";
+  let ctx = k.Keys.ctx in
+  let factor pi =
+    Modarith.pow 2 bits ~m:(Context.prime ctx pi)
+  in
+  { a with
+    c0 = Poly.mul_scalar_fn ctx a.c0 factor;
+    c1 = Poly.mul_scalar_fn ctx a.c1 factor;
+    scale = a.scale *. Fhe_util.Bits.pow2f bits }
+
+let rotate (k : Keys.t) a steps =
+  let ctx = k.Keys.ctx in
+  let nh = Context.slot_count ctx in
+  let steps = Fhe_util.Bits.pos_rem steps nh in
+  if steps = 0 then a
+  else begin
+    Keys.add_rotation k steps;
+    let g = Keys.galois_element ctx steps in
+    let c0g = Poly.automorphism ctx a.c0 ~g in
+    let c1g = Poly.automorphism ctx a.c1 ~g in
+    let gk = Hashtbl.find k.Keys.galois steps in
+    let kb, ka = key_switch k c1g gk in
+    { a with c0 = Poly.add ctx c0g kb; c1 = ka }
+  end

@@ -1,0 +1,62 @@
+(** Homomorphic evaluation: the RNS-CKKS operations of Table 2 on real
+    ciphertexts.
+
+    Ciphertexts are pairs [(c0, c1)] with [m ≈ c0 + c1·s (mod Q_l)],
+    kept in NTT form, carrying their level and exact scale (a float:
+    rescaling divides by the actual dropped prime, not exactly [2^R]).
+    Scale drift between adds is tolerated up to a relative bound and
+    contributes to the (approximate) result like any other noise. *)
+
+type ct = {
+  c0 : Poly.t;
+  c1 : Poly.t;
+  level : int;
+  scale : float;
+}
+
+val encrypt :
+  Keys.t -> level:int -> scale:float -> float array -> ct
+(** Public-key encryption of up to [n/2] real slot values. *)
+
+val encrypt_sym :
+  Keys.t -> level:int -> scale:float -> float array -> ct
+(** Secret-key encryption (fresh randomness per call). *)
+
+val decrypt : Keys.t -> ct -> float array
+(** Decrypt and decode to [n/2] slot values. *)
+
+val add : Keys.t -> ct -> ct -> ct
+
+val sub : Keys.t -> ct -> ct -> ct
+
+val neg : Keys.t -> ct -> ct
+
+val add_plain : Keys.t -> ct -> float array -> ct
+(** Add a plaintext vector, encoded at the ciphertext's scale/level. *)
+
+val sub_plain : Keys.t -> ct -> float array -> ct
+
+val mul : Keys.t -> ct -> ct -> ct
+(** Ciphertext multiplication including relinearization; scales
+    multiply. *)
+
+val mul_plain : Keys.t -> ct -> ?scale:float -> float array -> ct
+(** Multiply by a plaintext encoded at [scale] (default [2^level_bits·½]
+    — pass the compiler's waterline for managed programs). *)
+
+val rescale : Keys.t -> ct -> ct
+(** Drop the top chain prime; scale divides by that prime. *)
+
+val modswitch : Keys.t -> ct -> ct
+(** Drop the top chain prime without touching the scale. *)
+
+val upscale : Keys.t -> ct -> int -> ct
+(** Multiply by the exact constant [2^bits] (noise-free). *)
+
+val rotate : Keys.t -> ct -> int -> ct
+(** Rotate slots left by [k] (Galois automorphism + key switch); the
+    Galois key is generated on demand if missing. *)
+
+val scale_mismatch_tolerance : float
+(** Maximum relative operand-scale mismatch [add] accepts (the RNS prime
+    drift bound; see DESIGN.md). *)

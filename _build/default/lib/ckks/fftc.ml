@@ -1,0 +1,93 @@
+type plan = {
+  n : int;  (* ring degree *)
+  nh : int;  (* slot count = n/2 *)
+  m : int;  (* 2n *)
+  ksi : Complex.t array;  (* ksi.(j) = exp(2πi·j/m), j in [0, m] *)
+  rot_group : int array;  (* 5^j mod m *)
+}
+
+let make_plan ~n =
+  assert (n >= 4 && n land (n - 1) = 0);
+  let nh = n / 2 in
+  let m = 2 * n in
+  let ksi =
+    Array.init (m + 1) (fun j ->
+        let t = 2.0 *. Float.pi *. float_of_int j /. float_of_int m in
+        { Complex.re = cos t; im = sin t })
+  in
+  let rot_group = Array.make nh 1 in
+  for j = 1 to nh - 1 do
+    rot_group.(j) <- rot_group.(j - 1) * 5 mod m
+  done;
+  { n; nh; m; ksi; rot_group }
+
+let slots t = t.nh
+
+let rot_group t = t.rot_group
+
+let bit_reverse_in_place a =
+  let n = Array.length a in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- tmp
+    end;
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit
+  done
+
+let embed t vals =
+  let size = Array.length vals in
+  assert (size = t.nh);
+  bit_reverse_in_place vals;
+  let len = ref 2 in
+  while !len <= size do
+    let lenh = !len / 2 in
+    let lenq = !len * 4 in
+    let i = ref 0 in
+    while !i < size do
+      for j = 0 to lenh - 1 do
+        let idx = t.rot_group.(j) mod lenq * (t.m / lenq) in
+        let u = vals.(!i + j) in
+        let v = Complex.mul vals.(!i + j + lenh) t.ksi.(idx) in
+        vals.(!i + j) <- Complex.add u v;
+        vals.(!i + j + lenh) <- Complex.sub u v
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let embed_inv t vals =
+  let size = Array.length vals in
+  assert (size = t.nh);
+  let len = ref size in
+  while !len >= 2 do
+    let lenh = !len / 2 in
+    let lenq = !len * 4 in
+    let i = ref 0 in
+    while !i < size do
+      for j = 0 to lenh - 1 do
+        let idx = (lenq - (t.rot_group.(j) mod lenq)) * (t.m / lenq) in
+        let u = Complex.add vals.(!i + j) vals.(!i + j + lenh) in
+        let v =
+          Complex.mul (Complex.sub vals.(!i + j) vals.(!i + j + lenh)) t.ksi.(idx)
+        in
+        vals.(!i + j) <- u;
+        vals.(!i + j + lenh) <- v
+      done;
+      i := !i + !len
+    done;
+    len := !len / 2
+  done;
+  bit_reverse_in_place vals;
+  let inv = 1.0 /. float_of_int size in
+  for i = 0 to size - 1 do
+    vals.(i) <- { Complex.re = vals.(i).Complex.re *. inv; im = vals.(i).Complex.im *. inv }
+  done

@@ -1,0 +1,26 @@
+(** The special complex FFT of the CKKS canonical embedding.
+
+    CKKS encodes a vector of [N/2] complex slots as the evaluations of a
+    real-coefficient polynomial at the odd 2N-th roots of unity indexed
+    by the multiplicative orbit of 5 (the "rot group") — so that slot
+    rotation is a Galois automorphism.  [embed] maps coefficients to
+    slots (decode direction); [embed_inv] is its inverse (encode
+    direction).  Structure follows the HEAAN reference implementation. *)
+
+type plan
+
+val make_plan : n:int -> plan
+(** [n] is the ring degree (power of two ≥ 4); the slot count is [n/2]. *)
+
+val slots : plan -> int
+
+val embed : plan -> Complex.t array -> unit
+(** In-place special FFT over [n/2] values (coefficients → slots). *)
+
+val embed_inv : plan -> Complex.t array -> unit
+(** In-place inverse (slots → coefficients); exact inverse of {!embed}
+    up to floating-point rounding. *)
+
+val rot_group : plan -> int array
+(** [5^j mod 2n] for [j < n/2] — the Galois elements implementing slot
+    rotations (shared with the evaluator). *)

@@ -1,0 +1,79 @@
+type switch_key = {
+  kb : Poly.t array;
+  ka : Poly.t array;
+}
+
+type t = {
+  ctx : Context.t;
+  s : Poly.t;
+  pb : Poly.t;
+  pa : Poly.t;
+  relin : switch_key;
+  galois : (int, switch_key) Hashtbl.t;
+  sampler : Sampler.t;
+}
+
+let galois_element (ctx : Context.t) k =
+  let nh = Context.slot_count ctx in
+  let k = Fhe_util.Bits.pos_rem k nh in
+  (Fftc.rot_group ctx.Context.fft).(k)
+
+(* Key for switching [target·(something)] onto s: digit j encrypts
+   e_j + P·target on residue row j. *)
+let make_switch_key (ctx : Context.t) sampler ~s ~target =
+  let levels = ctx.Context.levels in
+  let n = ctx.Context.n in
+  let kb = Array.make levels s and ka = Array.make levels s in
+  for j = 0 to levels - 1 do
+    let a = Sampler.uniform_ntt sampler ctx ~level:levels ~special:true in
+    let e =
+      Poly.to_ntt ctx
+        (Poly.of_coeff_array ctx ~level:levels ~special:true
+           (Sampler.gaussian sampler ~n ()))
+    in
+    let gadget =
+      Poly.mul_scalar_fn ctx target (fun pi ->
+          if pi = j then ctx.Context.special else 0)
+    in
+    let b =
+      Poly.add ctx (Poly.add ctx (Poly.neg ctx (Poly.mul ctx a s)) e) gadget
+    in
+    kb.(j) <- b;
+    ka.(j) <- a
+  done;
+  { kb; ka }
+
+let make_galois_key t k =
+  let g = galois_element t.ctx k in
+  let s_g = Poly.automorphism t.ctx t.s ~g in
+  make_switch_key t.ctx t.sampler ~s:t.s ~target:s_g
+
+let add_rotation t k =
+  let nh = Context.slot_count t.ctx in
+  let k = Fhe_util.Bits.pos_rem k nh in
+  if k <> 0 && not (Hashtbl.mem t.galois k) then
+    Hashtbl.replace t.galois k (make_galois_key t k)
+
+let keygen ?(seed = 0xC0FFEE) ?(rotations = []) ctx =
+  let sampler = Sampler.create ~seed in
+  let n = ctx.Context.n in
+  let levels = ctx.Context.levels in
+  let s_coeffs = Sampler.ternary sampler ~n in
+  let s =
+    Poly.to_ntt ctx (Poly.of_coeff_array ctx ~level:levels ~special:true s_coeffs)
+  in
+  let s_top = Poly.restrict ctx s ~level:levels ~special:false in
+  let pa_full = Sampler.uniform_ntt sampler ctx ~level:levels ~special:false in
+  let pe =
+    Poly.to_ntt ctx
+      (Poly.of_coeff_array ctx ~level:levels ~special:false
+         (Sampler.gaussian sampler ~n ()))
+  in
+  let pb = Poly.add ctx (Poly.neg ctx (Poly.mul ctx pa_full s_top)) pe in
+  let s2 = Poly.mul ctx s s in
+  let relin = make_switch_key ctx sampler ~s ~target:s2 in
+  let t =
+    { ctx; s; pb; pa = pa_full; relin; galois = Hashtbl.create 16; sampler }
+  in
+  List.iter (add_rotation t) rotations;
+  t

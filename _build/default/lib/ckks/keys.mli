@@ -1,0 +1,34 @@
+(** Key material: secret/public keys, relinearization and Galois
+    (rotation) switch keys.
+
+    Switch keys use the RNS per-prime decomposition with a special
+    modulus: the key for digit [j] encrypts [P·target] on residue row
+    [j] only, so [Σ_j \[x\]_{q_j} · ksk_j ≡ P·x·target (mod Q_l·P)] at
+    {e any} level [l] — one key set serves the whole modulus chain. *)
+
+type switch_key = {
+  kb : Poly.t array;  (** per digit: b_j = −a_j·s + e_j + P·target (row j) *)
+  ka : Poly.t array;
+}
+
+type t = {
+  ctx : Context.t;
+  s : Poly.t;  (** secret key, full basis, NTT *)
+  pb : Poly.t;  (** public key b = −a·s + e (top level, no special) *)
+  pa : Poly.t;
+  relin : switch_key;  (** switches s² → s *)
+  galois : (int, switch_key) Hashtbl.t;  (** per rotation step k *)
+  sampler : Sampler.t;  (** for lazily generated Galois keys *)
+}
+
+val keygen : ?seed:int -> ?rotations:int list -> Context.t -> t
+(** Generate all key material; [rotations] lists the slot-rotation
+    amounts that will be used (Galois keys are per-amount). *)
+
+val add_rotation : t -> int -> unit
+(** Generate (idempotently) the Galois key for one more rotation
+    amount. *)
+
+val galois_element : Context.t -> int -> int
+(** The ring automorphism exponent [5^k mod 2n] implementing a left
+    rotation by [k] slots. *)

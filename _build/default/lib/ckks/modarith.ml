@@ -1,0 +1,26 @@
+let max_modulus_bits = 30
+
+let add a b ~m =
+  let s = a + b in
+  if s >= m then s - m else s
+
+let sub a b ~m =
+  let d = a - b in
+  if d < 0 then d + m else d
+
+let mul a b ~m = a * b mod m
+
+let neg a ~m = if a = 0 then 0 else m - a
+
+let rec pow b e ~m =
+  if e = 0 then 1
+  else begin
+    let h = pow (mul b b ~m) (e / 2) ~m in
+    if e land 1 = 1 then mul b h ~m else h
+  end
+
+let inv a ~m =
+  if a = 0 then invalid_arg "Modarith.inv: zero";
+  pow a (m - 2) ~m
+
+let center a ~m = if a > m / 2 then a - m else a

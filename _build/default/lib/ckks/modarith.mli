@@ -1,0 +1,27 @@
+(** Arithmetic modulo word-sized primes.
+
+    All moduli in this backend are NTT-friendly primes below [2^30], so
+    products of two residues fit comfortably in OCaml's 63-bit native
+    integers — no 128-bit emulation needed (this is why the backend uses
+    ~28-bit prime chains instead of SEAL's 60-bit ones; see DESIGN.md). *)
+
+val max_modulus_bits : int
+(** 30: moduli must be below [2^30]. *)
+
+val add : int -> int -> m:int -> int
+
+val sub : int -> int -> m:int -> int
+
+val mul : int -> int -> m:int -> int
+
+val neg : int -> m:int -> int
+
+val pow : int -> int -> m:int -> int
+(** [pow b e ~m] with [e >= 0], by square-and-multiply. *)
+
+val inv : int -> m:int -> int
+(** Inverse modulo a prime [m] (Fermat). @raise Invalid_argument on 0. *)
+
+val center : int -> m:int -> int
+(** Map a residue to its centered representative in
+    [(-m/2, m/2\]]. *)

@@ -1,0 +1,91 @@
+type plan = {
+  n : int;
+  p : int;
+  (* ψ^bitrev(i) tables, the standard Harvey/Longa–Naehrig layout *)
+  psi : int array;
+  psi_inv : int array;
+  n_inv : int;
+}
+
+let bit_reverse x bits =
+  let r = ref 0 in
+  for i = 0 to bits - 1 do
+    if x land (1 lsl i) <> 0 then r := !r lor (1 lsl (bits - 1 - i))
+  done;
+  !r
+
+let make_plan ~n ~p =
+  assert (n > 0 && n land (n - 1) = 0);
+  let bits =
+    let rec go b k = if k = 1 then b else go (b + 1) (k / 2) in
+    go 0 n
+  in
+  let root = Primes.primitive_root ~p ~two_n:(2 * n) in
+  let root_inv = Modarith.inv root ~m:p in
+  let tab r =
+    let a = Array.make n 0 in
+    let cur = ref 1 in
+    let plainpow = Array.make n 0 in
+    for i = 0 to n - 1 do
+      plainpow.(i) <- !cur;
+      cur := Modarith.mul !cur r ~m:p
+    done;
+    for i = 0 to n - 1 do
+      a.(i) <- plainpow.(bit_reverse i bits)
+    done;
+    a
+  in
+  { n;
+    p;
+    psi = tab root;
+    psi_inv = tab root_inv;
+    n_inv = Modarith.inv n ~m:p }
+
+let modulus t = t.p
+
+let size t = t.n
+
+(* Cooley–Tukey butterfly forward NTT with ψ folded in. *)
+let forward t a =
+  let p = t.p in
+  let n = t.n in
+  let m = ref 1 and len = ref (n / 2) in
+  while !len >= 1 do
+    let start = ref 0 in
+    for i = 0 to !m - 1 do
+      let w = t.psi.(!m + i) in
+      for j = !start to !start + !len - 1 do
+        let u = a.(j) in
+        let v = Modarith.mul a.(j + !len) w ~m:p in
+        a.(j) <- Modarith.add u v ~m:p;
+        a.(j + !len) <- Modarith.sub u v ~m:p
+      done;
+      start := !start + (2 * !len)
+    done;
+    m := !m * 2;
+    len := !len / 2
+  done
+
+(* Gentleman–Sande inverse with ψ^{-1} folded in. *)
+let inverse t a =
+  let p = t.p in
+  let n = t.n in
+  let m = ref (n / 2) and len = ref 1 in
+  while !m >= 1 do
+    let start = ref 0 in
+    for i = 0 to !m - 1 do
+      let w = t.psi_inv.(!m + i) in
+      for j = !start to !start + !len - 1 do
+        let u = a.(j) in
+        let v = a.(j + !len) in
+        a.(j) <- Modarith.add u v ~m:p;
+        a.(j + !len) <- Modarith.mul (Modarith.sub u v ~m:p) w ~m:p
+      done;
+      start := !start + (2 * !len)
+    done;
+    m := !m / 2;
+    len := !len * 2
+  done;
+  for i = 0 to n - 1 do
+    a.(i) <- Modarith.mul a.(i) t.n_inv ~m:p
+  done

@@ -1,0 +1,23 @@
+(** Negacyclic number-theoretic transform over [Z_p\[X\]/(X^n + 1)].
+
+    Standard ψ-twisted radix-2 NTT (Cooley–Tukey decimation-in-time
+    forward, Gentleman–Sande inverse) with ψ a primitive 2n-th root of
+    unity, so pointwise products in the transform domain implement
+    negacyclic convolution directly. *)
+
+type plan
+
+val make_plan : n:int -> p:int -> plan
+(** Precompute twiddle tables for size [n] (a power of two) modulo the
+    NTT-friendly prime [p ≡ 1 (mod 2n)]. *)
+
+val modulus : plan -> int
+
+val size : plan -> int
+
+val forward : plan -> int array -> unit
+(** In-place forward transform (coefficient → evaluation order). *)
+
+val inverse : plan -> int array -> unit
+(** In-place inverse transform; [inverse plan (forward plan a)] is the
+    identity. *)

@@ -1,0 +1,175 @@
+type t = {
+  level : int;
+  special : bool;
+  ntt : bool;
+  data : int array array;
+}
+
+let rows t = t.level + if t.special then 1 else 0
+
+(* basis-prime index of row r: 0..level-1 are chain primes, the special
+   row maps to Context index [levels] *)
+let prime_index (ctx : Context.t) t r =
+  if r < t.level then r
+  else begin
+    assert t.special;
+    ctx.Context.levels
+  end
+
+let zero (ctx : Context.t) ~level ~special ~ntt =
+  let nrows = level + if special then 1 else 0 in
+  { level; special; ntt;
+    data = Array.init nrows (fun _ -> Array.make ctx.Context.n 0) }
+
+let copy t = { t with data = Array.map Array.copy t.data }
+
+let of_coeff_array (ctx : Context.t) ~level ~special coeffs =
+  assert (Array.length coeffs = ctx.Context.n);
+  let t = zero ctx ~level ~special ~ntt:false in
+  for r = 0 to rows t - 1 do
+    let q = Context.prime ctx (prime_index ctx t r) in
+    let row = t.data.(r) in
+    for j = 0 to ctx.Context.n - 1 do
+      row.(j) <- Fhe_util.Bits.pos_rem coeffs.(j) q
+    done
+  done;
+  t
+
+let to_ntt (ctx : Context.t) t =
+  if t.ntt then t
+  else begin
+    let t' = copy t in
+    for r = 0 to rows t - 1 do
+      Ntt.forward (Context.plan ctx (prime_index ctx t r)) t'.data.(r)
+    done;
+    { t' with ntt = true }
+  end
+
+let of_ntt (ctx : Context.t) t =
+  if not t.ntt then t
+  else begin
+    let t' = copy t in
+    for r = 0 to rows t - 1 do
+      Ntt.inverse (Context.plan ctx (prime_index ctx t r)) t'.data.(r)
+    done;
+    { t' with ntt = false }
+  end
+
+let check_compat a b =
+  if a.level <> b.level || a.special <> b.special || a.ntt <> b.ntt then
+    invalid_arg "Poly: basis/form mismatch"
+
+let map2 (ctx : Context.t) f a b =
+  check_compat a b;
+  let out = copy a in
+  for r = 0 to rows a - 1 do
+    let q = Context.prime ctx (prime_index ctx a r) in
+    let ra = a.data.(r) and rb = b.data.(r) and ro = out.data.(r) in
+    for j = 0 to ctx.Context.n - 1 do
+      ro.(j) <- f ra.(j) rb.(j) q
+    done
+  done;
+  out
+
+let add ctx a b = map2 ctx (fun x y q -> Modarith.add x y ~m:q) a b
+
+let sub ctx a b = map2 ctx (fun x y q -> Modarith.sub x y ~m:q) a b
+
+let mul ctx a b =
+  if not (a.ntt && b.ntt) then invalid_arg "Poly.mul: operands must be NTT";
+  map2 ctx (fun x y q -> Modarith.mul x y ~m:q) a b
+
+let neg (ctx : Context.t) a =
+  let out = copy a in
+  for r = 0 to rows a - 1 do
+    let q = Context.prime ctx (prime_index ctx a r) in
+    let ro = out.data.(r) in
+    for j = 0 to ctx.Context.n - 1 do
+      ro.(j) <- Modarith.neg ro.(j) ~m:q
+    done
+  done;
+  out
+
+let mul_scalar_fn (ctx : Context.t) a scalar_of =
+  let out = copy a in
+  for r = 0 to rows a - 1 do
+    let pi = prime_index ctx a r in
+    let q = Context.prime ctx pi in
+    let s = Fhe_util.Bits.pos_rem (scalar_of pi) q in
+    let ro = out.data.(r) in
+    for j = 0 to ctx.Context.n - 1 do
+      ro.(j) <- Modarith.mul ro.(j) s ~m:q
+    done
+  done;
+  out
+
+let drop_last (ctx : Context.t) t =
+  if not t.ntt then invalid_arg "Poly.drop_last: expected NTT form";
+  let last_row = rows t - 1 in
+  let last_pi = prime_index ctx t last_row in
+  let q_last = Context.prime ctx last_pi in
+  (* bring the dropped component to coefficient form *)
+  let dropped = Array.copy t.data.(last_row) in
+  Ntt.inverse (Context.plan ctx last_pi) dropped;
+  let out =
+    if t.special then zero ctx ~level:t.level ~special:false ~ntt:true
+    else zero ctx ~level:(t.level - 1) ~special:false ~ntt:true
+  in
+  for r = 0 to rows out - 1 do
+    let pi = prime_index ctx out r in
+    let q = Context.prime ctx pi in
+    let inv_last = Modarith.inv (q_last mod q) ~m:q in
+    (* centered lift of the dropped component, reduced mod q, in NTT *)
+    let lifted = Array.make ctx.Context.n 0 in
+    for j = 0 to ctx.Context.n - 1 do
+      lifted.(j) <- Fhe_util.Bits.pos_rem (Modarith.center dropped.(j) ~m:q_last) q
+    done;
+    Ntt.forward (Context.plan ctx pi) lifted;
+    let src = t.data.(r) and dst = out.data.(r) in
+    for j = 0 to ctx.Context.n - 1 do
+      dst.(j) <- Modarith.mul (Modarith.sub src.(j) lifted.(j) ~m:q) inv_last ~m:q
+    done
+  done;
+  out
+
+let extend_row (ctx : Context.t) ~level ~special ~row_prime coeffs =
+  let out = zero ctx ~level ~special ~ntt:false in
+  for r = 0 to rows out - 1 do
+    let pi = prime_index ctx out r in
+    let q = Context.prime ctx pi in
+    let dst = out.data.(r) in
+    for j = 0 to ctx.Context.n - 1 do
+      dst.(j) <- Fhe_util.Bits.pos_rem (Modarith.center coeffs.(j) ~m:row_prime) q
+    done
+  done;
+  to_ntt ctx { out with ntt = false }
+
+let automorphism (ctx : Context.t) t ~g =
+  let n = ctx.Context.n in
+  if g land 1 = 0 then invalid_arg "Poly.automorphism: g must be odd";
+  let was_ntt = t.ntt in
+  let t = of_ntt ctx t in
+  let out = zero ctx ~level:t.level ~special:t.special ~ntt:false in
+  for r = 0 to rows t - 1 do
+    let q = Context.prime ctx (prime_index ctx t r) in
+    let src = t.data.(r) and dst = out.data.(r) in
+    for j = 0 to n - 1 do
+      let k = j * g mod (2 * n) in
+      if k < n then dst.(k) <- src.(j)
+      else dst.(k - n) <- Modarith.neg src.(j) ~m:q
+    done
+  done;
+  if was_ntt then to_ntt ctx out else out
+
+let equal_basis a b = a.level = b.level && a.special = b.special
+
+let restrict (ctx : Context.t) t ~level ~special =
+  ignore ctx;
+  if level > t.level || (special && not t.special) then
+    invalid_arg "Poly.restrict: cannot grow a basis";
+  let keep =
+    Array.init (level + if special then 1 else 0) (fun r ->
+        if r < level then Array.copy t.data.(r)
+        else Array.copy t.data.(rows t - 1))
+  in
+  { level; special; ntt = t.ntt; data = keep }

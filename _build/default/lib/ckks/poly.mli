@@ -1,0 +1,63 @@
+(** RNS polynomials over [Z_Q\[X\]/(X^n + 1)].
+
+    A polynomial lives in a basis of [level] chain primes (rows
+    [0..level-1]) optionally extended by the special prime (last row).
+    Ciphertext polynomials are kept in NTT (evaluation) form; the few
+    operations that need coefficients (rescale, key-switch
+    decomposition, automorphism, decoding) convert transiently. *)
+
+type t = {
+  level : int;
+  special : bool;
+  ntt : bool;
+  data : int array array;  (** one row of [n] residues per basis prime *)
+}
+
+val zero : Context.t -> level:int -> special:bool -> ntt:bool -> t
+
+val copy : t -> t
+
+val of_coeff_array : Context.t -> level:int -> special:bool -> int array -> t
+(** Lift small signed coefficients into every basis row (coeff form). *)
+
+val to_ntt : Context.t -> t -> t
+(** No-op if already in NTT form. *)
+
+val of_ntt : Context.t -> t -> t
+(** Inverse transform; no-op if already in coefficient form. *)
+
+val add : Context.t -> t -> t -> t
+
+val sub : Context.t -> t -> t -> t
+
+val neg : Context.t -> t -> t
+
+val mul : Context.t -> t -> t -> t
+(** Pointwise product; both operands must be in NTT form with equal
+    bases. *)
+
+val mul_scalar_fn : Context.t -> t -> (int -> int) -> t
+(** Multiply row [i] by [scalar_of_prime_index i] (mod that prime);
+    index [levels] means the special row. *)
+
+val drop_last : Context.t -> t -> t
+(** Exact RNS division by the last basis prime with centered rounding —
+    the arithmetic core of [rescale] (drops the top chain prime) and of
+    the key-switch mod-down (drops the special prime).  Input in NTT
+    form; output in NTT form. *)
+
+val extend_row : Context.t -> level:int -> special:bool -> row_prime:int ->
+  int array -> t
+(** Base-extend coefficients known mod [row_prime] (coeff form, centered
+    lift) into a full (level, special) basis, returned in NTT form. *)
+
+val automorphism : Context.t -> t -> g:int -> t
+(** Apply the Galois map [X ↦ X^g] ([g] odd, mod [2n]); any form, result
+    in the same form as the input. *)
+
+val equal_basis : t -> t -> bool
+
+val restrict : Context.t -> t -> level:int -> special:bool -> t
+(** Keep only the first [level] chain rows (and the special row if
+    requested): reduction mod a smaller modulus, which in RNS is just
+    dropping rows.  @raise Invalid_argument when growing the basis. *)

@@ -1,0 +1,72 @@
+(* Deterministic Miller–Rabin: bases {2, 3, 5, 7} decide primality for
+   all n < 3,215,031,751 > 2^31. *)
+let is_prime n =
+  if n < 2 then false
+  else if n mod 2 = 0 then n = 2
+  else begin
+    let d = ref (n - 1) and r = ref 0 in
+    while !d mod 2 = 0 do
+      d := !d / 2;
+      incr r
+    done;
+    let witness a =
+      if a mod n = 0 then false
+      else begin
+        let x = ref (Modarith.pow (a mod n) !d ~m:n) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let composite = ref true in
+          (try
+             for _ = 1 to !r - 1 do
+               x := Modarith.mul !x !x ~m:n;
+               if !x = n - 1 then begin
+                 composite := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !composite
+        end
+      end
+    in
+    not (List.exists witness [ 2; 3; 5; 7 ])
+  end
+
+let ntt_prime_chain ~n ~bits ~count =
+  if bits >= Modarith.max_modulus_bits then
+    invalid_arg "Primes.ntt_prime_chain: bits must be < 30";
+  let step = 2 * n in
+  let base = 1 lsl bits in
+  (* candidates ≡ 1 (mod 2n), alternating below/above 2^bits *)
+  let start = (base / step * step) + 1 in
+  let found = ref [] and nfound = ref 0 and k = ref 0 in
+  while !nfound < count do
+    let cand =
+      if !k mod 2 = 0 then start + (!k / 2 * step)
+      else start - (((!k / 2) + 1) * step)
+    in
+    incr k;
+    if cand > step && cand < 1 lsl Modarith.max_modulus_bits then begin
+      if is_prime cand && not (List.mem cand !found) then begin
+        found := cand :: !found;
+        incr nfound
+      end
+    end
+    else if cand >= 1 lsl Modarith.max_modulus_bits && start - ((!k / 2) + 1) * step <= step
+    then invalid_arg "Primes.ntt_prime_chain: not enough primes in range"
+  done;
+  List.rev !found
+
+let primitive_root ~p ~two_n =
+  if (p - 1) mod two_n <> 0 then
+    invalid_arg "Primes.primitive_root: p-1 not divisible by 2n";
+  let cofactor = (p - 1) / two_n in
+  let rec search g =
+    if g >= p then invalid_arg "Primes.primitive_root: none found"
+    else begin
+      let cand = Modarith.pow g cofactor ~m:p in
+      (* cand has order dividing two_n; check it's exactly two_n *)
+      if Modarith.pow cand (two_n / 2) ~m:p = p - 1 then cand else search (g + 1)
+    end
+  in
+  search 2

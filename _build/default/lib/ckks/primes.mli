@@ -1,0 +1,19 @@
+(** NTT-friendly prime generation.
+
+    An RNS-CKKS modulus chain needs primes [p ≡ 1 (mod 2N)] so that the
+    2N-th roots of unity exist for the negacyclic NTT.  Primality is
+    decided exactly below [2^32] with deterministic Miller–Rabin. *)
+
+val is_prime : int -> bool
+(** Exact for inputs below [2^32]. *)
+
+val ntt_prime_chain : n:int -> bits:int -> count:int -> int list
+(** [ntt_prime_chain ~n ~bits ~count] returns [count] distinct primes
+    [p ≡ 1 (mod 2n)] as close to [2^bits] as possible (alternating
+    above/below so products stay near [2^(bits·count)]).
+    @raise Invalid_argument if [bits >= 30] or not enough primes exist
+    in range. *)
+
+val primitive_root : p:int -> two_n:int -> int
+(** A primitive [two_n]-th root of unity mod [p]
+    (requires [p ≡ 1 (mod two_n)]). *)

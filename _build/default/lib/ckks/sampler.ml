@@ -1,0 +1,22 @@
+type t = Fhe_util.Prng.t
+
+let create ~seed = Fhe_util.Prng.create seed
+
+let ternary g ~n = Array.init n (fun _ -> Fhe_util.Prng.int g 3 - 1)
+
+let gaussian g ~n ?(sigma = 3.2) () =
+  Array.init n (fun _ ->
+      int_of_float (Float.round (sigma *. Fhe_util.Prng.gaussian g)))
+
+let uniform_ntt g (ctx : Context.t) ~level ~special =
+  let p = Poly.zero ctx ~level ~special ~ntt:true in
+  Array.iteri
+    (fun r row ->
+      let q =
+        Context.prime ctx (if r < level then r else ctx.Context.levels)
+      in
+      for j = 0 to ctx.Context.n - 1 do
+        row.(j) <- Fhe_util.Prng.int g q
+      done)
+    p.Poly.data;
+  p

@@ -1,0 +1,17 @@
+(** Randomness for key generation and encryption. *)
+
+type t
+
+val create : seed:int -> t
+
+val ternary : t -> n:int -> int array
+(** Uniform coefficients in [{-1, 0, 1}] (secret keys, encryption
+    randomness). *)
+
+val gaussian : t -> n:int -> ?sigma:float -> unit -> int array
+(** Rounded Gaussian error coefficients (default σ = 3.2, the standard
+    R-LWE error width). *)
+
+val uniform_ntt : t -> Context.t -> level:int -> special:bool -> Poly.t
+(** A uniformly random ring element, sampled directly in NTT form
+    (valid because the NTT is a bijection per prime). *)

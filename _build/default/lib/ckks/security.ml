@@ -1,0 +1,46 @@
+type level = B128 | B192 | B256
+
+(* homomorphicencryption.org standard, ternary secret, classical *)
+let table =
+  [ (1024, (27, 19, 14));
+    (2048, (54, 37, 29));
+    (4096, (109, 75, 58));
+    (8192, (218, 152, 118));
+    (16384, (438, 305, 237));
+    (32768, (881, 611, 476)) ]
+
+let max_total_modulus_bits ~n level =
+  match List.assoc_opt n table with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Security.max_total_modulus_bits: no standard entry for n = %d" n)
+  | Some (b128, b192, b256) -> (
+      match level with B128 -> b128 | B192 -> b192 | B256 -> b256)
+
+let total_modulus_bits (ctx : Context.t) =
+  let bits = ref 0.0 in
+  Array.iter
+    (fun q -> bits := !bits +. Fhe_util.Bits.log2f (float_of_int q))
+    ctx.Context.primes;
+  bits := !bits +. Fhe_util.Bits.log2f (float_of_int ctx.Context.special);
+  int_of_float (Float.ceil !bits)
+
+let name = function B128 -> "128" | B192 -> "192" | B256 -> "256"
+
+let check ctx level =
+  let have = total_modulus_bits ctx in
+  match max_total_modulus_bits ~n:ctx.Context.n level with
+  | exception Invalid_argument m -> Error m
+  | budget ->
+      if have <= budget then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "modulus is %d bits but %s-bit security at n = %d allows only %d"
+             have (name level) ctx.Context.n budget)
+
+let classify ctx =
+  List.find_opt
+    (fun lv -> Result.is_ok (check ctx lv))
+    [ B256; B192; B128 ]

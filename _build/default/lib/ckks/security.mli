@@ -1,0 +1,24 @@
+(** Security estimation for context parameters.
+
+    The homomorphic encryption standard (homomorphicencryption.org,
+    ternary secrets, classical attacks) tabulates the largest total
+    modulus [log2 (Q·P)] admissible per ring degree at 128/192/256-bit
+    security; the paper fixes 128-bit for all experiments.  These checks
+    gate the toy backend the same way SEAL's validator gates it. *)
+
+type level = B128 | B192 | B256
+
+val max_total_modulus_bits : n:int -> level -> int
+(** Largest [log2] of the full modulus (chain primes × special prime)
+    at the given ring degree and security level.
+    @raise Invalid_argument for degrees outside 1024..32768. *)
+
+val total_modulus_bits : Context.t -> int
+(** [log2] (rounded up) of this context's full modulus, special prime
+    included. *)
+
+val check : Context.t -> level -> (unit, string) result
+(** Whether the context satisfies the security level. *)
+
+val classify : Context.t -> level option
+(** The strongest standard level the context meets, if any. *)

@@ -1,0 +1,1 @@
+lib/core/allocation.mli: Fhe_ir Program Rtype

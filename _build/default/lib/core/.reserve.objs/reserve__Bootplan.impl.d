@@ -1,0 +1,1 @@
+lib/core/bootplan.ml: Analysis Array Builder Fhe_cost Fhe_ir Fhe_util List Managed Op Pipeline Printf Program Result

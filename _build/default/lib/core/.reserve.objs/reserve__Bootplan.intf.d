@@ -1,0 +1,1 @@
+lib/core/bootplan.mli: Fhe_ir Managed Program

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Allocation Fhe_ir Fhe_util Ordering Placement Rtype Validator

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Fhe_ir Managed Program

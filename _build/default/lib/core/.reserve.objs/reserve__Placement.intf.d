@@ -1,0 +1,1 @@
+lib/core/placement.mli: Allocation Fhe_ir Managed Program

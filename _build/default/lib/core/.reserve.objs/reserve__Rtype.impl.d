@@ -1,0 +1,1 @@
+lib/core/rtype.ml: Fhe_util

@@ -1,0 +1,181 @@
+open Fhe_ir
+
+type t = {
+  prm : Rtype.params;
+  rho : int array;
+  mul_level : int array;
+  rin : int array array;
+  mismatched : bool array;
+}
+
+exception Refused
+
+(* Slot-indexed operand access. *)
+let operand_array k = Array.of_list (Op.operands k)
+
+let run prm ?(redistribute = true) ?(output_reserve = 0) ~order prog =
+  Program.iteri
+    (fun _ k ->
+      if Op.is_scale_mgmt k then
+        invalid_arg "Allocation.run: program already scale-managed")
+    prog;
+  let n = Program.n_ops prog in
+  let is_c i = Program.vtype prog i = Op.Cipher in
+  let rho = Array.make n (-1) in
+  let mul_level = Array.make n (-1) in
+  let mismatched = Array.make n false in
+  let rin =
+    Array.init n (fun i ->
+        let ops = operand_array (Program.kind prog i) in
+        Array.map (fun _ -> -1) ops)
+  in
+  let opnds = Array.init n (fun i -> operand_array (Program.kind prog i)) in
+  (* Edges into each value: (user op, slot) pairs. *)
+  let edges = Array.make n [] in
+  Program.iteri
+    (fun u k ->
+      List.iteri (fun slot o -> edges.(o) <- (u, slot) :: edges.(o)) (Op.operands k))
+    prog;
+  let processed = Array.make n false in
+
+  (* ------------------------------------------------------------------
+     Redistribution (§6.3).  All updates are tentative until commit. *)
+  let try_lower root target =
+    let trho : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let trin : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+    let get_rho v =
+      match Hashtbl.find_opt trho v with Some x -> x | None -> rho.(v)
+    in
+    let get_rin u slot =
+      match Hashtbl.find_opt trin (u, slot) with
+      | Some x -> x
+      | None -> rin.(u).(slot)
+    in
+    let set_rin u slot x = Hashtbl.replace trin (u, slot) x in
+    let rec lower v target depthk =
+      if target < 0 || depthk > 64 then raise Refused;
+      if get_rho v > target then begin
+        List.iter
+          (fun (u, slot) ->
+            let cur = get_rin u slot in
+            if cur > target then begin
+              let delta = cur - target in
+              match Program.kind prog u with
+              | Op.Mul (a, b) when is_c a && is_c b ->
+                  (* shift delta onto the sibling operand *)
+                  let sib = 1 - slot in
+                  let w = opnds.(u).(sib) in
+                  if w = v then raise Refused (* squaring: nothing to shift to *);
+                  let l = mul_level.(u) in
+                  let nsib = get_rin u sib + delta in
+                  if nsib > Rtype.max_reserve_for_level prm l then raise Refused;
+                  (* the lowered edge must keep its principal level *)
+                  if Rtype.principal_level prm target <> l then raise Refused;
+                  if processed.(w) && nsib > get_rho w then raise Refused;
+                  set_rin u slot target;
+                  set_rin u sib nsib
+              | Op.Mul _ ->
+                  (* cipher×plain: the cipher demand is rho(u) + wbits *)
+                  let nru = get_rho u - delta in
+                  if Rtype.mul_operand_level prm nru <> mul_level.(u) then
+                    raise Refused;
+                  lower u nru (depthk + 1);
+                  set_rin u slot target
+              | Op.Add _ | Op.Sub _ | Op.Neg _ | Op.Rotate _ ->
+                  (* demand equals the user's own reserve: recurse *)
+                  let nru = get_rho u - delta in
+                  lower u nru (depthk + 1);
+                  (* cap all of u's outgoing demands at its new reserve *)
+                  Array.iteri
+                    (fun s o ->
+                      if is_c o && get_rin u s > nru then set_rin u s nru)
+                    opnds.(u)
+              | Op.Input _ | Op.Const _ | Op.Vconst _ | Op.Rescale _
+              | Op.Modswitch _ | Op.Upscale _ ->
+                  assert false
+            end)
+          edges.(v);
+        Hashtbl.replace trho v target
+      end
+    in
+    match lower root target 0 with
+    | () ->
+        Hashtbl.iter (fun v x -> rho.(v) <- x) trho;
+        Hashtbl.iter (fun (u, slot) x -> rin.(u).(slot) <- x) trin;
+        true
+    | exception Refused -> false
+  in
+
+  (* ------------------------------------------------------------------
+     Backward pass in allocation order, subject to readiness. *)
+  let is_output = Array.make n false in
+  Array.iter (fun o -> is_output.(o) <- true) (Program.outputs prog);
+  let compute_rho v =
+    let base = if is_output.(v) then output_reserve else 0 in
+    List.fold_left (fun acc (u, slot) -> max acc rin.(u).(slot)) base edges.(v)
+  in
+  let process v =
+    let k = Program.kind prog v in
+    if is_c v then begin
+      rho.(v) <- compute_rho v;
+      match k with
+      | Op.Mul (a, b) when is_c a && is_c b ->
+          if
+            redistribute
+            && Rtype.is_level_mismatch prm rho.(v)
+            && try_lower v (rho.(v) - Rtype.mismatch_need prm rho.(v))
+          then rho.(v) <- compute_rho v;
+          let l, r1, r2 = Rtype.mul_split prm rho.(v) in
+          mul_level.(v) <- l;
+          mismatched.(v) <- Rtype.is_level_mismatch prm rho.(v);
+          rin.(v).(0) <- r1;
+          rin.(v).(1) <- r2
+      | Op.Mul (a, b) ->
+          if
+            redistribute
+            && Rtype.is_level_mismatch prm rho.(v)
+            && try_lower v (rho.(v) - Rtype.mismatch_need prm rho.(v))
+          then rho.(v) <- compute_rho v;
+          mul_level.(v) <- Rtype.mul_operand_level prm rho.(v);
+          mismatched.(v) <- Rtype.is_level_mismatch prm rho.(v);
+          let rc = Rtype.pmul_operand prm rho.(v) in
+          if is_c a then rin.(v).(0) <- rc;
+          if is_c b then rin.(v).(1) <- rc
+      | Op.Add _ | Op.Sub _ | Op.Neg _ | Op.Rotate _ ->
+          Array.iteri
+            (fun s o -> if is_c o then rin.(v).(s) <- rho.(v))
+            opnds.(v)
+      | Op.Input _ -> ()
+      | Op.Const _ | Op.Vconst _ | Op.Rescale _ | Op.Modswitch _
+      | Op.Upscale _ ->
+          assert false
+    end
+    else rho.(v) <- 0;
+    processed.(v) <- true
+  in
+  (* Kahn's algorithm on the reversed graph, priority = allocation rank. *)
+  let pending = Array.make n 0 in
+  Program.iteri
+    (fun _ k -> List.iter (fun o -> pending.(o) <- pending.(o) + 1) (Op.operands k))
+    prog;
+  let heap = Fhe_util.Heap.create () in
+  for v = 0 to n - 1 do
+    if pending.(v) = 0 then Fhe_util.Heap.push heap ~prio:order.(v) v
+  done;
+  let visited = ref 0 in
+  let rec drain () =
+    match Fhe_util.Heap.pop heap with
+    | None -> ()
+    | Some v ->
+        process v;
+        incr visited;
+        Array.iter
+          (fun o ->
+            pending.(o) <- pending.(o) - 1;
+            if pending.(o) = 0 then Fhe_util.Heap.push heap ~prio:order.(o) o)
+          opnds.(v);
+        drain ()
+  in
+  drain ();
+  assert (!visited = n);
+  { prm; rho; mul_level; rin; mismatched }

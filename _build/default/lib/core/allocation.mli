@@ -1,0 +1,47 @@
+open Fhe_ir
+
+(** Reserve allocation (§6.2) and reserve redistribution (§6.3).
+
+    The backward analysis fixes the output reserves at 0 and infers
+    every ciphertext's reserve as the maximum of the incoming-reserve
+    demands ({e reserve-ins}) of its uses, visiting values in allocation
+    order (subject to dataflow: a value is visited once all its users
+    are).  Multiplication splits its result reserve equally between
+    operands at the common operand level [⌈ρ + 2ω⌉]; when that operand
+    level exceeds the result's principal level the op is
+    {e level-mismatched} and redistribution tries to lower the result
+    reserve by the overflow [{ρ + 2ω}], shifting budget onto sibling
+    operands of already-allocated users within their slack — failing
+    transactionally if any user cannot absorb it. *)
+
+type t = {
+  prm : Rtype.params;
+  rho : int array;
+      (** Allocated reserve (bits) per value; 0 for plaintext values. *)
+  mul_level : int array;
+      (** For each multiplication (by result id): the common operand
+          level; [-1] for every other op. *)
+  rin : int array array;
+      (** [rin.(u).(slot)] = reserve demanded from op [u]'s operand in
+          position [slot]; [-1] for plaintext operands.  For ciphertext
+          multiplications the demands satisfy
+          [rin0 + rin1 = rho + mul_level·rbits]. *)
+  mismatched : bool array;
+      (** Multiplications whose operand level exceeds the result's
+          principal level (a rescale of the result is required). *)
+}
+
+val run :
+  Rtype.params ->
+  ?redistribute:bool ->
+  ?output_reserve:int ->
+  order:int array ->
+  Program.t ->
+  t
+(** Run the backward analysis.  [order] is the rank array from
+    {!Ordering.run}; [redistribute] (default true) enables §6.3;
+    [output_reserve] (default 0) is the paper's [x_max] headroom in bits
+    — the reserve the program outputs start from, so every ciphertext
+    keeps room for encoded magnitudes up to [2^output_reserve].
+    The input must be an arithmetic-only program.
+    @raise Invalid_argument on scale-managed input. *)

@@ -1,0 +1,72 @@
+open Fhe_ir
+
+let run (prm : Rtype.params) prog =
+  let n = Program.n_ops prog in
+  let depth = Analysis.mult_depth prog in
+  let users = Analysis.users prog in
+  let cost =
+    Array.init n
+      (Fhe_cost.Model.arith_cost_estimate ~rbits:prm.Rtype.rbits
+         ~wbits:prm.Rtype.wbits prog ~depth)
+  in
+  let is_output = Array.make n false in
+  Array.iter (fun o -> is_output.(o) <- true) (Program.outputs prog);
+  let contribution u =
+    let inc =
+      match Program.kind prog u with
+      | Op.Mul _ when Program.vtype prog u = Op.Cipher -> 1
+      | _ -> 0
+    in
+    depth.(u) + inc
+  in
+  (* The user continuing the maximal-depth chain of [v]; the paper's
+     tie-breakers: lower-depth user first, then the heavier one. *)
+  let chain_user v =
+    let best = ref None in
+    List.iter
+      (fun u ->
+        if contribution u = depth.(v) then
+          match !best with
+          | None -> best := Some u
+          | Some b ->
+              if
+                depth.(u) < depth.(b)
+                || (depth.(u) = depth.(b) && cost.(u) > cost.(b))
+              then best := Some u)
+      users.(v);
+    !best
+  in
+  (* Heaviest ops first; ties resolved by depth (deeper chains expose
+     more of the program) and then id for determinism. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      if cost.(a) <> cost.(b) then compare cost.(b) cost.(a)
+      else if depth.(a) <> depth.(b) then compare depth.(b) depth.(a)
+      else compare a b)
+    order;
+  let rank = Array.make n (-1) in
+  let next = ref 0 in
+  let assign v =
+    if rank.(v) < 0 then begin
+      rank.(v) <- !next;
+      incr next
+    end
+  in
+  Array.iter
+    (fun h ->
+      if rank.(h) < 0 then begin
+        (* Collect the chain from h to the return value. *)
+        let rec walk v acc =
+          match chain_user v with
+          | Some u when not (is_output.(v) && depth.(v) = 1) -> walk u (v :: acc)
+          | _ -> v :: acc
+        in
+        (* [walk] yields the chain return-side first: rank the
+           lower-depth (return-side) members before the heavy op. *)
+        List.iter assign (walk h [])
+      end)
+    order;
+  (* walk only covers live chains; rank leftovers (dead code) last. *)
+  Array.iteri (fun v _ -> assign v) rank;
+  rank

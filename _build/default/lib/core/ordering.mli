@@ -1,0 +1,15 @@
+open Fhe_ir
+
+(** Allocation ordering (§6.1): decide in which order the backward
+    reserve analysis visits values, prioritizing heavy operations.
+
+    Each op's latency is estimated from its multiplicative depth
+    (level ≈ [1 + depth·ω], interpolated in Table 3).  Walking from the
+    heaviest op along the dependence chain that realizes its depth up to
+    the return value, chain members are ranked return-side first — so a
+    heavy op's whole downstream chain is allocated before anything else,
+    giving redistribution maximal freedom on that chain. *)
+
+val run : Rtype.params -> Program.t -> int array
+(** [run p prog] returns a rank per value id: smaller rank = allocated
+    earlier.  Every value gets a distinct rank in [0 .. n-1]. *)

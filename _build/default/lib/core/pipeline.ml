@@ -1,0 +1,37 @@
+open Fhe_ir
+
+type variant = [ `Ba | `Ra | `Full ]
+
+type stats = {
+  ordering_ms : float;
+  allocation_ms : float;
+  placement_ms : float;
+  total_ms : float;
+}
+
+let compile_with_stats ?(variant = `Full) ?(xmax_bits = 0)
+    ?eager_input_upscale ~rbits ~wbits prog =
+  let prm = Rtype.params ~rbits ~wbits in
+  let redistribute = match variant with `Ba -> false | `Ra | `Full -> true in
+  let hoist = match variant with `Ba | `Ra -> false | `Full -> true in
+  let order, ordering_ms =
+    Fhe_util.Timer.time (fun () -> Ordering.run prm prog)
+  in
+  let alloc, allocation_ms =
+    Fhe_util.Timer.time (fun () -> Allocation.run prm ~redistribute ~output_reserve:xmax_bits ~order prog)
+  in
+  let m, placement_ms =
+    Fhe_util.Timer.time (fun () ->
+        Placement.run ~hoist ?eager_input_upscale prog alloc)
+  in
+  Validator.check_exn m;
+  ( m,
+    { ordering_ms;
+      allocation_ms;
+      placement_ms;
+      total_ms = ordering_ms +. allocation_ms +. placement_ms } )
+
+let compile ?variant ?xmax_bits ?eager_input_upscale ~rbits ~wbits prog =
+  fst
+    (compile_with_stats ?variant ?xmax_bits ?eager_input_upscale ~rbits ~wbits
+       prog)

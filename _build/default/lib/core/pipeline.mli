@@ -1,0 +1,34 @@
+open Fhe_ir
+
+(** The end-to-end reserve compiler (the paper's "this work").
+
+    [ordering → allocation (+ redistribution) → placement (+ hoisting)],
+    followed by managed CSE/DCE and a legality check.  The ablation
+    switches reproduce the §8.3 breakdown:
+    - [`Ba]: backward analysis only — no redistribution, no hoisting;
+    - [`Ra]: reserve allocation with redistribution, no hoisting;
+    - [`Full]: everything (default). *)
+
+type variant = [ `Ba | `Ra | `Full ]
+
+type stats = {
+  ordering_ms : float;
+  allocation_ms : float;
+  placement_ms : float;
+  total_ms : float;  (** scale-management time: the sum of the above *)
+}
+
+val compile :
+  ?variant:variant -> ?xmax_bits:int -> ?eager_input_upscale:bool ->
+  rbits:int -> wbits:int -> Program.t -> Managed.t
+(** Compile an arithmetic program; the result is validated.
+    [xmax_bits] is the paper's [x_max] headroom (Table 1): the output
+    reserve starts at that many bits instead of 0, keeping
+    [m·x_max < Q] for values as large as [2^xmax_bits].
+    @raise Failure if the produced program fails the legality check
+    (which would indicate a compiler bug). *)
+
+val compile_with_stats :
+  ?variant:variant -> ?xmax_bits:int -> ?eager_input_upscale:bool ->
+  rbits:int -> wbits:int -> Program.t -> Managed.t * stats
+(** Same, timing each phase (for the Table 4 reproduction). *)

@@ -1,0 +1,281 @@
+open Fhe_ir
+
+(* --------------------------------------------------------------------
+   Scale-management operation insertion.  [aux] on emitted values holds
+   the concrete level. *)
+
+let insert ?(eager_input_upscale = true) prog (alloc : Allocation.t) =
+  let prm = alloc.Allocation.prm in
+  let rb = prm.Rtype.rbits and wb = prm.Rtype.wbits in
+  let e = Emit.create () in
+  let n = Program.n_ops prog in
+  let is_c i = Program.vtype prog i = Op.Cipher in
+  let canon = Array.make n (-1) in
+  let rho = alloc.Allocation.rho in
+  let pl v = Rtype.principal_level prm rho.(v) in
+  (* Plain inputs must be declared once; realize them at the highest
+     level any ciphertext lives at and coerce down per use. *)
+  let lmax = ref 1 in
+  for v = 0 to n - 1 do
+    if is_c v then lmax := max !lmax (pl v)
+  done;
+  let push_ms id =
+    Emit.push e (Op.Modswitch id) ~scale:(Emit.scale e id)
+      ~aux:(Emit.aux e id - 1)
+  in
+  let push_up id up =
+    Emit.push e (Op.Upscale (id, up)) ~scale:(Emit.scale e id + up)
+      ~aux:(Emit.aux e id)
+  in
+  let push_rs id =
+    Emit.push e (Op.Rescale id) ~scale:(Emit.scale e id - rb)
+      ~aux:(Emit.aux e id - 1)
+  in
+  (* Plaintext subgraphs are realized per (scale, level) demand. *)
+  let plain_memo : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec plain v ~scale ~level =
+    match Hashtbl.find_opt plain_memo (v, scale, level) with
+    | Some id -> id
+    | None ->
+        let id =
+          match Program.kind prog v with
+          | (Op.Const _ | Op.Vconst _) as k ->
+              Emit.plain_leaf e k ~scale ~aux:level
+          | Op.Neg a ->
+              Emit.push e (Op.Neg (plain a ~scale ~level)) ~scale ~aux:level
+          | Op.Rotate (a, k) ->
+              Emit.push e (Op.Rotate (plain a ~scale ~level, k)) ~scale
+                ~aux:level
+          | Op.Add (a, b) ->
+              Emit.push e
+                (Op.Add (plain a ~scale ~level, plain b ~scale ~level))
+                ~scale ~aux:level
+          | Op.Sub (a, b) ->
+              Emit.push e
+                (Op.Sub (plain a ~scale ~level, plain b ~scale ~level))
+                ~scale ~aux:level
+          | Op.Input { vt = Op.Plain; _ } ->
+              let id = ref canon.(v) in
+              while Emit.aux e !id > level do
+                id := push_ms !id
+              done;
+              if Emit.scale e !id < scale then
+                id := push_up !id (scale - Emit.scale e !id);
+              assert (Emit.scale e !id = scale && Emit.aux e !id = level);
+              !id
+          | Op.Mul (a, b) ->
+              (* split the demanded scale between the plain factors *)
+              let s1 = (scale + 1) / 2 in
+              let s2 = scale - s1 in
+              Emit.push e
+                (Op.Mul (plain a ~scale:s1 ~level, plain b ~scale:s2 ~level))
+                ~scale ~aux:level
+          | Op.Input _ | Op.Rescale _ | Op.Modswitch _ | Op.Upscale _ ->
+              assert false
+        in
+        Hashtbl.replace plain_memo (v, scale, level) id;
+        id
+  in
+  (* Subtype coercion: bring a canonical ciphertext down to the demanded
+     (reserve, level).  Modswitches absorb full-R chunks of the reserve
+     drop; the remainder is upscale-then-rescale. *)
+  let coerce_memo : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let coerce id ~to_rho ~to_level =
+    match Hashtbl.find_opt coerce_memo (id, to_rho, to_level) with
+    | Some id' -> id'
+    | None ->
+        let cur_l = Emit.aux e id and cur_s = Emit.scale e id in
+        let cur_rho = (cur_l * rb) - cur_s in
+        let delta = cur_rho - to_rho and drop = cur_l - to_level in
+        assert (delta >= 0 && drop >= 0);
+        let n_ms = min drop (delta / rb) in
+        let up = delta - (n_ms * rb) in
+        let n_rs = drop - n_ms in
+        let v = ref id in
+        for _ = 1 to n_ms do
+          v := push_ms !v
+        done;
+        if up > 0 then v := push_up !v up;
+        for _ = 1 to n_rs do
+          v := push_rs !v
+        done;
+        assert (Emit.aux e !v = to_level);
+        assert (
+          Emit.scale e !v = Rtype.canonical_scale prm ~rho:to_rho ~level:to_level);
+        Hashtbl.replace coerce_memo (id, to_rho, to_level) !v;
+        !v
+  in
+  let cipher_operand o ~to_rho ~to_level = coerce canon.(o) ~to_rho ~to_level in
+  (* Rescale a mismatched multiplication result down to its principal
+     level. *)
+  let rec rescale_to id level =
+    if Emit.aux e id <= level then id else rescale_to (push_rs id) level
+  in
+  Program.iteri
+    (fun v k ->
+      match k with
+      | Op.Input { vt = Op.Plain; _ } ->
+          canon.(v) <- Emit.push e k ~scale:wb ~aux:!lmax
+      | _ when not (is_c v) -> () (* plain compute realized on demand *)
+      | Op.Input _ ->
+          let target_scale =
+            Rtype.canonical_scale prm ~rho:rho.(v) ~level:(pl v)
+          in
+          let base = Emit.push e k ~scale:wb ~aux:(pl v) in
+          (* Eagerly upscaling to the canonical scale matches the
+             paper's Fig. 3f plans; leaving the input at the waterline
+             keeps its effective reserve maximal, so later coercions can
+             use cheap modswitches instead of upscale+rescale pairs. *)
+          canon.(v) <-
+            (if eager_input_upscale && target_scale > wb then
+               push_up base (target_scale - wb)
+             else base)
+      | Op.Add (a, b) | Op.Sub (a, b) ->
+          let target_scale =
+            Rtype.canonical_scale prm ~rho:rho.(v) ~level:(pl v)
+          in
+          let resolve o =
+            if is_c o then cipher_operand o ~to_rho:rho.(v) ~to_level:(pl v)
+            else plain o ~scale:target_scale ~level:(pl v)
+          in
+          let a' = resolve a and b' = resolve b in
+          let k' =
+            match k with Op.Add _ -> Op.Add (a', b') | _ -> Op.Sub (a', b')
+          in
+          canon.(v) <- Emit.push e k' ~scale:target_scale ~aux:(pl v)
+      | Op.Neg a ->
+          let target_scale =
+            Rtype.canonical_scale prm ~rho:rho.(v) ~level:(pl v)
+          in
+          let a' = cipher_operand a ~to_rho:rho.(v) ~to_level:(pl v) in
+          canon.(v) <- Emit.push e (Op.Neg a') ~scale:target_scale ~aux:(pl v)
+      | Op.Rotate (a, amt) ->
+          let target_scale =
+            Rtype.canonical_scale prm ~rho:rho.(v) ~level:(pl v)
+          in
+          let a' = cipher_operand a ~to_rho:rho.(v) ~to_level:(pl v) in
+          canon.(v) <-
+            Emit.push e (Op.Rotate (a', amt)) ~scale:target_scale ~aux:(pl v)
+      | Op.Mul (a, b) ->
+          let l = alloc.Allocation.mul_level.(v) in
+          let resolve slot o =
+            if is_c o then
+              cipher_operand o ~to_rho:alloc.Allocation.rin.(v).(slot)
+                ~to_level:l
+            else plain o ~scale:wb ~level:l
+          in
+          let a' = resolve 0 a and b' = resolve 1 b in
+          let raw_scale = Emit.scale e a' + Emit.scale e b' in
+          let raw = Emit.push e (Op.Mul (a', b')) ~scale:raw_scale ~aux:l in
+          canon.(v) <- rescale_to raw (pl v)
+      | Op.Const _ | Op.Vconst _ | Op.Rescale _ | Op.Modswitch _
+      | Op.Upscale _ ->
+          assert false)
+    prog;
+  let outputs =
+    Array.map
+      (fun o ->
+        if is_c o then canon.(o)
+        else plain o ~scale:wb ~level:(Rtype.principal_level prm 0))
+      (Program.outputs prog)
+  in
+  Emit.finish e ~outputs ~n_slots:(Program.n_slots prog) ~rbits:rb ~wbits:wb
+    ~level:(fun v -> Emit.aux e v)
+
+(* --------------------------------------------------------------------
+   Rescale hoisting. *)
+
+let hoist_once (m : Managed.t) =
+  let p = m.Managed.prog in
+  let n = Program.n_ops p in
+  let uses = Analysis.n_uses p in
+  let is_c i = Program.vtype p i = Op.Cipher in
+  let rs_cost lvl = Fhe_cost.Latency.cost Fhe_cost.Latency.Rescale_c lvl in
+  let add_cost lvl = Fhe_cost.Latency.cost Fhe_cost.Latency.Add_cc lvl in
+  (* Decide which add/sub ops to hoist through. *)
+  let decide = Array.make n false in
+  let changed = ref false in
+  for u = 0 to n - 1 do
+    match Program.kind p u with
+    | Op.Add (a, b) | Op.Sub (a, b) when is_c a && is_c b -> (
+        match (Program.kind p a, Program.kind p b) with
+        | Op.Rescale a0, Op.Rescale b0
+          when m.Managed.scale.(a0) = m.Managed.scale.(b0)
+               && m.Managed.level.(a0) = m.Managed.level.(b0) ->
+            let l0 = float_of_int m.Managed.level.(a0) in
+            let l1 = float_of_int m.Managed.level.(a) in
+            (* sources are removable only when this add is their sole use
+               (the paper's stated multi-use limitation) *)
+            let removable =
+              if a = b then if uses.(a) = 2 then 1 else 0
+              else
+                (if uses.(a) = 1 then 1 else 0)
+                + if uses.(b) = 1 then 1 else 0
+            in
+            let benefit =
+              (float_of_int (removable - 1) *. rs_cost l1)
+              -. (add_cost l0 -. add_cost l1)
+            in
+            if benefit > 0.0 then begin
+              decide.(u) <- true;
+              changed := true
+            end
+        | _ -> ())
+    | _ -> ()
+  done;
+  if not !changed then None
+  else begin
+    (* Rebuild with the selected adds moved above their rescales. *)
+    let e = Emit.create () in
+    let remap = Array.make n (-1) in
+    Program.iteri
+      (fun i k ->
+        if decide.(i) then begin
+          let a, b, mk =
+            match k with
+            | Op.Add (a, b) -> (a, b, fun x y -> Op.Add (x, y))
+            | Op.Sub (a, b) -> (a, b, fun x y -> Op.Sub (x, y))
+            | _ -> assert false
+          in
+          let a0 =
+            match Program.kind p a with Op.Rescale x -> x | _ -> assert false
+          in
+          let b0 =
+            match Program.kind p b with Op.Rescale x -> x | _ -> assert false
+          in
+          let hi =
+            Emit.push e
+              (mk remap.(a0) remap.(b0))
+              ~scale:m.Managed.scale.(a0) ~aux:m.Managed.level.(a0)
+          in
+          remap.(i) <-
+            Emit.push e (Op.Rescale hi) ~scale:m.Managed.scale.(i)
+              ~aux:m.Managed.level.(i)
+        end
+        else
+          (* injective rebuild: no dedup needed, plain push is cheap *)
+          remap.(i) <-
+            Emit.push e
+              (Op.map_operands (fun o -> remap.(o)) k)
+              ~scale:m.Managed.scale.(i) ~aux:m.Managed.level.(i))
+      p;
+    let outputs = Array.map (fun o -> remap.(o)) (Program.outputs p) in
+    let m' =
+      Emit.finish e ~outputs ~n_slots:(Program.n_slots p)
+        ~rbits:m.Managed.rbits ~wbits:m.Managed.wbits
+        ~level:(fun v -> Emit.aux e v)
+    in
+    Some (Managed.dce m')
+  end
+
+let hoist m =
+  let rec fix m budget =
+    if budget = 0 then m
+    else match hoist_once m with None -> m | Some m' -> fix m' (budget - 1)
+  in
+  fix m 64
+
+let run ?hoist:(do_hoist = true) ?eager_input_upscale prog alloc =
+  let m = insert ?eager_input_upscale prog alloc in
+  let m = if do_hoist then hoist m else m in
+  Managed.dce (Managed.cse m)

@@ -1,0 +1,37 @@
+open Fhe_ir
+
+(** Rescale placement (§7): turn a reserve-typed program into an
+    RNS-CKKS-compliant managed program.
+
+    {b Insertion} realizes every ciphertext at its canonical form
+    (level = principal level, scale = [level·rbits − ρ]): inputs arrive
+    at the waterline and are upscaled; multiplication operands are
+    coerced down to their demanded (reserve, level) with
+    modswitch/upscale/rescale chains; level-mismatched multiplications
+    get rescales on their result.  Plaintext leaves are instantiated
+    directly at whatever (scale, level) their context demands.
+
+    {b Hoisting} then moves rescales later when profitable: an addition
+    whose operands are both rescale results can instead be performed at
+    the higher level with a single rescale after it; the benefit is the
+    removed rescales minus the new one and the add's level penalty
+    (Fig. 3h).  Candidates are re-examined to a fixpoint so merged
+    rescales cascade down reduction trees.  Source rescales with
+    multiple remaining uses are kept (the paper's stated limitation). *)
+
+val insert : ?eager_input_upscale:bool -> Program.t -> Allocation.t -> Managed.t
+(** Scale-management operation insertion.  The result is legal
+    ({!Fhe_ir.Validator.check} passes) but not yet hoisted.
+    [eager_input_upscale] (default true, the paper's Fig. 3f behaviour)
+    raises every input to its canonical scale at declaration; turning it
+    off keeps inputs at the waterline so per-use coercions can ride
+    cheap modswitches — often slightly faster (an improvement beyond the
+    paper; see DESIGN.md §8). *)
+
+val hoist : Managed.t -> Managed.t
+(** Rescale hoisting to a fixpoint; output remains legal. *)
+
+val run :
+  ?hoist:bool -> ?eager_input_upscale:bool -> Program.t -> Allocation.t ->
+  Managed.t
+(** [insert], optional [hoist] (default true), then managed CSE + DCE. *)

@@ -1,0 +1,32 @@
+
+type params = { rbits : int; wbits : int }
+
+let params ~rbits ~wbits =
+  if wbits <= 0 || wbits > rbits then
+    invalid_arg "Rtype.params: need 0 < wbits <= rbits";
+  { rbits; wbits }
+
+let principal_level p rho = Fhe_util.Bits.ceil_div (rho + p.wbits) p.rbits
+
+let mul_operand_level p rho =
+  Fhe_util.Bits.ceil_div (rho + (2 * p.wbits)) p.rbits
+
+let is_level_mismatch p rho = mul_operand_level p rho <> principal_level p rho
+
+let mismatch_need p rho =
+  rho + (2 * p.wbits) - ((mul_operand_level p rho - 1) * p.rbits)
+
+let mul_split p rho =
+  let l = mul_operand_level p rho in
+  let total = rho + (l * p.rbits) in
+  let rho1 = (total + 1) / 2 in
+  let rho2 = total / 2 in
+  (l, rho1, rho2)
+
+let pmul_operand p rho = rho + p.wbits
+
+let max_reserve_for_level p l = (l * p.rbits) - p.wbits
+
+let canonical_scale p ~rho ~level = (level * p.rbits) - rho
+
+let check_edge p ~rin ~level = principal_level p rin = level

@@ -1,0 +1,65 @@
+
+(** The reserve type system (§5 of the paper), in exact integer (bit)
+    arithmetic.
+
+    A ciphertext with coefficient modulus [Q = R^l] and scale [m] has
+    reserve [r = Q/m] — the scale budget available to succeeding
+    operations.  We track [ρ = log2 r] as an integer number of bits; the
+    paper's log_R quantities are [ρbits / rbits].  The key facts:
+
+    - reserve is invariant under [rescale] (both [Q] and [m] divide by
+      [R]), which decouples the analysis from rescale placement;
+    - the waterline [m ≥ W] forces the {e principal level}
+      [l = ⌈(ρ + ω)⌉] (in bits: [ceil((ρ + wbits) / rbits)]), the
+      smallest level at which a ciphertext with reserve [ρ] can live;
+    - ciphertext multiplication satisfies [ρ1 + ρ2 = ρ + l·rbits] at the
+      common operand level [l = ⌈ρ + 2ω⌉], and is a {e level-mismatch}
+      operation (a rescale of its result is required) when that operand
+      level differs from the result's principal level. *)
+
+type params = { rbits : int; wbits : int }
+
+val params : rbits:int -> wbits:int -> params
+(** @raise Invalid_argument unless [0 < wbits <= rbits]. *)
+
+val principal_level : params -> int -> int
+(** [principal_level p ρ] = [⌈(ρ + wbits) / rbits⌉], the minimal level
+    of a ciphertext with reserve [ρ] bits (≥ 1 since [wbits > 0]). *)
+
+val mul_operand_level : params -> int -> int
+(** [mul_operand_level p ρ] = [⌈(ρ + 2·wbits) / rbits⌉]: the common
+    operand level of a multiplication whose result has reserve [ρ]
+    (Equation Mul, and PMul with the plaintext at the waterline). *)
+
+val is_level_mismatch : params -> int -> bool
+(** Whether a multiplication with result reserve [ρ] is level-mismatched
+    ([mul_operand_level <> principal_level]). *)
+
+val mismatch_need : params -> int -> int
+(** The bits by which [ρ] must decrease to resolve a level mismatch:
+    the paper's fractional part [{ρ + 2ω}], i.e.
+    [(ρ + 2·wbits) − (mul_operand_level − 1)·rbits] (always > 0). *)
+
+val mul_split : params -> int -> int * int * int
+(** [mul_split p ρ] = [(l, ρ1, ρ2)]: the operand level and the equal
+    reserve split [ρ1 + ρ2 = ρ + l·rbits] (§6.2, Equation 1; an odd
+    total gives the extra bit to [ρ1]).  Both halves have principal
+    level exactly [l]. *)
+
+val pmul_operand : params -> int -> int
+(** Cipher-operand reserve of a cipher×plain multiplication with result
+    reserve [ρ]: [ρ + wbits] (the plaintext is encoded at the
+    waterline). *)
+
+val max_reserve_for_level : params -> int -> int
+(** [max_reserve_for_level p l] = [l·rbits − wbits]: the largest reserve
+    whose principal level is still [l] (the §6.3 redistribution bound). *)
+
+val canonical_scale : params -> rho:int -> level:int -> int
+(** Scale (bits) of a ciphertext realized with reserve [rho] at [level]:
+    [level·rbits − rho]. *)
+
+val check_edge : params -> rin:int -> level:int -> bool
+(** Whether a ciphertext with incoming-reserve [rin] consumed at [level]
+    is exactly at its principal level — the well-typedness condition for
+    multiplication operands that redistribution must preserve. *)

@@ -1,0 +1,1 @@
+lib/cost/model.ml: Array Fhe_ir Latency List Managed Op Program

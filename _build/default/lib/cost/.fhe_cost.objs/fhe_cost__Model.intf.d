@@ -1,0 +1,1 @@
+lib/cost/model.mli: Fhe_ir Latency Managed Op Program

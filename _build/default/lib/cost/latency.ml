@@ -1,0 +1,48 @@
+type cls =
+  | Mul_cc
+  | Mul_cp
+  | Add_cc
+  | Add_cp
+  | Rotate_c
+  | Rescale_c
+  | Modswitch_c
+  | Modswitch_p
+
+let all =
+  [ Mul_cc; Mul_cp; Add_cc; Add_cp; Rotate_c; Rescale_c; Modswitch_c;
+    Modswitch_p ]
+
+let name = function
+  | Mul_cc -> "cipher x cipher"
+  | Mul_cp -> "cipher x plain"
+  | Add_cc -> "cipher + cipher"
+  | Add_cp -> "cipher + plain"
+  | Rotate_c -> "rotate (cipher)"
+  | Rescale_c -> "rescale (cipher)"
+  | Modswitch_c -> "modswitch (cipher)"
+  | Modswitch_p -> "modswitch (plain)"
+
+(* Table 3 of the paper, µs, operand levels 1..5. *)
+let table = function
+  | Modswitch_p -> [| 29.; 43.; 57.; 71.; 86. |]
+  | Modswitch_c -> [| 48.; 86.; 156.; 208.; 286. |]
+  | Add_cp -> [| 50.; 98.; 153.; 209.; 269. |]
+  | Add_cc -> [| 85.; 204.; 250.; 339.; 421. |]
+  | Mul_cp -> [| 211.; 421.; 642.; 853.; 1120. |]
+  | Rescale_c -> [| 1926.; 3119.; 4525.; 5706.; 6901. |]
+  | Rotate_c -> [| 3828.; 7966.; 13584.; 20933.; 28832. |]
+  | Mul_cc -> [| 4363.; 9172.; 15658.; 23517.; 33974. |]
+
+let cost c l =
+  let t = table c in
+  let n = Array.length t in
+  let l = if l < 1.0 then 1.0 else l in
+  let lmax = float_of_int n in
+  if l >= lmax then
+    (* extrapolate with the last measured slope *)
+    t.(n - 1) +. ((l -. lmax) *. (t.(n - 1) -. t.(n - 2)))
+  else begin
+    let i0 = int_of_float (floor l) in
+    let frac = l -. floor l in
+    t.(i0 - 1) +. (frac *. (t.(i0) -. t.(i0 - 1)))
+  end

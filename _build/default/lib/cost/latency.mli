@@ -1,0 +1,31 @@
+(** The paper's Table 3: measured RNS-CKKS operation latencies (µs) per
+    operand level, for SEAL 3.6.1 at [N = 2^15], [R = 2^60].
+
+    The evaluation uses these numbers as the cost model: compiled-program
+    "runtime latency" is the sum of per-op costs at each op's operand
+    level, which is the same estimator exploration-based compilers use
+    internally.  Levels beyond the measured 1–5 are linearly extrapolated
+    with the level-4→5 slope (all rows grow close to linearly);
+    fractional levels (the ordering heuristic of §6.1 produces them) are
+    linearly interpolated. *)
+
+type cls =
+  | Mul_cc       (** cipher × cipher (incl. relinearization) *)
+  | Mul_cp       (** cipher × plain *)
+  | Add_cc       (** cipher + cipher (also sub) *)
+  | Add_cp       (** cipher + plain *)
+  | Rotate_c     (** rotation of a ciphertext (incl. key switching) *)
+  | Rescale_c    (** rescale of a ciphertext *)
+  | Modswitch_c  (** modswitch of a ciphertext *)
+  | Modswitch_p  (** modswitch of a plaintext; also used for negation *)
+
+val all : cls list
+
+val name : cls -> string
+
+val table : cls -> float array
+(** Latencies in µs at operand levels 1..5 (index 0 = level 1). *)
+
+val cost : cls -> float -> float
+(** [cost c l] interpolated/extrapolated latency (µs) at fractional
+    operand level [l].  Clamped below at level 1. *)

@@ -1,0 +1,53 @@
+open Fhe_ir
+
+let classify p i =
+  let cipher o = Program.vtype p o = Op.Cipher in
+  if not (cipher i) then
+    (* plain-only compute happens offline / at encode time *)
+    None
+  else
+    match Program.kind p i with
+    | Op.Input _ | Op.Const _ | Op.Vconst _ -> None
+    | Op.Add (a, b) | Op.Sub (a, b) ->
+        Some (if cipher a && cipher b then Latency.Add_cc else Latency.Add_cp)
+    | Op.Mul (a, b) ->
+        Some (if cipher a && cipher b then Latency.Mul_cc else Latency.Mul_cp)
+    | Op.Neg _ -> Some Latency.Modswitch_p
+    | Op.Rotate _ -> Some Latency.Rotate_c
+    | Op.Rescale _ -> Some Latency.Rescale_c
+    | Op.Modswitch _ -> Some Latency.Modswitch_c
+    | Op.Upscale _ -> Some Latency.Add_cp
+
+let operand_level (m : Managed.t) i =
+  match Op.operands (Program.kind m.Managed.prog i) with
+  | [] -> m.Managed.level.(i)
+  | ops -> List.fold_left (fun acc o -> max acc m.Managed.level.(o)) 1 ops
+
+let op_cost (m : Managed.t) i =
+  match classify m.Managed.prog i with
+  | None -> 0.0
+  | Some c ->
+      (* Rescale is charged at its result level: this calibration
+         reproduces the paper's worked example exactly (Fig. 2b sums to
+         390, the Fig. 3h hoisting benefit to 18). *)
+      let l =
+        match Program.kind m.Managed.prog i with
+        | Op.Rescale _ -> m.Managed.level.(i)
+        | _ -> operand_level m i
+      in
+      Latency.cost c (float_of_int l)
+
+let estimate (m : Managed.t) =
+  let total = ref 0.0 in
+  Program.iteri (fun i _ -> total := !total +. op_cost m i) m.Managed.prog;
+  !total
+
+let level_estimate ~rbits ~wbits ~depth =
+  1.0 +. (float_of_int depth *. float_of_int wbits /. float_of_int rbits)
+
+let arith_cost_estimate ~rbits ~wbits p ~depth i =
+  match classify p i with
+  | None -> 0.0
+  | Some c ->
+      let l = level_estimate ~rbits ~wbits ~depth:depth.(i) in
+      Latency.cost c l

@@ -1,0 +1,33 @@
+open Fhe_ir
+
+(** Program-level cost estimation on top of {!Latency}.
+
+    For a managed program this is the evaluation's "runtime latency"
+    (the authors' testbed is substituted by the calibrated Table 3 cost
+    model, see DESIGN.md §3).  For an unmanaged (arithmetic-only)
+    program it provides the §6.1 estimator: operand level approximated
+    as [1 + depth * wbits/rbits] from the multiplicative depth. *)
+
+val classify : Program.t -> Op.id -> Latency.cls option
+(** Latency class of an op; [None] for leaves (inputs/constants) and
+    for all-plain arithmetic, which execute at negligible/offline cost.
+    [Upscale] maps to [Add_cp] and [Neg] to [Modswitch_p] (both linear
+    coefficient scans), matching the paper's worked-example accounting. *)
+
+val op_cost : Managed.t -> Op.id -> float
+(** Latency (µs) of one op at its operands' (max) level; [Rescale] is
+    charged at its result level (paper calibration: Fig. 2b = 390,
+    Fig. 3h benefit = 18). *)
+
+val estimate : Managed.t -> float
+(** Total latency (µs) of a managed program: the Σ of {!op_cost}. *)
+
+val level_estimate : rbits:int -> wbits:int -> depth:int -> float
+(** §6.1 lower-bound level estimate [1 + depth * ω] for an op at the
+    given multiplicative depth (depth counts from 1 at the returns). *)
+
+val arith_cost_estimate :
+  rbits:int -> wbits:int -> Program.t -> depth:int array -> Op.id -> float
+(** §6.1 per-op cost estimate used by allocation ordering: the latency
+    class interpolated at [level_estimate ~depth:depth.(id)].
+    Leaves and all-plain compute cost 0. *)

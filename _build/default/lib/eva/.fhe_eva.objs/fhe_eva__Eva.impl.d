@@ -1,0 +1,1 @@
+lib/eva/eva.ml: Array Emit Fhe_ir Fhe_util Managed Op Program

@@ -1,0 +1,1 @@
+lib/eva/eva.mli: Fhe_ir Managed Program

@@ -1,0 +1,171 @@
+open Fhe_ir
+
+(* Forward waterline scale management.  During the pass, [aux] on every
+   emitted value counts the levels consumed so far (rescales +
+   modswitches on the path from the inputs); final levels are
+   [L - aux] for the smallest legal [L]. *)
+
+let compile_with_drops ?(xmax_bits = 0) ~rbits ~wbits ~drops p =
+  if wbits > rbits || wbits <= 0 then
+    invalid_arg "Eva.compile: need 0 < wbits <= rbits";
+  if Array.length drops <> Program.n_ops p then
+    invalid_arg "Eva.compile_with_drops: drops length mismatch";
+  Program.iteri
+    (fun _ k ->
+      if Op.is_scale_mgmt k then
+        invalid_arg "Eva.compile: program already scale-managed")
+    p;
+  let e = Emit.create () in
+  let n = Program.n_ops p in
+  let rep = Array.make n (-1) in
+  let is_pleaf i =
+    match Program.kind p i with
+    | Op.Const _ | Op.Vconst _ -> true
+    | _ -> false
+  in
+  let leaf i ~scale ~aux = Emit.plain_leaf e (Program.kind p i) ~scale ~aux in
+  (* Bring [v] from its aux up to [aux] with modswitches. *)
+  let rec match_aux v aux =
+    if Emit.aux e v >= aux then v
+    else
+      match_aux
+        (Emit.push e (Op.Modswitch v) ~scale:(Emit.scale e v)
+           ~aux:(Emit.aux e v + 1))
+        aux
+  in
+  let upscale_to v s =
+    let sv = Emit.scale e v in
+    if sv >= s then v
+    else Emit.push e (Op.Upscale (v, s - sv)) ~scale:s ~aux:(Emit.aux e v)
+  in
+  (* EVA's waterline rescaling: rescale while the result stays >= W. *)
+  let rec rescale_down v =
+    let s = Emit.scale e v in
+    if s - rbits >= wbits then
+      rescale_down
+        (Emit.push e (Op.Rescale v) ~scale:(s - rbits) ~aux:(Emit.aux e v + 1))
+    else v
+  in
+  (* Proactive downscaling (used by Hecate-style plans): force the value
+     to the waterline scale, consuming one level per drop. *)
+  let apply_drops i v =
+    if Program.vtype p i <> Op.Cipher then v
+    else begin
+      let v = ref v in
+      for _ = 1 to drops.(i) do
+        let s = Emit.scale e !v in
+        if s < wbits + rbits then
+          v :=
+            Emit.push e
+              (Op.Upscale (!v, wbits + rbits - s))
+              ~scale:(wbits + rbits) ~aux:(Emit.aux e !v);
+        v :=
+          Emit.push e (Op.Rescale !v)
+            ~scale:(Emit.scale e !v - rbits)
+            ~aux:(Emit.aux e !v + 1)
+      done;
+      !v
+    end
+  in
+  let binary a b =
+    let a' = rep.(a) and b' = rep.(b) in
+    let aux = max (Emit.aux e a') (Emit.aux e b') in
+    let a' = match_aux a' aux and b' = match_aux b' aux in
+    (a', b', aux)
+  in
+  Program.iteri
+    (fun i k ->
+      (match k with
+      | Op.Input _ -> rep.(i) <- Emit.push e k ~scale:wbits ~aux:0
+      | Op.Const _ | Op.Vconst _ -> () (* instantiated on demand *)
+      | Op.Neg a | Op.Rotate (a, _) ->
+          let a' =
+            if is_pleaf a then leaf a ~scale:wbits ~aux:0 else rep.(a)
+          in
+          rep.(i) <-
+            Emit.push e
+              (Op.map_operands (fun _ -> a') k)
+              ~scale:(Emit.scale e a') ~aux:(Emit.aux e a')
+      | Op.Add (a, b) | Op.Sub (a, b) ->
+          let mk x y =
+            match k with Op.Add _ -> Op.Add (x, y) | _ -> Op.Sub (x, y)
+          in
+          rep.(i) <-
+            (match (is_pleaf a, is_pleaf b) with
+            | true, true ->
+                let a' = leaf a ~scale:wbits ~aux:0
+                and b' = leaf b ~scale:wbits ~aux:0 in
+                Emit.push e (mk a' b') ~scale:wbits ~aux:0
+            | true, false ->
+                let b' = rep.(b) in
+                let a' =
+                  leaf a ~scale:(Emit.scale e b') ~aux:(Emit.aux e b')
+                in
+                Emit.push e (mk a' b') ~scale:(Emit.scale e b')
+                  ~aux:(Emit.aux e b')
+            | false, true ->
+                let a' = rep.(a) in
+                let b' =
+                  leaf b ~scale:(Emit.scale e a') ~aux:(Emit.aux e a')
+                in
+                Emit.push e (mk a' b') ~scale:(Emit.scale e a')
+                  ~aux:(Emit.aux e a')
+            | false, false ->
+                let a', b', aux = binary a b in
+                let s = max (Emit.scale e a') (Emit.scale e b') in
+                let a' = upscale_to a' s and b' = upscale_to b' s in
+                Emit.push e (mk a' b') ~scale:s ~aux)
+      | Op.Mul (a, b) ->
+          rep.(i) <-
+            (match (is_pleaf a, is_pleaf b) with
+            | true, true ->
+                let a' = leaf a ~scale:wbits ~aux:0
+                and b' = leaf b ~scale:wbits ~aux:0 in
+                Emit.push e (Op.Mul (a', b')) ~scale:(2 * wbits) ~aux:0
+            | true, false | false, true ->
+                let c = if is_pleaf a then b else a in
+                let q = if is_pleaf a then a else b in
+                let c' = rep.(c) in
+                let q' = leaf q ~scale:wbits ~aux:(Emit.aux e c') in
+                let v =
+                  Emit.push e (Op.Mul (c', q'))
+                    ~scale:(Emit.scale e c' + wbits)
+                    ~aux:(Emit.aux e c')
+                in
+                if Program.vtype p i = Op.Cipher then rescale_down v else v
+            | false, false ->
+                let a', b', aux = binary a b in
+                let v =
+                  Emit.push e (Op.Mul (a', b'))
+                    ~scale:(Emit.scale e a' + Emit.scale e b')
+                    ~aux
+                in
+                if Program.vtype p i = Op.Cipher then rescale_down v else v)
+      | Op.Rescale _ | Op.Modswitch _ | Op.Upscale _ -> assert false);
+      if rep.(i) >= 0 && drops.(i) > 0 then rep.(i) <- apply_drops i rep.(i))
+    p;
+  let outputs =
+    Array.map
+      (fun o -> if is_pleaf o then leaf o ~scale:wbits ~aux:0 else rep.(o))
+      (Program.outputs p)
+  in
+  (* Smallest input level L: every value needs Q = R^(L - aux) >= its
+     scale, and at least one live modulus. *)
+  let big_l = ref 1 in
+  for v = 0 to Emit.n_ops e - 1 do
+    let need =
+      Emit.aux e v
+      + max 1 (Fhe_util.Bits.ceil_div (Emit.scale e v + xmax_bits) rbits)
+    in
+    if need > !big_l then big_l := need
+  done;
+  let m =
+    Emit.finish e ~outputs ~n_slots:(Program.n_slots p) ~rbits ~wbits
+      ~level:(fun v -> !big_l - Emit.aux e v)
+  in
+  Managed.dce (Managed.cse m)
+
+let compile ?xmax_bits ~rbits ~wbits p =
+  compile_with_drops ?xmax_bits ~rbits ~wbits
+    ~drops:(Array.make (Program.n_ops p) 0)
+    p

@@ -1,0 +1,31 @@
+open Fhe_ir
+
+(** The EVA baseline: forward static scale analysis (PLDI'20, §3.1 of
+    the reserve paper).
+
+    EVA walks the program from inputs to outputs tracking each
+    ciphertext's scale.  After every multiplication it rescales while
+    the rescaled scale stays at or above the waterline; at additions it
+    upscales the smaller-scale operand; level mismatches are repaired
+    with modswitch.  The input level (hence the coefficient modulus
+    [Q = R^L]) is the smallest [L] that avoids scale overflow — EVA
+    minimizes [Q] but, being oblivious to succeeding operations, cannot
+    lower the levels of individual heavy operations. *)
+
+val compile : ?xmax_bits:int -> rbits:int -> wbits:int -> Program.t -> Managed.t
+(** Insert scale-management operations into an arithmetic program.
+    [xmax_bits] is the paper's Table 1 [x_max] headroom: log2 of the
+    largest encoded magnitude, reserved on top of every scale when
+    sizing the coefficient modulus (default 0, i.e. values in [-1, 1]).
+    The result passes {!Fhe_ir.Validator.check}.
+    @raise Invalid_argument if [p] already contains scale-management
+    ops, or if [wbits > rbits]. *)
+
+val compile_with_drops :
+  ?xmax_bits:int -> rbits:int -> wbits:int -> drops:int array -> Program.t ->
+  Managed.t
+(** EVA's forward pass extended with per-value proactive downscales:
+    [drops.(i)] forces value [i] (by original id) to the waterline scale
+    that many extra times, each consuming a level.  This is the plan
+    space the Hecate baseline explores; [compile] is the all-zero plan.
+    @raise Invalid_argument if [drops] does not match the program. *)

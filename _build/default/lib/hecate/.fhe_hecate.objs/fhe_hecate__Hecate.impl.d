@@ -1,0 +1,1 @@
+lib/hecate/hecate.ml: Array Fhe_cost Fhe_eva Fhe_ir Fhe_util List Managed Op Program

@@ -1,0 +1,1 @@
+lib/hecate/hecate.mli: Fhe_ir Managed Program

@@ -1,0 +1,66 @@
+open Fhe_ir
+
+type result = {
+  managed : Managed.t;
+  iterations : int;
+  accepted : int;
+  best_cost : float;
+}
+
+let candidates prog =
+  let ids = ref [] in
+  Program.iteri
+    (fun i k ->
+      let planable =
+        match k with
+        | Op.Input { vt = Op.Cipher; _ } -> true
+        | _ -> Program.vtype prog i = Op.Cipher && not (Op.is_leaf k)
+      in
+      if planable then ids := i :: !ids)
+    prog;
+  Array.of_list (List.rev !ids)
+
+let default_iterations prog =
+  let n = Array.length (candidates prog) in
+  Fhe_util.Bits.clamp ~lo:200 ~hi:20000 (20 * n)
+
+let compile ?(seed = 0x4eca7e) ?iterations ?(max_drop = 2) ?xmax_bits
+    ?(objective = Fhe_cost.Model.estimate) ~rbits ~wbits prog =
+  let cands = candidates prog in
+  if Array.length cands = 0 then
+    invalid_arg "Hecate.compile: no ciphertext values to plan over";
+  let iterations =
+    match iterations with Some i -> i | None -> default_iterations prog
+  in
+  let rng = Fhe_util.Prng.create seed in
+  let n = Program.n_ops prog in
+  let evaluate drops =
+    let m = Fhe_eva.Eva.compile_with_drops ?xmax_bits ~rbits ~wbits ~drops prog in
+    (m, objective m)
+  in
+  let cur = Array.make n 0 in
+  let best_m, best_cost = evaluate cur in
+  let best_m = ref best_m and best_cost = ref best_cost in
+  let accepted = ref 0 in
+  let iters_done = ref 1 in
+  while !iters_done < iterations do
+    let cand = Array.copy cur in
+    (* mutate one or two plan points *)
+    let points = 1 + Fhe_util.Prng.int rng 2 in
+    for _ = 1 to points do
+      let v = cands.(Fhe_util.Prng.int rng (Array.length cands)) in
+      cand.(v) <- Fhe_util.Prng.int rng (max_drop + 1)
+    done;
+    let m, cost = evaluate cand in
+    incr iters_done;
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_m := m;
+      Array.blit cand 0 cur 0 n;
+      incr accepted
+    end
+  done;
+  { managed = !best_m;
+    iterations = !iters_done;
+    accepted = !accepted;
+    best_cost = !best_cost }

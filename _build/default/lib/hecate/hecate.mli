@@ -1,0 +1,47 @@
+open Fhe_ir
+
+(** The Hecate baseline: exploration-based scale management (CGO'22,
+    §3.3 of the reserve paper).
+
+    Hecate searches the space of scale-management plans instead of
+    deriving one analytically.  A plan assigns each value a number of
+    proactive downscales (rescale-to-waterline steps, possibly preceded
+    by an upscale); a legalizer — EVA's forward pass honoring the plan —
+    turns any plan into an RNS-CKKS-compliant program, whose latency is
+    statically estimated with the Table 3 cost model.  Hill climbing
+    over random single/double-point mutations keeps the best plan.
+    Every candidate evaluation counts as one iteration: this is the
+    "# Iters" column of Table 4 and the source of Hecate's compile-time
+    blow-up that reserve analysis eliminates. *)
+
+type result = {
+  managed : Managed.t;  (** best plan found, legalized *)
+  iterations : int;     (** candidate plans evaluated *)
+  accepted : int;       (** mutations that improved the estimate *)
+  best_cost : float;    (** estimated latency (µs) of [managed] *)
+}
+
+val default_iterations : Program.t -> int
+(** The iteration budget heuristic: ~20 candidate plans per cipher
+    arithmetic op, between 200 and 20000 (the paper's exploration counts
+    scale with program complexity the same way). *)
+
+val compile :
+  ?seed:int ->
+  ?iterations:int ->
+  ?max_drop:int ->
+  ?xmax_bits:int ->
+  ?objective:(Managed.t -> float) ->
+  rbits:int ->
+  wbits:int ->
+  Program.t ->
+  result
+(** Explore and return the best plan.  [seed] (default 0x4eca7e) makes
+    runs reproducible; [max_drop] (default 2) bounds per-value
+    downscales.  The all-zero plan (plain EVA) seeds the search, so the
+    result never scores worse than EVA under the chosen [objective]
+    (default: the Table 3 latency estimate).  Supplying an objective
+    that mixes latency with a static error estimate — e.g.
+    [Fhe_sim.Noise.static_log2_error] — reproduces the error-latency
+    trade-off exploration of ELASM (USENIX Sec'23), the paper's
+    follow-up cited in §9.1. *)

@@ -1,0 +1,1 @@
+lib/ir/analysis.ml: Array List Op Program

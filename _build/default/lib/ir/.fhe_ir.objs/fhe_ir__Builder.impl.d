@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Fhe_util Hashtbl Op Program

@@ -1,0 +1,1 @@
+lib/ir/constfold.ml: Array Dce Fhe_util Hashtbl Op Program Rewrite

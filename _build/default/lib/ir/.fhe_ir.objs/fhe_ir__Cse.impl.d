@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Array Fhe_util Hashtbl Op Program Rewrite

@@ -1,0 +1,1 @@
+lib/ir/emit.ml: Array Fhe_util Hashtbl Managed Op Program

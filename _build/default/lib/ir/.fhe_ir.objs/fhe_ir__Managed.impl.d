@@ -1,0 +1,1 @@
+lib/ir/managed.ml: Array Cse Dce Op Program Rewrite

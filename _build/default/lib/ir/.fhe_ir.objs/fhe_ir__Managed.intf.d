@@ -1,0 +1,1 @@
+lib/ir/managed.mli: Op Program Rewrite

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Buffer Fhe_util Format List Op Program String

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Buffer Format List Managed Op Printf Program String

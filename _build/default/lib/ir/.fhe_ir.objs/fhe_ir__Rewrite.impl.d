@@ -1,0 +1,1 @@
+lib/ir/rewrite.ml: Array Fhe_util Op Printf Program

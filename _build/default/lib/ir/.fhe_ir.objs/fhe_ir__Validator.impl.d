@@ -1,0 +1,1 @@
+lib/ir/validator.ml: Array Buffer Format List Managed Op Option Program

@@ -1,0 +1,1 @@
+lib/ir/validator.mli: Format Managed Op

@@ -1,0 +1,47 @@
+let users p =
+  let n = Program.n_ops p in
+  let u = Array.make n [] in
+  for i = n - 1 downto 0 do
+    List.iter (fun o -> u.(o) <- i :: u.(o)) (Op.operands (Program.kind p i))
+  done;
+  u
+
+let n_uses p =
+  let n = Program.n_ops p in
+  let c = Array.make n 0 in
+  Program.iteri
+    (fun _ k -> List.iter (fun o -> c.(o) <- c.(o) + 1) (Op.operands k))
+    p;
+  Array.iter (fun o -> c.(o) <- c.(o) + 1) (Program.outputs p);
+  c
+
+let reachable p =
+  let n = Program.n_ops p in
+  let r = Array.make n false in
+  Array.iter (fun o -> r.(o) <- true) (Program.outputs p);
+  for i = n - 1 downto 0 do
+    if r.(i) then
+      List.iter (fun o -> r.(o) <- true) (Op.operands (Program.kind p i))
+  done;
+  r
+
+let is_cipher_mul p i =
+  match Program.kind p i with
+  | Op.Mul _ -> Program.vtype p i = Op.Cipher
+  | _ -> false
+
+let mult_depth p =
+  let n = Program.n_ops p in
+  let d = Array.make n 0 in
+  Array.iter (fun o -> d.(o) <- max d.(o) 1) (Program.outputs p);
+  for i = n - 1 downto 0 do
+    if d.(i) > 0 then begin
+      let inc = if is_cipher_mul p i then 1 else 0 in
+      List.iter
+        (fun o -> d.(o) <- max d.(o) (d.(i) + inc))
+        (Op.operands (Program.kind p i))
+    end
+  done;
+  d
+
+let max_mult_depth p = Array.fold_left max 0 (mult_depth p)

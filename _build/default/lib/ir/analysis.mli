@@ -1,0 +1,23 @@
+(** Dataflow analyses shared by the scale-management passes. *)
+
+val users : Program.t -> Op.id list array
+(** [users p] maps each value to the ids of the ops consuming it.
+    A user appears once per operand position (e.g. [Mul (v, v)] lists the
+    mul twice for [v]). *)
+
+val n_uses : Program.t -> int array
+(** Use counts (outputs count as one use each). *)
+
+val reachable : Program.t -> bool array
+(** Values transitively reachable from the program outputs. *)
+
+val mult_depth : Program.t -> int array
+(** The paper's multiplicative depth (§6.1): the maximum number of
+    ciphertext multiplications on any path from a value to a return
+    value, counting from 1 at the returns.  Precisely:
+    [depth v = max (1 if v is an output) (max over users u of
+    depth u + (1 if u is a cipher mul))].  Unreachable values get 0.
+    Scale-management ops are transparent. *)
+
+val max_mult_depth : Program.t -> int
+(** Maximum of {!mult_depth} over the outputs' dependence cone. *)

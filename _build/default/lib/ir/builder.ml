@@ -1,0 +1,74 @@
+type expr = Op.id
+
+type t = {
+  ops : Op.kind Fhe_util.Vec.t;
+  tbl : (Op.kind, Op.id) Hashtbl.t option;
+  n_slots : int;
+}
+
+let create ?(dedup = true) ~n_slots () =
+  { ops = Fhe_util.Vec.create ();
+    tbl = (if dedup then Some (Hashtbl.create 1024) else None);
+    n_slots }
+
+let emit t k =
+  match t.tbl with
+  | None ->
+      Fhe_util.Vec.push t.ops k;
+      Fhe_util.Vec.length t.ops - 1
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl k with
+      | Some id -> id
+      | None ->
+          Fhe_util.Vec.push t.ops k;
+          let id = Fhe_util.Vec.length t.ops - 1 in
+          Hashtbl.add tbl k id;
+          id)
+
+let input t ?(vt = Op.Cipher) name =
+  (* Inputs are effectful declarations: never dedup, even with equal names. *)
+  Fhe_util.Vec.push t.ops (Op.Input { name; vt });
+  Fhe_util.Vec.length t.ops - 1
+
+let const t v = emit t (Op.Const v)
+
+let vconst t ?(tag = "") values =
+  if Array.length values > t.n_slots then
+    invalid_arg "Builder.vconst: too many values";
+  (* stored unpadded: semantically zero-extended to the slot count *)
+  emit t (Op.Vconst { values = Array.copy values; tag })
+
+let add t a b = emit t (Op.Add (a, b))
+
+let sub t a b = emit t (Op.Sub (a, b))
+
+let mul t a b = emit t (Op.Mul (a, b))
+
+let neg t a = emit t (Op.Neg a)
+
+let rotate t a k =
+  let k = Fhe_util.Bits.pos_rem k t.n_slots in
+  if k = 0 then a else emit t (Op.Rotate (a, k))
+
+let square t a = mul t a a
+
+let rec add_many t = function
+  | [] -> invalid_arg "Builder.add_many: empty"
+  | [ e ] -> e
+  | es ->
+      (* Pairwise balanced reduction keeps multiplicative/addition depth low. *)
+      let rec pair = function
+        | [] -> []
+        | [ e ] -> [ e ]
+        | a :: b :: rest -> add t a b :: pair rest
+      in
+      add_many t (pair es)
+
+let finish t ~outputs =
+  if outputs = [] then invalid_arg "Builder.finish: no outputs";
+  Program.make
+    ~ops:(Fhe_util.Vec.to_array t.ops)
+    ~outputs:(Array.of_list outputs)
+    ~n_slots:t.n_slots
+
+let n_slots t = t.n_slots

@@ -1,0 +1,56 @@
+(** The embedded DSL used to write FHE programs.
+
+    This plays the role of the paper's Python frontend: benchmark
+    applications construct their arithmetic circuit through this builder
+    and the compilers insert scale management afterwards.  Only
+    arithmetic operations can be emitted here — scale management is the
+    compiler's job.
+
+    Structurally identical operations are deduplicated on the fly when
+    [dedup] is set, which keeps generated circuits (convolutions,
+    reduction trees) compact, exactly like the CSE the reference
+    compilers run. *)
+
+type t
+
+type expr = Op.id
+(** Expressions are value ids of the program being built. *)
+
+val create : ?dedup:bool -> n_slots:int -> unit -> t
+(** [create ~n_slots ()] starts an empty program over vectors of
+    [n_slots] slots.  [dedup] (default [true]) enables structural
+    deduplication. *)
+
+val input : t -> ?vt:Op.vtype -> string -> expr
+(** Declare an input (default [Cipher]).  Inputs are never deduplicated. *)
+
+val const : t -> float -> expr
+
+val vconst : t -> ?tag:string -> float array -> expr
+(** A vector constant, stored unpadded and semantically zero-extended
+    to [n_slots] (execution backends pad at encode time).
+    @raise Invalid_argument if longer than [n_slots]. *)
+
+val add : t -> expr -> expr -> expr
+
+val sub : t -> expr -> expr -> expr
+
+val mul : t -> expr -> expr -> expr
+
+val neg : t -> expr -> expr
+
+val rotate : t -> expr -> int -> expr
+(** Rotation amounts are normalised modulo [n_slots]; rotating by 0 is
+    the identity and emits nothing. *)
+
+val square : t -> expr -> expr
+
+val add_many : t -> expr list -> expr
+(** Balanced-tree sum of a non-empty list. *)
+
+val finish : t -> outputs:expr list -> Program.t
+(** Freeze into an immutable program.
+    @raise Invalid_argument on an empty output list. *)
+
+val n_slots : t -> int
+(** The slot count this builder was created with. *)

@@ -1,0 +1,68 @@
+let run p =
+  let n = Program.n_ops p in
+  let remap = Array.make n (-1) in
+  let out = Fhe_util.Vec.create () in
+  (* New-id -> scalar constant value, for folding chains. *)
+  let const_of : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let tbl : (Op.kind, int) Hashtbl.t = Hashtbl.create 256 in
+  let emit k =
+    match (match k with Op.Input _ -> None | _ -> Hashtbl.find_opt tbl k) with
+    | Some j -> j
+    | None ->
+        Fhe_util.Vec.push out k;
+        let j = Fhe_util.Vec.length out - 1 in
+        (match k with Op.Input _ -> () | _ -> Hashtbl.add tbl k j);
+        (match k with Op.Const c -> Hashtbl.replace const_of j c | _ -> ());
+        j
+  in
+  let cval j = Hashtbl.find_opt const_of j in
+  (* Operands below are already remapped, so they index [out]. *)
+  let new_kind j = Fhe_util.Vec.get out j in
+  for i = 0 to n - 1 do
+    let k = Op.map_operands (fun o -> remap.(o)) (Program.kind p i) in
+    let j =
+      match k with
+      | Op.Rescale _ | Op.Modswitch _ | Op.Upscale _ ->
+          invalid_arg "Constfold.run: managed program"
+      | Op.Add (a, b) -> (
+          match (cval a, cval b) with
+          | Some x, Some y -> emit (Op.Const (x +. y))
+          | Some 0.0, None -> b
+          | None, Some 0.0 -> a
+          | _ -> emit k)
+      | Op.Sub (a, b) -> (
+          match (cval a, cval b) with
+          | Some x, Some y -> emit (Op.Const (x -. y))
+          | None, Some 0.0 -> a
+          | _ -> emit k)
+      | Op.Mul (a, b) -> (
+          match (cval a, cval b) with
+          | Some x, Some y -> emit (Op.Const (x *. y))
+          | Some 1.0, None -> b
+          | None, Some 1.0 -> a
+          | _ -> emit k)
+      | Op.Neg a -> (
+          match cval a with
+          | Some x -> emit (Op.Const (-.x))
+          | None -> (
+              match new_kind a with Op.Neg inner -> inner | _ -> emit k))
+      | Op.Rotate (a, amt) -> (
+          match new_kind a with
+          | Op.Rotate (inner, amt') ->
+              let s = (amt + amt') mod Program.n_slots p in
+              if s = 0 then inner else emit (Op.Rotate (inner, s))
+          | _ -> emit k)
+      | Op.Input _ | Op.Const _ | Op.Vconst _ -> emit k
+    in
+    remap.(i) <- j
+  done;
+  let outputs = Array.map (fun o -> remap.(o)) (Program.outputs p) in
+  let prog =
+    Program.make ~ops:(Fhe_util.Vec.to_array out) ~outputs
+      ~n_slots:(Program.n_slots p)
+  in
+  (* Folding can orphan ops; clean up while preserving the remap. *)
+  let d = Dce.run prog in
+  { Rewrite.prog = d.Rewrite.prog;
+    remap =
+      Array.map (fun j -> if j < 0 then -1 else d.Rewrite.remap.(j)) remap }

@@ -1,0 +1,11 @@
+(** Constant folding over scalar plaintext constants, plus algebraic
+    identities that never change ciphertext semantics:
+    [x * 1 → x], [x + 0 → x], [x - 0 → x], [neg (neg x) → x],
+    [rotate (rotate x a) b → rotate x (a+b)].
+
+    Runs before scale management so the analyses see the circuit the
+    backend would actually execute.  Only arithmetic programs are
+    accepted (no scale-management ops).
+    @raise Invalid_argument on a managed program. *)
+
+val run : Program.t -> Rewrite.result

@@ -1,0 +1,9 @@
+(** Common-subexpression elimination by forward structural hashing.
+
+    Two ops merge when their kinds (with operands already remapped) are
+    structurally equal and their [key] discriminators agree.  [key]
+    defaults to a constant; managed pipelines pass the assigned scale of
+    plaintext leaves so two [Const 0.5] encoded at different scales stay
+    distinct. [Input] ops are never merged. *)
+
+val run : ?key:(Op.id -> int) -> Program.t -> Rewrite.result

@@ -1,0 +1,3 @@
+let run p =
+  let live = Analysis.reachable p in
+  Rewrite.rebuild p ~keep:(fun i -> live.(i)) ~rewrite:(fun _ k -> k)

@@ -1,0 +1,3 @@
+(** Dead-code elimination: drop every op not reachable from an output. *)
+
+val run : Program.t -> Rewrite.result

@@ -1,0 +1,47 @@
+type t = {
+  ops : Op.kind Fhe_util.Vec.t;
+  scales : int Fhe_util.Vec.t;
+  auxs : int Fhe_util.Vec.t;
+  leaves : (Op.kind * int * int, Op.id) Hashtbl.t;
+}
+
+let create () =
+  { ops = Fhe_util.Vec.create ();
+    scales = Fhe_util.Vec.create ();
+    auxs = Fhe_util.Vec.create ();
+    leaves = Hashtbl.create 64 }
+
+let push t k ~scale ~aux =
+  Fhe_util.Vec.push t.ops k;
+  Fhe_util.Vec.push t.scales scale;
+  Fhe_util.Vec.push t.auxs aux;
+  Fhe_util.Vec.length t.ops - 1
+
+let plain_leaf t k ~scale ~aux =
+  (match k with
+  | Op.Const _ | Op.Vconst _ -> ()
+  | _ -> invalid_arg "Emit.plain_leaf: not a plaintext leaf");
+  let key = (k, scale, aux) in
+  match Hashtbl.find_opt t.leaves key with
+  | Some id -> id
+  | None ->
+      let id = push t k ~scale ~aux in
+      Hashtbl.add t.leaves key id;
+      id
+
+let scale t i = Fhe_util.Vec.get t.scales i
+
+let aux t i = Fhe_util.Vec.get t.auxs i
+
+let kind t i = Fhe_util.Vec.get t.ops i
+
+let n_ops t = Fhe_util.Vec.length t.ops
+
+let finish t ~outputs ~n_slots ~rbits ~wbits ~level =
+  let prog =
+    Program.make ~ops:(Fhe_util.Vec.to_array t.ops) ~outputs ~n_slots
+  in
+  let n = Program.n_ops prog in
+  let scale = Fhe_util.Vec.to_array t.scales in
+  let lv = Array.init n level in
+  Managed.make ~prog ~scale ~level:lv ~rbits ~wbits

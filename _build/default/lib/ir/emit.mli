@@ -1,0 +1,43 @@
+(** Incremental construction of managed programs.
+
+    Scale-management passes synthesize a new op stream while annotating
+    every value with its scale (bits) and a pass-specific auxiliary
+    integer ([aux]): EVA-style forward passes store the number of
+    consumed levels, the reserve pipeline stores the concrete level.
+    [finish] converts [aux] to final levels through a callback.
+
+    Plaintext constants are instantiated per (scale, aux) context —
+    re-encoding a constant at another scale is free at runtime, and this
+    keeps the validator's exact-scale-match rules satisfiable without
+    runtime coercion ops on plaintexts. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> Op.kind -> scale:int -> aux:int -> Op.id
+(** Append an op with its annotations; returns the new value id. *)
+
+val plain_leaf : t -> Op.kind -> scale:int -> aux:int -> Op.id
+(** Instantiate a [Const]/[Vconst] at the given annotation, cached per
+    (kind, scale, aux).
+    @raise Invalid_argument on non-leaf kinds. *)
+
+val scale : t -> Op.id -> int
+
+val aux : t -> Op.id -> int
+
+val kind : t -> Op.id -> Op.kind
+
+val n_ops : t -> int
+
+val finish :
+  t ->
+  outputs:Op.id array ->
+  n_slots:int ->
+  rbits:int ->
+  wbits:int ->
+  level:(Op.id -> int) ->
+  Managed.t
+(** Freeze.  [level] receives each new id and must return its final
+    level (it may consult {!scale} and {!aux}). *)

@@ -1,0 +1,62 @@
+type t = {
+  prog : Program.t;
+  scale : int array;
+  level : int array;
+  rbits : int;
+  wbits : int;
+}
+
+let make ~prog ~scale ~level ~rbits ~wbits =
+  let n = Program.n_ops prog in
+  if Array.length scale <> n || Array.length level <> n then
+    invalid_arg "Managed.make: annotation length mismatch";
+  if rbits <= 0 || wbits <= 0 || wbits > rbits then
+    invalid_arg "Managed.make: need 0 < wbits <= rbits";
+  { prog; scale = Array.copy scale; level = Array.copy level; rbits; wbits }
+
+let apply_rewrite t (r : Rewrite.result) =
+  let n' = Program.n_ops r.Rewrite.prog in
+  let scale = Array.make n' 0 and level = Array.make n' 0 in
+  Array.iteri
+    (fun i j ->
+      if j >= 0 then begin
+        scale.(j) <- t.scale.(i);
+        level.(j) <- t.level.(i)
+      end)
+    r.Rewrite.remap;
+  { t with prog = r.Rewrite.prog; scale; level }
+
+let cse t =
+  let key i =
+    match Program.kind t.prog i with
+    | Op.Const _ | Op.Vconst _ -> (t.scale.(i) * 4096) + t.level.(i)
+    | _ -> 0
+  in
+  apply_rewrite t (Cse.run ~key t.prog)
+
+let dce t = apply_rewrite t (Dce.run t.prog)
+
+let reserve t i = (t.level.(i) * t.rbits) - t.scale.(i)
+
+let input_level t =
+  let l = ref 0 in
+  Program.iteri
+    (fun i k ->
+      match k with
+      | Op.Input { vt = Op.Cipher; _ } -> l := max !l t.level.(i)
+      | _ -> ())
+    t.prog;
+  !l
+
+let max_level t = Array.fold_left max 0 t.level
+
+let count_kind t f = Program.count t.prog ~f
+
+let n_rescale t =
+  count_kind t (function Op.Rescale _ -> true | _ -> false)
+
+let n_modswitch t =
+  count_kind t (function Op.Modswitch _ -> true | _ -> false)
+
+let n_upscale t =
+  count_kind t (function Op.Upscale _ -> true | _ -> false)

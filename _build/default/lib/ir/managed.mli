@@ -1,0 +1,49 @@
+(** A scale-managed program: the output of a scale-management compiler.
+
+    Every value carries its concrete scale (in bits, i.e. [log2 m]) and
+    its level [l] (number of remaining rescaling factors, so the value's
+    coefficient modulus is [Q = R^l = 2^(l*rbits)]).  The RNS-CKKS
+    encryption parameter implied by a managed program is the maximum
+    cipher input level (bigger level = bigger, slower ciphertexts). *)
+
+type t = {
+  prog : Program.t;
+  scale : int array;  (** bits; [scale.(i)] = log2 of value [i]'s scale *)
+  level : int array;
+  rbits : int;  (** log2 of the rescaling factor [R] (paper: 60) *)
+  wbits : int;  (** log2 of the waterline [W] (paper: 15–45) *)
+}
+
+val make :
+  prog:Program.t ->
+  scale:int array ->
+  level:int array ->
+  rbits:int ->
+  wbits:int ->
+  t
+(** @raise Invalid_argument if array lengths don't match the program. *)
+
+val apply_rewrite : t -> Rewrite.result -> t
+(** Carry annotations across a pass ({!Cse}, {!Dce}, ...). *)
+
+val cse : t -> t
+(** CSE that distinguishes plaintext leaves by (scale, level). *)
+
+val dce : t -> t
+
+val reserve : t -> Op.id -> int
+(** [reserve m i] = [level.(i) * rbits - scale.(i)]: the bits of scale
+    budget left (the paper's reserve [r = Q/m], in bits). *)
+
+val input_level : t -> int
+(** Maximum level over ciphertext inputs: the encryption parameter [L]
+    (and thus [Q_max = R^L]) this program requires.  0 for programs with
+    no cipher inputs. *)
+
+val max_level : t -> int
+
+val n_rescale : t -> int
+
+val n_modswitch : t -> int
+
+val n_upscale : t -> int

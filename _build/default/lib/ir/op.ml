@@ -1,0 +1,60 @@
+type id = int
+
+type vtype = Cipher | Plain
+
+type kind =
+  | Input of { name : string; vt : vtype }
+  | Const of float
+  | Vconst of { tag : string; values : float array }
+  | Add of id * id
+  | Sub of id * id
+  | Mul of id * id
+  | Neg of id
+  | Rotate of id * int
+  | Rescale of id
+  | Modswitch of id
+  | Upscale of id * int
+
+let operands = function
+  | Input _ | Const _ | Vconst _ -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> [ a; b ]
+  | Neg a | Rescale a | Modswitch a -> [ a ]
+  | Rotate (a, _) -> [ a ]
+  | Upscale (a, _) -> [ a ]
+
+let map_operands f = function
+  | (Input _ | Const _ | Vconst _) as k -> k
+  | Add (a, b) -> Add (f a, f b)
+  | Sub (a, b) -> Sub (f a, f b)
+  | Mul (a, b) -> Mul (f a, f b)
+  | Neg a -> Neg (f a)
+  | Rotate (a, k) -> Rotate (f a, k)
+  | Rescale a -> Rescale (f a)
+  | Modswitch a -> Modswitch (f a)
+  | Upscale (a, m) -> Upscale (f a, m)
+
+let is_scale_mgmt = function
+  | Rescale _ | Modswitch _ | Upscale _ -> true
+  | Input _ | Const _ | Vconst _ | Add _ | Sub _ | Mul _ | Neg _ | Rotate _ ->
+      false
+
+let is_leaf = function
+  | Input _ | Const _ | Vconst _ -> true
+  | Add _ | Sub _ | Mul _ | Neg _ | Rotate _ | Rescale _ | Modswitch _
+  | Upscale _ ->
+      false
+
+let is_arith k = not (is_scale_mgmt k)
+
+let name = function
+  | Input _ -> "input"
+  | Const _ -> "const"
+  | Vconst _ -> "vconst"
+  | Add _ -> "add"
+  | Sub _ -> "sub"
+  | Mul _ -> "mul"
+  | Neg _ -> "neg"
+  | Rotate _ -> "rotate"
+  | Rescale _ -> "rescale"
+  | Modswitch _ -> "modswitch"
+  | Upscale _ -> "upscale"

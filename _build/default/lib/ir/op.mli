@@ -1,0 +1,58 @@
+(** Operations of the RNS-CKKS intermediate representation.
+
+    The vocabulary mirrors Table 2 of the paper: arithmetic operations
+    ([add], [sub], [mul], [neg], [rotate]) that affect encoded values, and
+    scale-management operations ([rescale], [modswitch], [upscale]) that
+    only change the scale/level bookkeeping of a ciphertext.
+
+    Values are identified by dense integer ids; an operation only refers
+    to ids smaller than its own (SSA, topologically ordered). *)
+
+type id = int
+(** A value id.  Ids are indices into the owning program's op array. *)
+
+type vtype =
+  | Cipher  (** encrypted vector *)
+  | Plain   (** plaintext (encoded) vector *)
+
+type kind =
+  | Input of { name : string; vt : vtype }
+      (** A program input; ciphertext inputs arrive encoded at the
+          waterline scale. *)
+  | Const of float
+      (** A scalar constant, splat across all slots; always [Plain]. *)
+  | Vconst of { tag : string; values : float array }
+      (** A vector constant (e.g. convolution mask), zero-extended to
+          the slot count; always [Plain].  [tag] is a stable label used
+          for structural dedup/printing. *)
+  | Add of id * id
+  | Sub of id * id
+  | Mul of id * id
+  | Neg of id
+  | Rotate of id * int
+      (** [Rotate (v, k)] rotates slots left by [k] (may be negative). *)
+  | Rescale of id
+      (** Divide scale by the rescaling factor [R]; level decreases by 1. *)
+  | Modswitch of id
+      (** Drop one modulus: level decreases by 1, scale unchanged. *)
+  | Upscale of id * int
+      (** [Upscale (v, bits)] multiplies the scale by [2^bits]
+          (multiplication by an encoded identity); level unchanged. *)
+
+val operands : kind -> id list
+(** Operand ids, in positional order. *)
+
+val map_operands : (id -> id) -> kind -> kind
+(** Rewrite operand ids (used by the pass remapping machinery). *)
+
+val is_arith : kind -> bool
+(** True for the operations a programmer writes (Table 2, upper half). *)
+
+val is_scale_mgmt : kind -> bool
+(** True for [Rescale], [Modswitch], [Upscale]. *)
+
+val is_leaf : kind -> bool
+(** True for [Input], [Const], [Vconst]. *)
+
+val name : kind -> string
+(** Mnemonic used by the printer, e.g. ["mul"]. *)

@@ -1,0 +1,132 @@
+type error = { line : int; msg : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.msg
+
+exception Err of error
+
+let fail line fmt = Format.kasprintf (fun msg -> raise (Err { line; msg })) fmt
+
+let tokens_of line s =
+  (* split on whitespace and commas; '=' is its own token *)
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' -> flush ()
+      | '=' | '[' | ']' | ':' ->
+          flush ();
+          out := String.make 1 c :: !out
+      | _ -> Buffer.add_char buf c)
+    s;
+  flush ();
+  ignore line;
+  List.rev !out
+
+let value_id line tok =
+  if String.length tok < 2 || tok.[0] <> '%' then
+    fail line "expected a value id like %%3, got %S" tok;
+  match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+  | Some v when v >= 0 -> v
+  | _ -> fail line "malformed value id %S" tok
+
+let number line tok =
+  match float_of_string_opt tok with
+  | Some f -> f
+  | None -> fail line "expected a number, got %S" tok
+
+let integer line tok =
+  match int_of_string_opt tok with
+  | Some i -> i
+  | None -> fail line "expected an integer, got %S" tok
+
+(* the annotation suffix the managed printer emits, if present *)
+let strip_annotation toks =
+  let rec cut acc = function
+    | ":" :: "m" :: "=" :: _ -> List.rev acc
+    | [] -> List.rev acc
+    | t :: rest -> cut (t :: acc) rest
+  in
+  cut [] toks
+
+let parse_rhs line toks =
+  match strip_annotation toks with
+  | [ "input"; name; ":"; vt ] ->
+      let vt =
+        match vt with
+        | "cipher" -> Op.Cipher
+        | "plain" -> Op.Plain
+        | _ -> fail line "input type must be cipher or plain, got %S" vt
+      in
+      Op.Input { name; vt }
+  | [ "const"; c ] -> Op.Const (number line c)
+  | "vconst" :: "[" :: rest ->
+      let rec values acc = function
+        | [ "]" ] -> List.rev acc
+        | v :: rest -> values (number line v :: acc) rest
+        | [] -> fail line "unterminated vconst"
+      in
+      Op.Vconst { tag = ""; values = Array.of_list (values [] rest) }
+  | [ "vconst"; tag ] ->
+      (* the printer's opaque form "vconst <tag>"; no values available *)
+      fail line "cannot parse opaque vconst %s: use the [v1, v2, ...] form" tag
+  | [ "add"; a; b ] -> Op.Add (value_id line a, value_id line b)
+  | [ "sub"; a; b ] -> Op.Sub (value_id line a, value_id line b)
+  | [ "mul"; a; b ] -> Op.Mul (value_id line a, value_id line b)
+  | [ "neg"; a ] -> Op.Neg (value_id line a)
+  | [ "rotate"; a; k ] -> Op.Rotate (value_id line a, integer line k)
+  | [ "rescale"; a ] -> Op.Rescale (value_id line a)
+  | [ "modswitch"; a ] -> Op.Modswitch (value_id line a)
+  | [ "upscale"; a; k ] -> Op.Upscale (value_id line a, integer line k)
+  | op :: _ -> fail line "unknown operation %S" op
+  | [] -> fail line "missing right-hand side"
+
+let parse ?(n_slots = 16384) text =
+  let ops = Fhe_util.Vec.create () in
+  let outputs = ref None in
+  let handle lineno raw =
+    let raw =
+      match String.index_opt raw '#' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
+    in
+    match tokens_of lineno raw with
+    | [] -> ()
+    | "ret" :: rest ->
+        if !outputs <> None then fail lineno "duplicate ret";
+        if rest = [] then fail lineno "ret needs at least one value";
+        outputs := Some (Array.of_list (List.map (value_id lineno) rest))
+    | lhs :: "=" :: rhs ->
+        if !outputs <> None then fail lineno "op after ret";
+        let id = value_id lineno lhs in
+        if id <> Fhe_util.Vec.length ops then
+          fail lineno "expected id %%%d, got %%%d (ids must be dense and in order)"
+            (Fhe_util.Vec.length ops) id;
+        Fhe_util.Vec.push ops (parse_rhs lineno rhs)
+    | _ -> fail lineno "expected '%%N = op ...' or 'ret ...'"
+  in
+  match
+    String.split_on_char '\n' text
+    |> List.iteri (fun i l -> handle (i + 1) l)
+  with
+  | () -> (
+      match !outputs with
+      | None -> Error { line = 0; msg = "missing ret" }
+      | Some outputs -> (
+          match
+            Program.make ~ops:(Fhe_util.Vec.to_array ops) ~outputs ~n_slots
+          with
+          | p -> Ok p
+          | exception Invalid_argument msg -> Error { line = 0; msg }))
+  | exception Err e -> Error e
+
+let parse_exn ?n_slots text =
+  match parse ?n_slots text with
+  | Ok p -> p
+  | Error e -> failwith (Format.asprintf "Parser: %a" pp_error e)

@@ -1,0 +1,27 @@
+(** A text format for (arithmetic) IR programs, round-tripping with
+    {!Pp.pp_program}:
+
+    {v
+    # comments and blank lines are skipped
+    %0 = input x : cipher
+    %1 = const 0.5
+    %2 = vconst [0.1, 0.2, 0.3]
+    %3 = mul %0 %1
+    %4 = rotate %3 5
+    ret %3, %4
+    v}
+
+    Value ids must be dense and in order (SSA, as printed); the managed
+    ops [rescale]/[modswitch]/[upscale] are accepted too so printed
+    managed programs parse back (annotations are not part of the text
+    format and are ignored on input). *)
+
+type error = { line : int; msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : ?n_slots:int -> string -> (Program.t, error) result
+(** Parse a whole program from a string ([n_slots] defaults to 16384). *)
+
+val parse_exn : ?n_slots:int -> string -> Program.t
+(** @raise Failure with a rendered error. *)

@@ -1,0 +1,80 @@
+let pp_kind ppf (k : Op.kind) =
+  let v ppf i = Format.fprintf ppf "%%%d" i in
+  match k with
+  | Op.Input { name; vt } ->
+      Format.fprintf ppf "input %s : %s" name
+        (match vt with Op.Cipher -> "cipher" | Op.Plain -> "plain")
+  | Op.Const c -> Format.fprintf ppf "const %g" c
+  | Op.Vconst { tag; values } ->
+      if Array.length values <= 8 then begin
+        Format.fprintf ppf "vconst [";
+        Array.iteri
+          (fun i x ->
+            if i > 0 then Format.fprintf ppf ", ";
+            Format.fprintf ppf "%.12g" x)
+          values;
+        Format.fprintf ppf "]"
+      end
+      else if tag <> "" then
+        Format.fprintf ppf "vconst <%s:%d>" tag (Array.length values)
+      else Format.fprintf ppf "vconst [%d values]" (Array.length values)
+  | Op.Add (a, b) -> Format.fprintf ppf "add %a %a" v a v b
+  | Op.Sub (a, b) -> Format.fprintf ppf "sub %a %a" v a v b
+  | Op.Mul (a, b) -> Format.fprintf ppf "mul %a %a" v a v b
+  | Op.Neg a -> Format.fprintf ppf "neg %a" v a
+  | Op.Rotate (a, k) -> Format.fprintf ppf "rotate %a %d" v a k
+  | Op.Rescale a -> Format.fprintf ppf "rescale %a" v a
+  | Op.Modswitch a -> Format.fprintf ppf "modswitch %a" v a
+  | Op.Upscale (a, m) -> Format.fprintf ppf "upscale %a %d" v a m
+
+let pp_outputs ppf outs =
+  Format.fprintf ppf "ret ";
+  Array.iteri
+    (fun i o ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%%%d" o)
+    outs
+
+let pp_program ppf p =
+  Program.iteri
+    (fun i k -> Format.fprintf ppf "%%%d = %a@." i pp_kind k)
+    p;
+  Format.fprintf ppf "%a@." pp_outputs (Program.outputs p)
+
+let program_to_string p = Format.asprintf "%a" pp_program p
+
+let pp_managed ~scale ~level ppf p =
+  Program.iteri
+    (fun i k ->
+      Format.fprintf ppf "%%%d = %a  : m=%d l=%d@." i pp_kind k scale.(i)
+        level.(i))
+    p;
+  Format.fprintf ppf "%a@." pp_outputs (Program.outputs p)
+
+let to_dot ?managed p =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph fhe {\n  rankdir=TB;\n";
+  let is_out = Array.make (Program.n_ops p) false in
+  Array.iter (fun o -> is_out.(o) <- true) (Program.outputs p);
+  Program.iteri
+    (fun i k ->
+      let label = Format.asprintf "%%%d: %a" i pp_kind k in
+      let label =
+        match managed with
+        | Some m ->
+            Printf.sprintf "%s\\nm=%d l=%d" label m.Managed.scale.(i)
+              m.Managed.level.(i)
+        | None -> label
+      in
+      let shape = if Op.is_scale_mgmt k then "box" else "ellipse" in
+      let extra = if is_out.(i) then ", peripheries=2" else "" in
+      Buffer.add_string b
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" i
+           (String.concat "\\\"" (String.split_on_char '"' label))
+           shape extra);
+      List.iter
+        (fun o -> Buffer.add_string b (Printf.sprintf "  n%d -> n%d;\n" o i))
+        (Op.operands k))
+    p;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,21 @@
+(** Human-readable program printing, for debugging and the CLI. *)
+
+val pp_kind : Format.formatter -> Op.kind -> unit
+
+val pp_program : Format.formatter -> Program.t -> unit
+(** One op per line: [%3 = mul %1 %2], followed by [ret %3, %7].
+    Short vector constants (≤ 8 values) print their contents, so the
+    output parses back with {!Parser.parse} (round trip up to 12
+    significant digits); longer ones print an opaque summary. *)
+
+val program_to_string : Program.t -> string
+
+val pp_managed :
+  scale:int array -> level:int array -> Format.formatter -> Program.t -> unit
+(** Like {!pp_program} but annotates every value with its scale (bits)
+    and level: [%3 = mul %1 %2  : m=40 l=2]. *)
+
+val to_dot : ?managed:Managed.t -> Program.t -> string
+(** Graphviz rendering of the dataflow graph (scale-management ops drawn
+    as boxes, arithmetic as ellipses, outputs double-circled).  When
+    [managed] is given, nodes carry their scale/level annotation. *)

@@ -1,0 +1,66 @@
+type t = {
+  ops : Op.kind array;
+  outputs : Op.id array;
+  n_slots : int;
+  vt : Op.vtype array;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let compute_vt ops =
+  let n = Array.length ops in
+  let vt = Array.make n Op.Plain in
+  for i = 0 to n - 1 do
+    let k = ops.(i) in
+    let v =
+      match k with
+      | Op.Input { vt; _ } -> vt
+      | Op.Const _ | Op.Vconst _ -> Op.Plain
+      | _ ->
+          if List.exists (fun o -> vt.(o) = Op.Cipher) (Op.operands k) then
+            Op.Cipher
+          else Op.Plain
+    in
+    vt.(i) <- v
+  done;
+  vt
+
+let make ~ops ~outputs ~n_slots =
+  if not (is_pow2 n_slots) then
+    invalid_arg "Program.make: n_slots must be a positive power of two";
+  let n = Array.length ops in
+  Array.iteri
+    (fun i k ->
+      List.iter
+        (fun o ->
+          if o < 0 || o >= i then
+            invalid_arg
+              (Printf.sprintf "Program.make: op %d has invalid operand %d" i o))
+        (Op.operands k))
+    ops;
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= n then
+        invalid_arg (Printf.sprintf "Program.make: invalid output id %d" o))
+    outputs;
+  { ops = Array.copy ops; outputs = Array.copy outputs; n_slots;
+    vt = compute_vt ops }
+
+let n_ops t = Array.length t.ops
+
+let n_slots t = t.n_slots
+
+let kind t i = t.ops.(i)
+
+let ops t = t.ops
+
+let outputs t = t.outputs
+
+let vtype t i = t.vt.(i)
+
+let iteri f t = Array.iteri f t.ops
+
+let count t ~f =
+  Array.fold_left (fun acc k -> if f k then acc + 1 else acc) 0 t.ops
+
+let n_arith t = count t ~f:(fun k -> Op.is_arith k && not (Op.is_leaf k))

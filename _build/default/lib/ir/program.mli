@@ -1,0 +1,38 @@
+(** An immutable RNS-CKKS program: SSA ops in topological order.
+
+    [ops.(i)] defines value [i]; operands of [ops.(i)] are all [< i].
+    This is the representation every compiler pass consumes and produces
+    (scale-management passes add [Rescale]/[Modswitch]/[Upscale] ops). *)
+
+type t
+
+val make : ops:Op.kind array -> outputs:Op.id array -> n_slots:int -> t
+(** Build a program, checking SSA well-formedness.
+    @raise Invalid_argument if an operand id is out of range or not
+    strictly smaller than its user's id, if an output id is invalid, or
+    if [n_slots] is not a positive power of two. *)
+
+val n_ops : t -> int
+
+val n_slots : t -> int
+
+val kind : t -> Op.id -> Op.kind
+
+val ops : t -> Op.kind array
+(** The underlying op array (do not mutate). *)
+
+val outputs : t -> Op.id array
+(** The returned value ids (do not mutate). *)
+
+val vtype : t -> Op.id -> Op.vtype
+(** Cipher/plain classification: an op is [Cipher] iff any transitive
+    input it depends on is a ciphertext. *)
+
+val iteri : (Op.id -> Op.kind -> unit) -> t -> unit
+(** Iterate ops in topological (id) order. *)
+
+val count : t -> f:(Op.kind -> bool) -> int
+(** Number of ops satisfying [f]. *)
+
+val n_arith : t -> int
+(** Number of non-leaf arithmetic ops (the "# Ops" column of Table 4). *)

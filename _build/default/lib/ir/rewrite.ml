@@ -1,0 +1,31 @@
+type result = { prog : Program.t; remap : int array }
+
+let rebuild p ~keep ~rewrite =
+  let n = Program.n_ops p in
+  let remap = Array.make n (-1) in
+  let out = Fhe_util.Vec.create () in
+  let must_keep = Array.make n false in
+  Array.iter (fun o -> must_keep.(o) <- true) (Program.outputs p);
+  for i = 0 to n - 1 do
+    if keep i || must_keep.(i) then begin
+      let k = Program.kind p i in
+      let k =
+        Op.map_operands
+          (fun o ->
+            if remap.(o) < 0 then
+              invalid_arg
+                (Printf.sprintf "Rewrite.rebuild: op %d uses deleted op %d" i o)
+            else remap.(o))
+          k
+      in
+      Fhe_util.Vec.push out (rewrite i k);
+      remap.(i) <- Fhe_util.Vec.length out - 1
+    end
+  done;
+  let outputs = Array.map (fun o -> remap.(o)) (Program.outputs p) in
+  { prog =
+      Program.make ~ops:(Fhe_util.Vec.to_array out) ~outputs
+        ~n_slots:(Program.n_slots p);
+    remap }
+
+let identity p = rebuild p ~keep:(fun _ -> true) ~rewrite:(fun _ k -> k)

@@ -1,0 +1,20 @@
+(** Shared machinery for id-remapping program transformations.
+
+    A pass produces a new program together with a map from old value ids
+    to new ones ([-1] for deleted values), so per-value side tables
+    (scales, levels, reserves) can be carried across the transformation. *)
+
+type result = {
+  prog : Program.t;
+  remap : int array;  (** [remap.(old_id)] = new id, or [-1] if removed. *)
+}
+
+val rebuild :
+  Program.t -> keep:(Op.id -> bool) -> rewrite:(Op.id -> Op.kind -> Op.kind) -> result
+(** Rebuild keeping exactly the ops selected by [keep] (outputs are
+    always kept), applying [rewrite] to each kept op {e after} its
+    operands have been remapped.  A dropped op must not be an operand of
+    a kept op.
+    @raise Invalid_argument if that is violated. *)
+
+val identity : Program.t -> result

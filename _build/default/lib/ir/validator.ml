@@ -1,0 +1,98 @@
+type error = { op : Op.id; msg : string }
+
+let pp_error ppf e = Format.fprintf ppf "op %%%d: %s" e.op e.msg
+
+let check (m : Managed.t) =
+  let p = m.Managed.prog in
+  let s = m.Managed.scale and l = m.Managed.level in
+  let rb = m.Managed.rbits and wb = m.Managed.wbits in
+  let errs = ref [] in
+  let err i fmt = Format.kasprintf (fun msg -> errs := { op = i; msg } :: !errs) fmt in
+  let is_c i = Program.vtype p i = Op.Cipher in
+  let n = Program.n_ops p in
+  for i = 0 to n - 1 do
+    (* Per-value invariants. *)
+    if s.(i) < 0 then err i "negative scale (%d bits)" s.(i);
+    if s.(i) > l.(i) * rb then
+      err i "scale overflow: m=%d bits exceeds Q=%d bits" s.(i) (l.(i) * rb);
+    if is_c i then begin
+      if l.(i) < 1 then err i "ciphertext at level %d < 1" l.(i);
+      if s.(i) < wb then
+        err i "ciphertext scale %d below waterline %d" s.(i) wb
+    end;
+    (* Per-op constraints. *)
+    let expect_same_sl a =
+      if s.(i) <> s.(a) then
+        err i "scale changed by %s: %d -> %d" (Op.name (Program.kind p i)) s.(a) s.(i);
+      if l.(i) <> l.(a) then
+        err i "level changed by %s: %d -> %d" (Op.name (Program.kind p i)) l.(a) l.(i)
+    in
+    match Program.kind p i with
+    | Op.Input { vt = Op.Cipher; _ } ->
+        if s.(i) <> wb then
+          err i "cipher input scale %d, expected waterline %d" s.(i) wb
+    | Op.Input _ | Op.Const _ | Op.Vconst _ -> ()
+    | Op.Add (a, b) | Op.Sub (a, b) -> (
+        match (is_c a, is_c b) with
+        | true, true ->
+            if s.(a) <> s.(b) then
+              err i "add/sub operand scale mismatch: %d vs %d" s.(a) s.(b);
+            if l.(a) <> l.(b) then
+              err i "add/sub operand level mismatch: %d vs %d" l.(a) l.(b);
+            expect_same_sl a
+        | true, false | false, true ->
+            let c = if is_c a then a else b and q = if is_c a then b else a in
+            if s.(q) <> s.(c) then
+              err i "plain operand scale %d does not match cipher scale %d"
+                s.(q) s.(c);
+            if l.(q) <> l.(c) then
+              err i "plain operand level %d does not match cipher level %d"
+                l.(q) l.(c);
+            expect_same_sl c
+        | false, false -> expect_same_sl a)
+    | Op.Mul (a, b) ->
+        if l.(a) <> l.(b) then
+          err i "mul operand level mismatch: %d vs %d" l.(a) l.(b);
+        if l.(i) <> l.(a) then
+          err i "mul changed level: %d -> %d" l.(a) l.(i);
+        if s.(i) <> s.(a) + s.(b) then
+          err i "mul result scale %d, expected %d + %d" s.(i) s.(a) s.(b);
+        let plain_side =
+          match (is_c a, is_c b) with
+          | true, false -> Some b
+          | false, true -> Some a
+          | _ -> None
+        in
+        Option.iter
+          (fun q ->
+            if s.(q) < wb then
+              err i "plain mul operand scale %d below waterline %d" s.(q) wb)
+          plain_side
+    | Op.Neg a | Op.Rotate (a, _) -> expect_same_sl a
+    | Op.Rescale a ->
+        if s.(i) <> s.(a) - rb then
+          err i "rescale scale %d, expected %d - %d" s.(i) s.(a) rb;
+        if l.(i) <> l.(a) - 1 then
+          err i "rescale level %d, expected %d - 1" l.(i) l.(a)
+        (* waterline on the result is covered by the per-value check *)
+    | Op.Modswitch a ->
+        if s.(i) <> s.(a) then err i "modswitch changed scale";
+        if l.(i) <> l.(a) - 1 then
+          err i "modswitch level %d, expected %d - 1" l.(i) l.(a)
+    | Op.Upscale (a, amt) ->
+        if amt <= 0 then err i "non-positive upscale amount %d" amt;
+        if s.(i) <> s.(a) + amt then
+          err i "upscale scale %d, expected %d + %d" s.(i) s.(a) amt;
+        if l.(i) <> l.(a) then err i "upscale changed level"
+  done;
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+let check_exn m =
+  match check m with
+  | Ok () -> ()
+  | Error es ->
+      let b = Buffer.create 256 in
+      List.iter
+        (fun e -> Buffer.add_string b (Format.asprintf "%a\n" pp_error e))
+        es;
+      failwith ("Validator: illegal managed program:\n" ^ Buffer.contents b)

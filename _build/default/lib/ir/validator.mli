@@ -1,0 +1,30 @@
+(** The RNS-CKKS legality checker.
+
+    Verifies that a managed program satisfies every constraint of
+    Table 2 plus the waterline and scale-overflow invariants.  All
+    three compilers' outputs are run through this checker in the test
+    suite, and the reserve pipeline checks its own output — this is the
+    "ensures the correctness of the analysis result" role the paper
+    assigns to the type system, applied to the final program. *)
+
+type error = { op : Op.id; msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Managed.t -> (unit, error list) result
+(** All violated constraints, in op order.  The checked rules are:
+    - every value: [0 <= scale <= level*rbits] (no scale overflow);
+    - every ciphertext: [level >= 1] and [scale >= wbits] (waterline);
+    - add/sub of two ciphers: equal scales and levels, result inherits;
+    - add/sub cipher+plain: plain matches the cipher scale and level;
+    - mul of two ciphers: equal levels; result scale is the sum;
+    - mul cipher×plain: equal levels, plain scale ≥ waterline;
+    - neg/rotate: scale and level preserved;
+    - rescale: scale drops by exactly [rbits], level by 1, and the
+      result of a cipher rescale stays at or above the waterline;
+    - modswitch: level drops by 1, scale preserved;
+    - upscale: positive amount, level preserved;
+    - cipher inputs arrive at the waterline scale. *)
+
+val check_exn : Managed.t -> unit
+(** @raise Failure with a rendered error list if the program is illegal. *)

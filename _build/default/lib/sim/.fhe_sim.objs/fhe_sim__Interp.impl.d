@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Analysis Array Fhe_ir Fhe_util Float List Managed Noise Op Printf Program

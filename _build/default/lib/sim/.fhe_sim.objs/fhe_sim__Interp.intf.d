@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Fhe_ir Managed Noise Program

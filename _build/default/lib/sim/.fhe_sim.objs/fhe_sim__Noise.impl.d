@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Array Fhe_ir Fhe_util Float Managed Op Option Program

@@ -1,0 +1,1 @@
+lib/sim/tuner.ml: Fhe_ir Interp Managed

@@ -1,0 +1,1 @@
+lib/sim/tuner.mli: Fhe_ir Managed Noise

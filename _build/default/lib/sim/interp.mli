@@ -1,0 +1,37 @@
+open Fhe_ir
+
+(** Fixed-point interpreter for managed programs.
+
+    Executes the program on real vectors while propagating a worst-case
+    additive error bound per value according to {!Noise}.  This is the
+    measurement backend for the Fig. 7 error experiment and the
+    differential-correctness oracle of the test suite: any legal
+    scale-management plan must compute the same function as the original
+    arithmetic program, up to the propagated bound. *)
+
+type value = {
+  data : float array;  (** decoded slot values (exact arithmetic) *)
+  err : float;  (** worst-case absolute error bound of any slot *)
+}
+
+val run :
+  ?noise:Noise.t -> Managed.t -> inputs:(string * float array) list -> value array
+(** Evaluate; one {!value} per program output.  Input vectors shorter
+    than the slot count are zero-padded.
+    @raise Invalid_argument if a ciphertext/plaintext input is missing
+    or too long. *)
+
+val run_reference :
+  Program.t -> inputs:(string * float array) list -> float array array
+(** Evaluate the original (arithmetic-only) program exactly, ignoring
+    scales: the ground truth the encrypted result approximates. *)
+
+val max_log2_error :
+  ?noise:Noise.t -> Managed.t -> inputs:(string * float array) list -> float
+(** [log2] of the worst output error bound — the Fig. 7 metric. *)
+
+val max_magnitude_bits : Program.t -> inputs:(string * float array) list -> int
+(** [ceil log2] of the largest absolute value any (intermediate or
+    output) slot takes on these inputs, at least 0 — the [x_max]
+    headroom ([xmax_bits]) the compilers need to avoid scale overflow on
+    this workload (Table 1). *)

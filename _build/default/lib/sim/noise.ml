@@ -1,0 +1,43 @@
+open Fhe_ir
+
+type t = {
+  fresh_bits : int;
+  mul_bits : int;
+  rotate_bits : int;
+  rescale_bits : int;
+  modswitch_bits : int;
+}
+
+let default =
+  { fresh_bits = 6;
+    mul_bits = 12;
+    rotate_bits = 12;
+    rescale_bits = 10;
+    modswitch_bits = 6 }
+
+let contribution ~bits ~scale = Fhe_util.Bits.pow2f (bits - scale)
+
+let static_log2_error ?(noise = default) (m : Managed.t) =
+  let p = m.Managed.prog in
+  let total = ref 0.0 in
+  Program.iteri
+    (fun i k ->
+      if Program.vtype p i = Op.Cipher then begin
+        let bits =
+          match k with
+          | Op.Mul (a, b)
+            when Program.vtype p a = Op.Cipher && Program.vtype p b = Op.Cipher
+            ->
+              Some noise.mul_bits
+          | Op.Rotate _ -> Some noise.rotate_bits
+          | Op.Rescale _ -> Some noise.rescale_bits
+          | Op.Modswitch _ -> Some noise.modswitch_bits
+          | Op.Input _ -> Some noise.fresh_bits
+          | _ -> None
+        in
+        Option.iter
+          (fun b -> total := !total +. contribution ~bits:b ~scale:m.Managed.scale.(i))
+          bits
+      end)
+    p;
+  Fhe_util.Bits.log2f (Float.max !total 1e-300)

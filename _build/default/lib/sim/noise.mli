@@ -1,0 +1,33 @@
+(** The RNS-CKKS noise model used by the interpreter (Fig. 7).
+
+    CKKS noise is {e scale-independent} in absolute (integer) terms: a
+    noisy operation perturbs the integer representation by roughly a
+    fixed magnitude [η], so its contribution to the decoded value is
+    [η / m] — a larger scale means a smaller error.  This is exactly why
+    scale-management plans that keep scales high (reserve analysis) see
+    lower error than plans that aggressively downscale (Hecate), the
+    effect Fig. 7 measures. *)
+
+type t = {
+  fresh_bits : int;
+      (** log2 of the integer noise of encryption and encoding *)
+  mul_bits : int;  (** relinearization noise of cipher×cipher *)
+  rotate_bits : int;  (** key-switching noise of rotation *)
+  rescale_bits : int;  (** rounding noise of rescale *)
+  modswitch_bits : int;  (** rounding noise of modswitch *)
+}
+
+val default : t
+(** Calibrated to SEAL-like magnitudes at [N = 2^15]:
+    fresh/modswitch ≈ 2^6, rescale ≈ 2^10, mul/rotate ≈ 2^12. *)
+
+val contribution : bits:int -> scale:int -> float
+(** [contribution ~bits ~scale] = [2^(bits - scale)]: the absolute error
+    a noisy op adds to the decoded value at the given result scale. *)
+
+val static_log2_error : ?noise:t -> Fhe_ir.Managed.t -> float
+(** A data-free error proxy: [log2] of the summed noise contributions of
+    every noisy operation at its result scale (assuming unit-magnitude
+    values, i.e. ignoring the amplification {!Interp} tracks).  Cheap
+    enough to sit inside an exploration loop; monotone with the
+    interpreter's bound on unit-scale workloads. *)

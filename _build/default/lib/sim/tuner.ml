@@ -1,0 +1,17 @@
+open Fhe_ir
+
+let tune_waterline ?(lo = 15) ?(hi = 50) ?noise ~compile ~inputs
+    ~target_log2_error () =
+  if lo > hi then invalid_arg "Tuner.tune_waterline: lo > hi";
+  let err w = Interp.max_log2_error ?noise (compile ~wbits:w) ~inputs in
+  if err hi > target_log2_error then None
+  else begin
+    (* invariant: err hi <= target < err (lo - 1); shrink to the
+       smallest satisfying waterline *)
+    let lo = ref lo and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if err mid <= target_log2_error then hi := mid else lo := mid + 1
+    done;
+    Some (!lo, (compile ~wbits:!lo : Managed.t))
+  end

@@ -1,0 +1,24 @@
+open Fhe_ir
+
+(** Waterline auto-tuning.
+
+    The waterline trades latency for precision (Fig. 6 vs Fig. 7): a
+    larger minimum scale keeps the scale-independent operation noise
+    relatively smaller but costs levels.  Given an error target, this
+    searches for the smallest waterline whose compiled program's
+    worst-case output error bound meets it — the parameter-selection
+    loop an application developer runs by hand in EVA/Hecate. *)
+
+val tune_waterline :
+  ?lo:int ->
+  ?hi:int ->
+  ?noise:Noise.t ->
+  compile:(wbits:int -> Managed.t) ->
+  inputs:(string * float array) list ->
+  target_log2_error:float ->
+  unit ->
+  (int * Managed.t) option
+(** Smallest [wbits] in [\[lo, hi\]] (default 15..50) such that
+    [Interp.max_log2_error (compile ~wbits)] ≤ [target_log2_error];
+    [None] if even [hi] misses the target.  Uses binary search (error
+    bounds decrease monotonically in the waterline). *)

@@ -1,0 +1,20 @@
+let ceil_div a b =
+  assert (b > 0);
+  if a >= 0 then (a + b - 1) / b
+  else -((-a) / b)
+
+let floor_div a b =
+  assert (b > 0);
+  if a >= 0 then a / b
+  else -(((-a) + b - 1) / b)
+
+let pos_rem a b =
+  assert (b > 0);
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let pow2f b = 2.0 ** float_of_int b
+
+let log2f x = log x /. log 2.0

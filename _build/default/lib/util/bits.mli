@@ -1,0 +1,24 @@
+(** Small integer helpers used throughout the scale analyses.
+
+    All scale quantities in this project are integers counting {e bits}
+    (i.e. [log2] of the actual scale / modulus / reserve).  The helpers
+    here implement the ceiling/fraction arithmetic that the paper writes
+    over the reals, exactly, over integers. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] for [b > 0].  Works for negative [a]. *)
+
+val floor_div : int -> int -> int
+(** [floor_div a b] is [floor (a / b)] for [b > 0].  Works for negative [a]. *)
+
+val pos_rem : int -> int -> int
+(** [pos_rem a b] is [a mod b] normalised into [0 .. b-1] for [b > 0]. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] bounds [x] into [\[lo, hi\]]. *)
+
+val pow2f : int -> float
+(** [pow2f b] is [2.0 ** b] as a float; [b] may be negative or large. *)
+
+val log2f : float -> float
+(** Base-2 logarithm. *)

@@ -1,0 +1,64 @@
+type t = {
+  mutable prio : int array;
+  mutable item : int array;
+  mutable len : int;
+}
+
+let create () = { prio = Array.make 16 0; item = Array.make 16 0; len = 0 }
+
+let swap t i j =
+  let p = t.prio.(i) and x = t.item.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.item.(i) <- t.item.(j);
+  t.prio.(j) <- p;
+  t.item.(j) <- x
+
+let less t i j =
+  t.prio.(i) < t.prio.(j) || (t.prio.(i) = t.prio.(j) && t.item.(i) < t.item.(j))
+
+let push t ~prio x =
+  if t.len = Array.length t.prio then begin
+    let n = 2 * t.len in
+    let p = Array.make n 0 and it = Array.make n 0 in
+    Array.blit t.prio 0 p 0 t.len;
+    Array.blit t.item 0 it 0 t.len;
+    t.prio <- p;
+    t.item <- it
+  end;
+  t.prio.(t.len) <- prio;
+  t.item.(t.len) <- x;
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  while !i > 0 && less t !i ((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.item.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.prio.(0) <- t.prio.(t.len);
+      t.item.(0) <- t.item.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < t.len && less t l !m then m := l;
+        if r < t.len && less t r !m then m := r;
+        if !m <> !i then begin
+          swap t !i !m;
+          i := !m
+        end
+        else continue := false
+      done
+    end;
+    Some x
+  end
+
+let is_empty t = t.len = 0
+
+let length t = t.len

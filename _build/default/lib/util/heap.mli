@@ -1,0 +1,17 @@
+(** A mutable binary min-heap over integer items with integer
+    priorities.  Used by the reserve analysis to process values in
+    allocation order subject to dataflow readiness. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> prio:int -> int -> unit
+
+val pop : t -> int option
+(** Remove and return the item with the smallest priority (ties broken
+    by insertion order being irrelevant but deterministic). *)
+
+val is_empty : t -> bool
+
+val length : t -> int

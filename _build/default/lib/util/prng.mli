@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    The evaluation needs reproducible synthetic datasets and reproducible
+    exploration (the Hecate baseline), independent of the OCaml stdlib
+    [Random] state.  SplitMix64 is small, fast, and has well-understood
+    statistical quality for this purpose. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** Derive an independent generator (for parallel-feeling streams). *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1]; [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw in [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal draw (Box–Muller). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

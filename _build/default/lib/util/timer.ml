@@ -1,0 +1,7 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1000.0)
+
+let time_ms f = snd (time f)

@@ -1,0 +1,8 @@
+(** Wall-clock timing for the compile-time experiments (Table 4). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall
+    time in milliseconds. *)
+
+val time_ms : (unit -> unit) -> float
+(** Elapsed wall time of a thunk, in milliseconds. *)

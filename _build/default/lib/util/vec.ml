@@ -1,0 +1,47 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let grow t needed =
+  let cap = Array.length t.data in
+  if needed > cap then begin
+    let ncap = max 8 (max needed (2 * cap)) in
+    (* Safe: slots beyond [len] are never observed. *)
+    let nd = Array.make ncap (Obj.magic 0) in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end
+
+let push t x =
+  grow t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i = check t i; t.data.(i)
+
+let set t i x = check t i; t.data.(i) <- x
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let iter f t =
+  for i = 0 to t.len - 1 do f t.data.(i) done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do f i t.data.(i) done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do acc := f !acc t.data.(i) done;
+  !acc
+
+let clear t = t.len <- 0; t.data <- [||]

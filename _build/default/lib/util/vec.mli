@@ -1,0 +1,31 @@
+(** A growable array (OCaml 5.1 predates stdlib [Dynarray]).
+
+    Used by the IR builder and the compiler passes, which append
+    operations one at a time and then freeze the result. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument when out of bounds. *)
+
+val to_array : 'a t -> 'a array
+(** Freeze into a fresh array of exactly [length t] elements. *)
+
+val of_array : 'a array -> 'a t
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Builder Fhe_cost Fhe_ir Fhe_sim Float Format List String Validator

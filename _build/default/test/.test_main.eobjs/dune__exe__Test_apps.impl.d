@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Analysis Array Builder Fhe_apps Fhe_cost Fhe_eva Fhe_ir Fhe_sim Fhe_util Float Hashtbl Helpers List Op Printf Program Reserve

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Builder Ckks Fhe_apps Fhe_eva Fhe_hecate Fhe_ir Fhe_sim Fhe_util Float Helpers Op Reserve

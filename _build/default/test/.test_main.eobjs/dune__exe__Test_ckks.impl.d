@@ -1,0 +1,1 @@
+test/test_ckks.ml: Alcotest Array Ckks Fhe_util Float Hashtbl Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_ckks_math.ml: Alcotest Array Ckks Complex Fhe_util Float Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Analysis Array Builder Fhe_cost Fhe_eva Fhe_ir Helpers List Managed Program

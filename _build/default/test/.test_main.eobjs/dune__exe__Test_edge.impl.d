@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Builder Ckks Emit Fhe_eva Fhe_ir Fhe_sim Fhe_util Float Gen Helpers Lazy List Managed Op Pp Reserve String

@@ -1,0 +1,1 @@
+test/test_eva.ml: Alcotest Array Builder Fhe_eva Fhe_ir Gen Helpers Managed Op Program QCheck QCheck_alcotest

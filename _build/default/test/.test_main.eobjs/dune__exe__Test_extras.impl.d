@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Analysis Array Builder Bytes Ckks Fhe_eva Fhe_ir Fhe_sim Float Format Helpers Lazy List Managed Op Parser Pp Program Reserve Result

@@ -1,0 +1,1 @@
+test/test_hecate.ml: Alcotest Fhe_apps Fhe_cost Fhe_eva Fhe_hecate Fhe_sim Gen Helpers QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Analysis Array Builder Fhe_ir Fhe_sim Helpers List Op Pp Printf Program

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Builder Constfold Cse Dce Fhe_ir Fhe_sim Float Gen Op Program QCheck QCheck_alcotest Rewrite

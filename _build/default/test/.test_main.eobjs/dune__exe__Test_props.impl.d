@@ -1,0 +1,1 @@
+test/test_props.ml: Array Ckks Fhe_eva Fhe_ir Fhe_util Float Gen Lazy Managed Op Parser Pp Program QCheck QCheck_alcotest Result Validator

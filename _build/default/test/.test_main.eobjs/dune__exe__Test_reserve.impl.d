@@ -1,0 +1,1 @@
+test/test_reserve.ml: Alcotest Array Fhe_cost Fhe_ir Float Gen Helpers List Managed Op Program QCheck QCheck_alcotest Reserve

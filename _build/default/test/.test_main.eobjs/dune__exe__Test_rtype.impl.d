@@ -1,0 +1,1 @@
+test/test_rtype.ml: Alcotest QCheck QCheck_alcotest Reserve

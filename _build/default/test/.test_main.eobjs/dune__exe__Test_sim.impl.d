@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Fhe_eva Fhe_ir Fhe_sim Float Gen Helpers QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Fhe_util Heap List Prng QCheck QCheck_alcotest Timer Vec

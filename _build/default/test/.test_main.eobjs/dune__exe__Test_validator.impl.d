@@ -1,0 +1,1 @@
+test/test_validator.ml: Alcotest Fhe_ir Format Helpers List Managed Op Program String Validator

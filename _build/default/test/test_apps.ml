@@ -1,0 +1,229 @@
+open Fhe_ir
+module Reg = Fhe_apps.Registry
+
+(* Building LeNet-scale programs repeatedly is wasteful: memoize. *)
+let built = Hashtbl.create 8
+
+let prog_of (a : Reg.app) =
+  match Hashtbl.find_opt built a.Reg.name with
+  | Some p -> p
+  | None ->
+      let p = a.Reg.build () in
+      Hashtbl.replace built a.Reg.name p;
+      p
+
+let test_registry () =
+  Alcotest.(check int) "eight benchmarks" 8 (List.length Reg.all);
+  Alcotest.(check (list string)) "paper order"
+    [ "SF"; "HCD"; "LR"; "MR"; "PR"; "MLP"; "Lenet-5"; "Lenet-C" ]
+    (List.map (fun a -> a.Reg.name) Reg.all);
+  Alcotest.(check string) "case-insensitive lookup" "Lenet-5"
+    (Reg.find "lenet-5").Reg.name;
+  (try
+     ignore (Reg.find "nope");
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ());
+  Alcotest.(check int) "small excludes lenet" 6 (List.length Reg.small)
+
+(* Expected op-count bands (arith ops) and multiplicative depths: the
+   paper's Table 4 reports 60..9845 ops; ours land in the same decades. *)
+let expectations =
+  [ ("SF", (20, 80), (2, 4));
+    ("HCD", (60, 160), (3, 6));
+    ("LR", (100, 200), (7, 10));
+    ("MR", (450, 800), (7, 10));
+    ("PR", (180, 400), (9, 12));
+    ("MLP", (400, 800), (4, 7));
+    ("Lenet-5", (8000, 16000), (12, 18));
+    ("Lenet-C", (9000, 18000), (12, 18)) ]
+
+let test_shapes () =
+  List.iter
+    (fun (name, (lo, hi), (dlo, dhi)) ->
+      let p = prog_of (Reg.find name) in
+      let n = Program.n_arith p in
+      if n < lo || n > hi then
+        Alcotest.failf "%s: %d arith ops outside [%d, %d]" name n lo hi;
+      let d = Analysis.max_mult_depth p in
+      if d < dlo || d > dhi then
+        Alcotest.failf "%s: depth %d outside [%d, %d]" name d dlo dhi)
+    expectations
+
+let test_lenet_c_bigger () =
+  let l5 = prog_of (Reg.find "Lenet-5") in
+  let lc = prog_of (Reg.find "Lenet-C") in
+  Alcotest.(check bool) "CIFAR variant has more ops" true
+    (Program.n_arith lc > Program.n_arith l5)
+
+let test_inputs_match () =
+  List.iter
+    (fun (a : Reg.app) ->
+      let p = prog_of a in
+      (* every declared input must be provided by the generator *)
+      let provided = List.map fst (a.Reg.inputs ~seed:1) in
+      Program.iteri
+        (fun _ k ->
+          match k with
+          | Op.Input { name; _ } ->
+              if not (List.mem name provided) then
+                Alcotest.failf "%s: input %s not provided" a.Reg.name name
+          | _ -> ())
+        p)
+    Reg.all
+
+let test_determinism () =
+  let a = Reg.find "MLP" in
+  let p1 = a.Reg.build () and p2 = a.Reg.build () in
+  Alcotest.(check int) "same size" (Program.n_ops p1) (Program.n_ops p2);
+  let o1 = Fhe_sim.Interp.run_reference p1 ~inputs:(a.Reg.inputs ~seed:3) in
+  let o2 = Fhe_sim.Interp.run_reference p2 ~inputs:(a.Reg.inputs ~seed:3) in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "output %d" i) v o2.(i))
+    o1
+
+let test_outputs_finite () =
+  List.iter
+    (fun (a : Reg.app) ->
+      let p = prog_of a in
+      let outs = Fhe_sim.Interp.run_reference p ~inputs:(a.Reg.inputs ~seed:5) in
+      Array.iter
+        (fun o ->
+          Array.iter
+            (fun x ->
+              if not (Float.is_finite x) then
+                Alcotest.failf "%s produced a non-finite value" a.Reg.name)
+            o)
+        outs)
+    Reg.all
+
+(* The headline claim, on the real benchmarks: all three compilers are
+   legal and semantics-preserving, and reserve never loses to EVA. *)
+let compilers_on name w =
+  let a = Reg.find name in
+  let p = prog_of a in
+  let inputs = a.Reg.inputs ~seed:11 in
+  let eva = Fhe_eva.Eva.compile ~rbits:60 ~wbits:w p in
+  let rsv = Reserve.Pipeline.compile ~rbits:60 ~wbits:w p in
+  Helpers.check_valid eva;
+  Helpers.check_valid rsv;
+  Helpers.check_equivalent ~slack:1e-6 p eva inputs;
+  Helpers.check_equivalent ~slack:1e-6 p rsv inputs;
+  let ce = Fhe_cost.Model.estimate eva and cr = Fhe_cost.Model.estimate rsv in
+  (* ties within 5% are acceptable (the paper reports up to 6.5%
+     slowdowns on a few parameters); anything beyond that is a bug *)
+  if cr > ce *. 1.05 then
+    Alcotest.failf "%s @ w=%d: reserve (%.0f) slower than EVA (%.0f)" name w cr
+      ce
+
+let test_small_apps_all_compilers () =
+  List.iter
+    (fun (a : Reg.app) ->
+      List.iter (fun w -> compilers_on a.Reg.name w) [ 20; 30; 40 ])
+    Reg.small
+
+let test_lenet_compilers () = compilers_on "Lenet-5" 30
+
+let test_kernel_sum_slots () =
+  let b = Builder.create ~n_slots:8 () in
+  let x = Builder.input b "x" in
+  let p = Builder.finish b ~outputs:[ Fhe_apps.Kernels.sum_slots b x ~n:8 ] in
+  let out =
+    (Fhe_sim.Interp.run_reference p
+       ~inputs:[ ("x", [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |]) ]).(0)
+  in
+  Array.iter (fun v -> Alcotest.(check (float 1e-9)) "36 everywhere" 36.0 v) out
+
+let test_kernel_matvec_diag () =
+  let dim = 4 in
+  let mat = [| [| 1.;2.;3.;4. |]; [| 5.;6.;7.;8. |]; [| 9.;1.;2.;3. |]; [| 4.;5.;6.;7. |] |] in
+  let x = [| 1.0; -1.0; 2.0; 0.5 |] in
+  let b = Builder.create ~n_slots:16 () in
+  let xe = Builder.input b "x" in
+  let p = Builder.finish b ~outputs:[ Fhe_apps.Kernels.matvec_diag b xe ~dim ~mat ] in
+  let out = (Fhe_sim.Interp.run_reference p ~inputs:[ ("x", x) ]).(0) in
+  for r = 0 to dim - 1 do
+    let expect = ref 0.0 in
+    for c = 0 to dim - 1 do
+      expect := !expect +. (mat.(r).(c) *. x.(c))
+    done;
+    Alcotest.(check (float 1e-9)) (Printf.sprintf "row %d" r) !expect out.(r)
+  done
+
+let test_kernel_matvec_bsgs_matches_diag () =
+  let dim = 8 in
+  let g = Fhe_util.Prng.create 3 in
+  let mat =
+    Array.init dim (fun _ ->
+        Array.init dim (fun _ -> Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0))
+  in
+  let x = Array.init dim (fun i -> float_of_int (i + 1) /. 8.0) in
+  let b = Builder.create ~n_slots:32 () in
+  let xe = Builder.input b "x" in
+  let d = Fhe_apps.Kernels.matvec_diag b xe ~dim ~mat in
+  let s = Fhe_apps.Kernels.matvec_bsgs b xe ~dim ~mat in
+  let p = Builder.finish b ~outputs:[ d; s ] in
+  let outs = Fhe_sim.Interp.run_reference p ~inputs:[ ("x", x) ] in
+  for r = 0 to dim - 1 do
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "slot %d" r)
+      outs.(0).(r) outs.(1).(r)
+  done
+
+let test_kernel_conv2d () =
+  (* identity kernel returns the image *)
+  let b = Builder.create ~n_slots:16 () in
+  let img = Builder.input b "img" in
+  let id = [| [| 0.;0.;0. |]; [| 0.;1.;0. |]; [| 0.;0.;0. |] |] in
+  let c = Fhe_apps.Kernels.conv2d b img ~width:4 ~height:4 ~weights:id in
+  let p = Builder.finish b ~outputs:[ c ] in
+  let data = Array.init 16 (fun i -> float_of_int i) in
+  let out = (Fhe_sim.Interp.run_reference p ~inputs:[ ("img", data) ]).(0) in
+  Alcotest.(check (array (float 1e-9))) "identity" data out
+
+let test_kernel_masked_gather () =
+  let b = Builder.create ~n_slots:8 () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let gathered =
+    Fhe_apps.Kernels.masked_gather b [ (x, 0, 2, 0); (y, 2, 2, 2) ]
+  in
+  let p = Builder.finish b ~outputs:[ gathered ] in
+  let out =
+    (Fhe_sim.Interp.run_reference p
+       ~inputs:
+         [ ("x", [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. |]);
+           ("y", [| 9.; 9.; 30.; 40.; 9.; 9.; 9.; 9. |]) ]).(0)
+  in
+  Alcotest.(check (array (float 1e-9))) "gathered"
+    [| 1.; 2.; 30.; 40.; 0.; 0.; 0.; 0. |]
+    out
+
+let test_regression_learns () =
+  (* gradient descent should move the weight towards the target 0.7 *)
+  let a = Reg.find "LR" in
+  let p = prog_of a in
+  let outs = Fhe_sim.Interp.run_reference p ~inputs:(a.Reg.inputs ~seed:1) in
+  let w_final = outs.(0).(0) in
+  let w_init = 0.1 in
+  Alcotest.(check bool) "closer to 0.7 than the initialisation" true
+    (Float.abs (w_final -. 0.7) < Float.abs (w_init -. 0.7))
+
+let suite =
+  [ Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "op counts / depths in paper bands" `Slow test_shapes;
+    Alcotest.test_case "Lenet-C bigger than Lenet-5" `Slow test_lenet_c_bigger;
+    Alcotest.test_case "declared inputs provided" `Slow test_inputs_match;
+    Alcotest.test_case "builders deterministic" `Quick test_determinism;
+    Alcotest.test_case "reference outputs finite" `Slow test_outputs_finite;
+    Alcotest.test_case "small apps: 3 waterlines, both compilers" `Slow
+      test_small_apps_all_compilers;
+    Alcotest.test_case "lenet-5: both compilers" `Slow test_lenet_compilers;
+    Alcotest.test_case "kernel: sum_slots" `Quick test_kernel_sum_slots;
+    Alcotest.test_case "kernel: matvec diag" `Quick test_kernel_matvec_diag;
+    Alcotest.test_case "kernel: bsgs = diag" `Quick
+      test_kernel_matvec_bsgs_matches_diag;
+    Alcotest.test_case "kernel: conv2d identity" `Quick test_kernel_conv2d;
+    Alcotest.test_case "kernel: masked gather" `Quick test_kernel_masked_gather;
+    Alcotest.test_case "LR training converges" `Quick test_regression_learns ]

@@ -1,0 +1,223 @@
+(* The scheme itself: encode/encrypt/evaluate/decrypt correctness with
+   realistic (small-ring) parameters.  Precision assertions are loose —
+   they bound the scheme noise, not float arithmetic. *)
+
+module E = Ckks.Evaluator
+
+let ctx = lazy (Ckks.Context.make ~n:512 ~levels:4 ())
+
+let keys = lazy (Ckks.Keys.keygen ~rotations:[ 1; 3 ] (Lazy.force ctx))
+
+let nh = 256
+
+let scale = 2.0 ** 24.0
+
+let data seed =
+  let g = Fhe_util.Prng.create seed in
+  Array.init nh (fun _ -> Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0)
+
+let max_err a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let check_close name expect got tol =
+  let e = max_err expect got in
+  if e > tol then Alcotest.failf "%s: max err %g > %g" name e tol
+
+let test_encode_roundtrip () =
+  let ctx = Lazy.force ctx in
+  let v = data 1 in
+  let pt = Ckks.Encoder.encode ctx ~level:4 ~scale v in
+  check_close "encode/decode" v (Ckks.Encoder.decode ctx ~scale pt) 1e-5
+
+let test_encode_partial_vector () =
+  let ctx = Lazy.force ctx in
+  let pt = Ckks.Encoder.encode ctx ~level:2 ~scale [| 1.0; 2.0 |] in
+  let out = Ckks.Encoder.decode ctx ~scale pt in
+  Alcotest.(check (float 1e-5)) "slot 0" 1.0 out.(0);
+  Alcotest.(check (float 1e-5)) "slot 1" 2.0 out.(1);
+  Alcotest.(check (float 1e-5)) "padded" 0.0 out.(17)
+
+let test_encrypt_roundtrip () =
+  let keys = Lazy.force keys in
+  let v = data 2 in
+  let ct = E.encrypt keys ~level:4 ~scale v in
+  check_close "pk enc/dec" v (E.decrypt keys ct) 1e-3
+
+let test_encrypt_sym_roundtrip () =
+  let keys = Lazy.force keys in
+  let v = data 3 in
+  let ct = E.encrypt_sym keys ~level:3 ~scale v in
+  check_close "sk enc/dec" v (E.decrypt keys ct) 1e-3
+
+let test_fresh_ciphertexts_differ () =
+  let keys = Lazy.force keys in
+  let v = data 4 in
+  let a = E.encrypt keys ~level:4 ~scale v in
+  let b = E.encrypt keys ~level:4 ~scale v in
+  Alcotest.(check bool) "randomised" true (a.E.c1 <> b.E.c1)
+
+let test_add_sub_neg () =
+  let keys = Lazy.force keys in
+  let x = data 5 and y = data 6 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  let cy = E.encrypt keys ~level:4 ~scale y in
+  check_close "add" (Array.init nh (fun i -> x.(i) +. y.(i)))
+    (E.decrypt keys (E.add keys cx cy))
+    1e-3;
+  check_close "sub" (Array.init nh (fun i -> x.(i) -. y.(i)))
+    (E.decrypt keys (E.sub keys cx cy))
+    1e-3;
+  check_close "neg" (Array.map (fun v -> -.v) x)
+    (E.decrypt keys (E.neg keys cx))
+    1e-3
+
+let test_plain_ops () =
+  let keys = Lazy.force keys in
+  let x = data 7 and y = data 8 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  check_close "add_plain" (Array.init nh (fun i -> x.(i) +. y.(i)))
+    (E.decrypt keys (E.add_plain keys cx y))
+    1e-3;
+  check_close "sub_plain" (Array.init nh (fun i -> x.(i) -. y.(i)))
+    (E.decrypt keys (E.sub_plain keys cx y))
+    1e-3;
+  let prod = E.mul_plain keys cx ~scale:(2.0 ** 20.0) y in
+  check_close "mul_plain" (Array.init nh (fun i -> x.(i) *. y.(i)))
+    (E.decrypt keys prod) 1e-3;
+  Alcotest.(check (float 1.0)) "scale multiplied" (scale *. (2.0 ** 20.0))
+    prod.E.scale
+
+let test_mul_relin_rescale () =
+  let keys = Lazy.force keys in
+  let x = data 9 and y = data 10 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  let cy = E.encrypt keys ~level:4 ~scale y in
+  let prod = E.mul keys cx cy in
+  let expect = Array.init nh (fun i -> x.(i) *. y.(i)) in
+  check_close "mul before rescale" expect (E.decrypt keys prod) 1e-3;
+  let rs = E.rescale keys prod in
+  Alcotest.(check int) "level dropped" 3 rs.E.level;
+  Alcotest.(check bool) "scale divided by the dropped prime" true
+    (rs.E.scale < prod.E.scale /. 1e8);
+  check_close "mul after rescale" expect (E.decrypt keys rs) 2e-2
+
+let test_square_chain () =
+  (* (x^2)^2 across two rescales stays accurate *)
+  let keys = Lazy.force keys in
+  let x = data 11 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  let c2 = E.rescale keys (E.mul keys cx cx) in
+  let c4 = E.rescale keys (E.mul keys c2 c2) in
+  Alcotest.(check int) "level 2" 2 c4.E.level;
+  check_close "x^4" (Array.map (fun v -> v ** 4.0) x) (E.decrypt keys c4) 0.1
+
+let test_modswitch () =
+  let keys = Lazy.force keys in
+  let x = data 12 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  let ms = E.modswitch keys cx in
+  Alcotest.(check int) "level dropped" 3 ms.E.level;
+  Alcotest.(check (float 0.0)) "scale unchanged" cx.E.scale ms.E.scale;
+  check_close "values unchanged" x (E.decrypt keys ms) 1e-3
+
+let test_upscale () =
+  let keys = Lazy.force keys in
+  let x = data 13 in
+  let cx = E.encrypt keys ~level:3 ~scale x in
+  let up = E.upscale keys cx 3 in
+  Alcotest.(check (float 0.0)) "scale x8" (cx.E.scale *. 8.0) up.E.scale;
+  check_close "values unchanged" x (E.decrypt keys up) 1e-3
+
+let test_rotate () =
+  let keys = Lazy.force keys in
+  let x = data 14 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  List.iter
+    (fun k ->
+      let rot = E.rotate keys cx k in
+      let expect = Array.init nh (fun i -> x.((i + k) mod nh)) in
+      check_close (Printf.sprintf "rotate %d" k) expect (E.decrypt keys rot)
+        2e-2)
+    [ 1; 3 ]
+
+let test_rotate_key_on_demand () =
+  let keys = Lazy.force keys in
+  let x = data 15 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  (* 7 was not in the initial rotation set *)
+  let rot = E.rotate keys cx 7 in
+  let expect = Array.init nh (fun i -> x.((i + 7) mod nh)) in
+  check_close "rotate 7" expect (E.decrypt keys rot) 2e-2;
+  Alcotest.(check bool) "key cached" true
+    (Hashtbl.mem keys.Ckks.Keys.galois 7)
+
+let test_rotate_zero_identity () =
+  let keys = Lazy.force keys in
+  let x = data 16 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  let r = E.rotate keys cx 0 in
+  Alcotest.(check bool) "physically identical" true (r == cx)
+
+let test_level_guards () =
+  let keys = Lazy.force keys in
+  let cx = E.encrypt keys ~level:1 ~scale (data 17) in
+  (try
+     ignore (E.rescale keys cx);
+     Alcotest.fail "expected Invalid_argument (rescale)"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (E.modswitch keys cx);
+     Alcotest.fail "expected Invalid_argument (modswitch)"
+   with Invalid_argument _ -> ());
+  let cy = E.encrypt keys ~level:2 ~scale (data 18) in
+  try
+    ignore (E.add keys cx cy);
+    Alcotest.fail "expected Invalid_argument (levels)"
+  with Invalid_argument _ -> ()
+
+let test_scale_mismatch_guard () =
+  let keys = Lazy.force keys in
+  let cx = E.encrypt keys ~level:2 ~scale (data 19) in
+  let cy = E.encrypt keys ~level:2 ~scale:(scale *. 4.0) (data 20) in
+  try
+    ignore (E.add keys cx cy);
+    Alcotest.fail "expected Invalid_argument (scales)"
+  with Invalid_argument _ -> ()
+
+let test_mixed_expression () =
+  (* 0.5*(x + y)^2 - y, mixing every operation class *)
+  let keys = Lazy.force keys in
+  let x = data 21 and y = data 22 in
+  let cx = E.encrypt keys ~level:4 ~scale x in
+  let cy = E.encrypt keys ~level:4 ~scale y in
+  let s = E.add keys cx cy in
+  let sq = E.rescale keys (E.mul keys s s) in
+  let half = E.mul_plain keys sq ~scale:(2.0 ** 20.0) (Array.make nh 0.5) in
+  let out = E.sub_plain keys half y in
+  let expect =
+    Array.init nh (fun i -> (0.5 *. ((x.(i) +. y.(i)) ** 2.0)) -. y.(i))
+  in
+  check_close "expression" expect (E.decrypt keys out) 0.05
+
+let suite =
+  [ Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+    Alcotest.test_case "encode partial vector" `Quick test_encode_partial_vector;
+    Alcotest.test_case "pk encrypt/decrypt" `Quick test_encrypt_roundtrip;
+    Alcotest.test_case "sk encrypt/decrypt" `Quick test_encrypt_sym_roundtrip;
+    Alcotest.test_case "encryption randomised" `Quick
+      test_fresh_ciphertexts_differ;
+    Alcotest.test_case "add/sub/neg" `Quick test_add_sub_neg;
+    Alcotest.test_case "plaintext ops" `Quick test_plain_ops;
+    Alcotest.test_case "mul + relinearize + rescale" `Quick
+      test_mul_relin_rescale;
+    Alcotest.test_case "square chain" `Quick test_square_chain;
+    Alcotest.test_case "modswitch" `Quick test_modswitch;
+    Alcotest.test_case "upscale" `Quick test_upscale;
+    Alcotest.test_case "rotate" `Quick test_rotate;
+    Alcotest.test_case "rotate: key on demand" `Quick test_rotate_key_on_demand;
+    Alcotest.test_case "rotate: zero identity" `Quick test_rotate_zero_identity;
+    Alcotest.test_case "level guards" `Quick test_level_guards;
+    Alcotest.test_case "scale mismatch guard" `Quick test_scale_mismatch_guard;
+    Alcotest.test_case "mixed expression" `Quick test_mixed_expression ]

@@ -1,0 +1,206 @@
+(* The number-theoretic substrate: modular arithmetic, primes, NTT,
+   bignum CRT, and the canonical-embedding FFT. *)
+
+module M = Ckks.Modarith
+
+let p17 = 268441601 (* an NTT prime used by the default context *)
+
+let prop_modarith_matches_naive =
+  QCheck.Test.make ~name:"modarith add/sub/mul match naive formulas" ~count:500
+    QCheck.(triple (int_range 0 1000000) (int_range 0 1000000) (int_range 2 1000))
+    (fun (a, b, m) ->
+      let a = a mod m and b = b mod m in
+      M.add a b ~m = (a + b) mod m
+      && M.sub a b ~m = ((a - b) mod m + m) mod m
+      && M.mul a b ~m = a * b mod m
+      && M.neg a ~m = (m - a) mod m)
+
+let test_pow_inv () =
+  Alcotest.(check int) "2^10 mod 1000" 24 (M.pow 2 10 ~m:1000);
+  Alcotest.(check int) "pow 0" 1 (M.pow 5 0 ~m:7);
+  let x = 123456 in
+  Alcotest.(check int) "x * x^-1 = 1" 1 (M.mul x (M.inv x ~m:p17) ~m:p17);
+  try
+    ignore (M.inv 0 ~m:7);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_center () =
+  Alcotest.(check int) "small" 3 (M.center 3 ~m:7);
+  Alcotest.(check int) "wraps" (-3) (M.center 4 ~m:7)
+
+let test_is_prime () =
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check bool) (string_of_int n) expect (Ckks.Primes.is_prime n))
+    [ (2, true); (3, true); (4, false); (17, true); (561, false) (* Carmichael *);
+      (7919, true); (1, false); (0, false); (p17, true);
+      (268441603, false) ]
+
+let test_prime_chain () =
+  let ps = Ckks.Primes.ntt_prime_chain ~n:1024 ~bits:28 ~count:5 in
+  Alcotest.(check int) "count" 5 (List.length ps);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "prime" true (Ckks.Primes.is_prime p);
+      Alcotest.(check int) "p = 1 mod 2n" 1 (p mod 2048);
+      Alcotest.(check bool) "near 2^28" true
+        (Float.abs (float_of_int p /. 268435456.0 -. 1.0) < 0.01))
+    ps;
+  Alcotest.(check int) "distinct"
+    (List.length ps)
+    (List.length (List.sort_uniq compare ps))
+
+let test_primitive_root () =
+  let r = Ckks.Primes.primitive_root ~p:p17 ~two_n:2048 in
+  Alcotest.(check int) "order exactly 2n: r^n = -1" (p17 - 1)
+    (M.pow r 1024 ~m:p17);
+  Alcotest.(check int) "r^2n = 1" 1 (M.pow r 2048 ~m:p17)
+
+let plan = lazy (Ckks.Ntt.make_plan ~n:64 ~p:7681)
+(* 7681 = 1 + 2*64*60, classic toy NTT prime *)
+
+let prop_ntt_roundtrip =
+  QCheck.Test.make ~name:"NTT inverse . forward = id" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let plan = Lazy.force plan in
+      let g = Fhe_util.Prng.create seed in
+      let a = Array.init 64 (fun _ -> Fhe_util.Prng.int g 7681) in
+      let b = Array.copy a in
+      Ckks.Ntt.forward plan b;
+      Ckks.Ntt.inverse plan b;
+      a = b)
+
+(* schoolbook negacyclic product for cross-checking *)
+let negacyclic_mul a b ~n ~p =
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      let v = M.mul a.(i) b.(j) ~m:p in
+      if k < n then out.(k) <- M.add out.(k) v ~m:p
+      else out.(k - n) <- M.sub out.(k - n) v ~m:p
+    done
+  done;
+  out
+
+let prop_ntt_negacyclic =
+  QCheck.Test.make ~name:"NTT pointwise product = negacyclic convolution"
+    ~count:50 QCheck.small_int (fun seed ->
+      let plan = Lazy.force plan in
+      let g = Fhe_util.Prng.create (seed + 1000) in
+      let a = Array.init 64 (fun _ -> Fhe_util.Prng.int g 7681) in
+      let b = Array.init 64 (fun _ -> Fhe_util.Prng.int g 7681) in
+      let expect = negacyclic_mul a b ~n:64 ~p:7681 in
+      let fa = Array.copy a and fb = Array.copy b in
+      Ckks.Ntt.forward plan fa;
+      Ckks.Ntt.forward plan fb;
+      let fc = Array.init 64 (fun i -> M.mul fa.(i) fb.(i) ~m:7681) in
+      Ckks.Ntt.inverse plan fc;
+      fc = expect)
+
+module B = Ckks.Bigint
+
+let prop_bigint_matches_int =
+  QCheck.Test.make ~name:"bigint arithmetic matches int (small values)"
+    ~count:300
+    QCheck.(triple (int_range 0 1000000000) (int_range 0 1000000000) (int_range 1 100000))
+    (fun (a, b, k) ->
+      let ba = B.of_int a and bb = B.of_int b in
+      B.to_float (B.add ba bb) = float_of_int (a + b)
+      && B.to_float (B.mul_small ba k) = float_of_int (a * k)
+      && B.compare ba bb = compare a b
+      &&
+      let q, r = B.divmod_small ba k in
+      B.to_float q = float_of_int (a / k) && r = a mod k)
+
+let test_bigint_sub () =
+  let a = B.of_int 1000000 and b = B.of_int 999999 in
+  Alcotest.(check (float 0.0)) "sub" 1.0 (B.to_float (B.sub a b));
+  try
+    ignore (B.sub b a);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_bigint_product_big () =
+  (* product of five 28-bit primes exceeds the int range: check via mod *)
+  let ps = Ckks.Primes.ntt_prime_chain ~n:256 ~bits:28 ~count:5 in
+  let q = B.product ps in
+  List.iter
+    (fun p ->
+      let _, r = B.divmod_small q p in
+      Alcotest.(check int) "divisible by each prime" 0 r)
+    ps;
+  let expect_bits =
+    List.fold_left (fun acc p -> acc +. Fhe_util.Bits.log2f (float_of_int p)) 0.0 ps
+  in
+  Alcotest.(check (float 0.01)) "magnitude"
+    expect_bits
+    (Fhe_util.Bits.log2f (B.to_float q))
+
+let test_bigint_zero () =
+  Alcotest.(check (float 0.0)) "zero" 0.0 (B.to_float B.zero);
+  Alcotest.(check (float 0.0)) "0 * 5" 0.0 (B.to_float (B.mul_small B.zero 5));
+  Alcotest.(check int) "compare" 0 (B.compare B.zero (B.of_int 0))
+
+let fft_plan = lazy (Ckks.Fftc.make_plan ~n:64)
+
+let prop_fft_roundtrip =
+  QCheck.Test.make ~name:"canonical-embedding FFT roundtrip" ~count:100
+    QCheck.small_int (fun seed ->
+      let plan = Lazy.force fft_plan in
+      let g = Fhe_util.Prng.create seed in
+      let vals =
+        Array.init 32 (fun _ ->
+            { Complex.re = Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0;
+              im = Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0 })
+      in
+      let copy = Array.map (fun c -> c) vals in
+      Ckks.Fftc.embed_inv plan copy;
+      Ckks.Fftc.embed plan copy;
+      Array.for_all2
+        (fun a b ->
+          Complex.norm (Complex.sub a b) < 1e-9)
+        vals copy)
+
+let test_fft_real_coefficients () =
+  (* conjugate-symmetric slot data must give (numerically) real
+     behaviour: encoding real slots and decoding returns real slots *)
+  let plan = Lazy.force fft_plan in
+  let vals =
+    Array.init 32 (fun i -> { Complex.re = cos (float_of_int i); im = 0.0 })
+  in
+  let w = Array.map (fun c -> c) vals in
+  Ckks.Fftc.embed_inv plan w;
+  Ckks.Fftc.embed plan w;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "re %d" i)
+        vals.(i).Complex.re c.Complex.re)
+    vals
+
+let test_rot_group () =
+  let plan = Lazy.force fft_plan in
+  let rg = Ckks.Fftc.rot_group plan in
+  Alcotest.(check int) "starts at 1" 1 rg.(0);
+  Alcotest.(check int) "5^1" 5 rg.(1);
+  Array.iter (fun g -> Alcotest.(check int) "odd" 1 (g land 1)) rg
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_modarith_matches_naive;
+    Alcotest.test_case "pow/inv" `Quick test_pow_inv;
+    Alcotest.test_case "center" `Quick test_center;
+    Alcotest.test_case "primality" `Quick test_is_prime;
+    Alcotest.test_case "ntt prime chain" `Quick test_prime_chain;
+    Alcotest.test_case "primitive root" `Quick test_primitive_root;
+    QCheck_alcotest.to_alcotest prop_ntt_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ntt_negacyclic;
+    QCheck_alcotest.to_alcotest prop_bigint_matches_int;
+    Alcotest.test_case "bigint: sub" `Quick test_bigint_sub;
+    Alcotest.test_case "bigint: large products" `Quick test_bigint_product_big;
+    Alcotest.test_case "bigint: zero" `Quick test_bigint_zero;
+    QCheck_alcotest.to_alcotest prop_fft_roundtrip;
+    Alcotest.test_case "fft: real slot data" `Quick test_fft_real_coefficients;
+    Alcotest.test_case "fft: rot group" `Quick test_rot_group ]

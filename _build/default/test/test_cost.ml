@@ -1,0 +1,103 @@
+open Fhe_ir
+module L = Fhe_cost.Latency
+module M = Fhe_cost.Model
+
+let test_table_values () =
+  (* spot-check Table 3 entries *)
+  Alcotest.(check (float 0.0)) "mul_cc level 1" 4363.0 (L.table L.Mul_cc).(0);
+  Alcotest.(check (float 0.0)) "mul_cc level 5" 33974.0 (L.table L.Mul_cc).(4);
+  Alcotest.(check (float 0.0)) "rotate level 3" 13584.0 (L.table L.Rotate_c).(2);
+  Alcotest.(check (float 0.0)) "rescale level 2" 3119.0 (L.table L.Rescale_c).(1);
+  Alcotest.(check (float 0.0)) "ms plain level 1" 29.0 (L.table L.Modswitch_p).(0)
+
+let test_table_monotone () =
+  List.iter
+    (fun c ->
+      let t = L.table c in
+      for i = 1 to Array.length t - 1 do
+        if t.(i) <= t.(i - 1) then
+          Alcotest.failf "%s not increasing at level %d" (L.name c) (i + 1)
+      done)
+    L.all
+
+let test_interpolation () =
+  (* the paper's §6.1 example: mul at level 5/3 costs 44·(1/3)+92·(2/3) *)
+  let c = L.cost L.Mul_cc (1.0 +. (2.0 /. 3.0)) in
+  Alcotest.(check (float 1.0)) "x3 estimate (paper: 7600)" 7569.0 c;
+  Alcotest.(check (float 0.01)) "integer level exact" 9172.0 (L.cost L.Mul_cc 2.0)
+
+let test_extrapolation () =
+  let at6 = L.cost L.Mul_cc 6.0 in
+  Alcotest.(check (float 0.01)) "level 6 linear extrapolation"
+    (33974.0 +. (33974.0 -. 23517.0))
+    at6;
+  Alcotest.(check (float 0.01)) "clamped below 1" 4363.0 (L.cost L.Mul_cc 0.2)
+
+let test_classify () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let c = Builder.const b 0.5 in
+  let cc = Builder.mul b x x in
+  let cp = Builder.mul b x c in
+  let ac = Builder.add b cc cp in
+  let ap = Builder.add b x c in
+  let r = Builder.rotate b x 1 in
+  let n = Builder.neg b x in
+  let pp = Builder.mul b c c in
+  let p = Builder.finish b ~outputs:[ ac; ap; r; n; pp ] in
+  let get i = M.classify p i in
+  Alcotest.(check bool) "cipher mul" true (get cc = Some L.Mul_cc);
+  Alcotest.(check bool) "plain mul" true (get cp = Some L.Mul_cp);
+  Alcotest.(check bool) "cipher add" true (get ac = Some L.Add_cc);
+  Alcotest.(check bool) "plain add" true (get ap = Some L.Add_cp);
+  Alcotest.(check bool) "rotate" true (get r = Some L.Rotate_c);
+  Alcotest.(check bool) "neg" true (get n = Some L.Modswitch_p);
+  Alcotest.(check bool) "plain-only compute free" true (get pp = None);
+  Alcotest.(check bool) "leaf free" true (get x = None)
+
+(* The headline calibration: EVA on the paper example costs 390 (Fig. 2b,
+   in units of 100µs). *)
+let test_eva_calibration () =
+  let p, _ = Helpers.paper_example () in
+  let m = Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 p in
+  Alcotest.(check (float 1.0)) "Fig 2b total" 389.16
+    (M.estimate m /. 100.0)
+
+let test_level_estimate () =
+  (* paper: depth 4 with omega = 1/3 gives level 2.33 *)
+  Alcotest.(check (float 0.01)) "1 + 4/3" 2.3333
+    (M.level_estimate ~rbits:60 ~wbits:20 ~depth:4)
+
+let test_arith_cost_estimate () =
+  let p, (x, _, x2, x3, _, s, q) = Helpers.paper_example () in
+  let depth = Analysis.mult_depth p in
+  let est i = M.arith_cost_estimate ~rbits:60 ~wbits:20 p ~depth i /. 100.0 in
+  (* Fig. 3a: costs 0, 92, 76, 1, 60 (in 100µs) *)
+  Alcotest.(check (float 0.5)) "x" 0.0 (est x);
+  Alcotest.(check (float 0.5)) "x2" 91.7 (est x2);
+  Alcotest.(check (float 0.6)) "x3" 75.7 (est x3);
+  Alcotest.(check (float 0.5)) "s" 1.2 (est s);
+  Alcotest.(check (float 0.5)) "q" 59.7 (est q)
+
+let test_estimate_additive () =
+  let p, _ = Helpers.paper_example () in
+  let m = Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 p in
+  let total = ref 0.0 in
+  Program.iteri (fun i _ -> total := !total +. M.op_cost m i) m.Managed.prog;
+  Alcotest.(check (float 1e-6)) "estimate = sum of op costs" !total
+    (M.estimate m)
+
+let suite =
+  [ Alcotest.test_case "table 3 values" `Quick test_table_values;
+    Alcotest.test_case "table 3 monotone in level" `Quick test_table_monotone;
+    Alcotest.test_case "fractional-level interpolation" `Quick
+      test_interpolation;
+    Alcotest.test_case "extrapolation beyond level 5" `Quick
+      test_extrapolation;
+    Alcotest.test_case "op classification" `Quick test_classify;
+    Alcotest.test_case "EVA calibration (Fig 2b = 390)" `Quick
+      test_eva_calibration;
+    Alcotest.test_case "level estimate" `Quick test_level_estimate;
+    Alcotest.test_case "ordering cost estimates (Fig 3a)" `Quick
+      test_arith_cost_estimate;
+    Alcotest.test_case "estimate additivity" `Quick test_estimate_additive ]

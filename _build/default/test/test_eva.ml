@@ -1,0 +1,148 @@
+open Fhe_ir
+
+let compile = Fhe_eva.Eva.compile
+
+let test_paper_example () =
+  (* Fig. 2b: EVA rescales only the final mul, L = 2 *)
+  let p, _ = Helpers.paper_example () in
+  let m = compile ~rbits:60 ~wbits:20 p in
+  Helpers.check_valid m;
+  Alcotest.(check int) "input level" 2 (Managed.input_level m);
+  Alcotest.(check int) "one rescale" 1 (Managed.n_rescale m);
+  Alcotest.(check int) "one upscale (on y)" 1 (Managed.n_upscale m);
+  Alcotest.(check int) "no modswitch" 0 (Managed.n_modswitch m);
+  Helpers.check_equivalent p m Helpers.paper_inputs
+
+let test_waterline_triggers_rescale () =
+  (* rescale fires only while the rescaled scale stays >= the waterline *)
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let x4 = Builder.square b (Builder.square b x) in
+  let p = Builder.finish b ~outputs:[ x4 ] in
+  let low = compile ~rbits:60 ~wbits:15 p in
+  Alcotest.(check int) "w=15: x4 at 60 bits cannot rescale" 0
+    (Managed.n_rescale low);
+  let high = compile ~rbits:60 ~wbits:45 p in
+  Alcotest.(check int) "w=45: x4 at 180 bits rescales twice" 2
+    (Managed.n_rescale high)
+
+let test_deep_chain_levels () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let rec pow e k = if k = 0 then e else pow (Builder.mul b e x) (k - 1) in
+  let p = Builder.finish b ~outputs:[ pow x 7 ] in
+  let m = compile ~rbits:60 ~wbits:30 p in
+  Helpers.check_valid m;
+  (* x^8 at waterline 30: scale doubles need a rescale every other mul *)
+  Alcotest.(check bool) "several levels" true (Managed.input_level m >= 3);
+  Helpers.check_equivalent p m [ ("x", [| 0.9; -0.5; 0.1; 1.0 |]) ]
+
+let test_modswitch_on_level_mismatch () =
+  (* multiplying a rescaled value with a fresh one needs a modswitch *)
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let x4 = Builder.square b (Builder.square b x) in
+  let p = Builder.finish b ~outputs:[ Builder.mul b x4 y ] in
+  let m = compile ~rbits:60 ~wbits:40 p in
+  Helpers.check_valid m;
+  Alcotest.(check bool) "modswitch inserted" true (Managed.n_modswitch m > 0);
+  Helpers.check_equivalent p m
+    [ ("x", [| 0.5; 1.0; -1.0; 0.25 |]); ("y", [| 1.0; 0.5; 2.0; -1.0 |]) ]
+
+let test_plain_handling () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let e = Builder.mul b x (Builder.const b 0.5) in
+  let e = Builder.add b e (Builder.const b 1.0) in
+  let e = Builder.sub b e (Builder.vconst b [| 0.1; 0.2 |]) in
+  let p = Builder.finish b ~outputs:[ e ] in
+  let m = compile ~rbits:60 ~wbits:25 p in
+  Helpers.check_valid m;
+  Helpers.check_equivalent p m [ ("x", [| 1.0; 2.0; 3.0; 4.0 |]) ]
+
+let test_rejects_managed_input () =
+  let p =
+    Program.make
+      ~ops:[| Op.Input { name = "x"; vt = Op.Cipher }; Op.Rescale 0 |]
+      ~outputs:[| 1 |] ~n_slots:4
+  in
+  try
+    ignore (compile ~rbits:60 ~wbits:20 p);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_rejects_bad_waterline () =
+  let p, _ = Helpers.paper_example () in
+  try
+    ignore (compile ~rbits:60 ~wbits:61 p);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_drops_plan () =
+  (* forcing a drop on an input lowers the level of the ops consuming it *)
+  let p, (x, _, _, _, _, _, _) = Helpers.paper_example () in
+  let drops = Array.make (Program.n_ops p) 0 in
+  drops.(x) <- 1;
+  let m = Fhe_eva.Eva.compile_with_drops ~rbits:60 ~wbits:20 ~drops p in
+  Helpers.check_valid m;
+  Helpers.check_equivalent p m Helpers.paper_inputs;
+  Alcotest.(check bool) "extra rescale present" true (Managed.n_rescale m >= 2)
+
+let test_drops_length_mismatch () =
+  let p, _ = Helpers.paper_example () in
+  try
+    ignore
+      (Fhe_eva.Eva.compile_with_drops ~rbits:60 ~wbits:20 ~drops:[| 0 |] p);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_xmax_headroom () =
+  let p, _ = Helpers.paper_example () in
+  let plain = compile ~rbits:60 ~wbits:20 p in
+  let roomy = compile ~xmax_bits:50 ~rbits:60 ~wbits:20 p in
+  Helpers.check_valid roomy;
+  Alcotest.(check bool) "headroom costs a level" true
+    (Managed.input_level roomy > Managed.input_level plain);
+  (* every ciphertext keeps >= xmax bits of reserve *)
+  Program.iteri
+    (fun i _ ->
+      if Program.vtype roomy.Managed.prog i = Op.Cipher then
+        Alcotest.(check bool) "reserve >= xmax" true
+          (Managed.reserve roomy i >= 50))
+    roomy.Managed.prog
+
+let prop_eva_valid_and_equivalent =
+  QCheck.Test.make ~name:"EVA output legal + semantics preserved (random)"
+    ~count:60 QCheck.small_int (fun seed ->
+      let g = Gen.make seed in
+      let m = compile ~rbits:60 ~wbits:20 g.Gen.prog in
+      Helpers.check_valid m;
+      Helpers.check_equivalent g.Gen.prog m g.Gen.inputs;
+      true)
+
+let prop_eva_waterline_sweep =
+  QCheck.Test.make ~name:"EVA legal across waterlines" ~count:40
+    QCheck.(pair small_int (int_range 15 45))
+    (fun (seed, w) ->
+      let g = Gen.make seed in
+      let m = compile ~rbits:60 ~wbits:w g.Gen.prog in
+      Helpers.check_valid m;
+      true)
+
+let suite =
+  [ Alcotest.test_case "paper example (Fig 2b)" `Quick test_paper_example;
+    Alcotest.test_case "waterline-gated rescaling" `Quick
+      test_waterline_triggers_rescale;
+    Alcotest.test_case "deep chains consume levels" `Quick
+      test_deep_chain_levels;
+    Alcotest.test_case "modswitch on level mismatch" `Quick
+      test_modswitch_on_level_mismatch;
+    Alcotest.test_case "plaintext handling" `Quick test_plain_handling;
+    Alcotest.test_case "rejects managed input" `Quick test_rejects_managed_input;
+    Alcotest.test_case "rejects bad waterline" `Quick test_rejects_bad_waterline;
+    Alcotest.test_case "downscale plans" `Quick test_drops_plan;
+    Alcotest.test_case "drops length mismatch" `Quick test_drops_length_mismatch;
+    Alcotest.test_case "x_max headroom" `Quick test_xmax_headroom;
+    QCheck_alcotest.to_alcotest prop_eva_valid_and_equivalent;
+    QCheck_alcotest.to_alcotest prop_eva_waterline_sweep ]

@@ -1,0 +1,96 @@
+module H = Fhe_hecate.Hecate
+
+let test_counts_iterations () =
+  let p, _ = Helpers.paper_example () in
+  let r = H.compile ~iterations:123 ~rbits:60 ~wbits:20 p in
+  Alcotest.(check int) "iteration budget honoured" 123 r.H.iterations
+
+let test_never_worse_than_eva () =
+  let p, _ = Helpers.paper_example () in
+  let eva = Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 p in
+  let r = H.compile ~iterations:50 ~rbits:60 ~wbits:20 p in
+  Alcotest.(check bool) "seeded with the all-zero (EVA) plan" true
+    (r.H.best_cost <= Fhe_cost.Model.estimate eva +. 1e-6)
+
+let test_more_iterations_never_worse () =
+  let p, _ = Helpers.paper_example () in
+  let short = H.compile ~seed:9 ~iterations:20 ~rbits:60 ~wbits:20 p in
+  let long = H.compile ~seed:9 ~iterations:400 ~rbits:60 ~wbits:20 p in
+  Alcotest.(check bool) "hill climbing is monotone in budget" true
+    (long.H.best_cost <= short.H.best_cost +. 1e-6)
+
+let test_finds_improvement_on_example () =
+  (* exploration should find level reductions EVA misses (§3.3) *)
+  let p, _ = Helpers.paper_example () in
+  let eva = Fhe_cost.Model.estimate (Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 p) in
+  let r = H.compile ~iterations:300 ~rbits:60 ~wbits:20 p in
+  Alcotest.(check bool) "strictly better than EVA" true
+    (r.H.best_cost < eva);
+  Alcotest.(check bool) "accepted at least one mutation" true (r.H.accepted > 0)
+
+let test_determinism () =
+  let p, _ = Helpers.paper_example () in
+  let a = H.compile ~seed:5 ~iterations:100 ~rbits:60 ~wbits:20 p in
+  let b = H.compile ~seed:5 ~iterations:100 ~rbits:60 ~wbits:20 p in
+  Alcotest.(check (float 0.0)) "same seed, same plan" a.H.best_cost b.H.best_cost
+
+let test_default_iterations_scale () =
+  let small, _ = Helpers.paper_example () in
+  let big = Fhe_apps.Registry.(find "MR").Fhe_apps.Registry.build () in
+  Alcotest.(check bool) "budget grows with program size" true
+    (H.default_iterations big > H.default_iterations small);
+  Alcotest.(check bool) "budget floor" true
+    (H.default_iterations small >= 200)
+
+let prop_hecate_valid_and_equivalent =
+  QCheck.Test.make ~name:"hecate output legal + semantics preserved (random)"
+    ~count:25 QCheck.small_int (fun seed ->
+      let g = Gen.make seed in
+      let r = H.compile ~iterations:40 ~rbits:60 ~wbits:20 g.Gen.prog in
+      Helpers.check_valid r.H.managed;
+      Helpers.check_equivalent g.Gen.prog r.H.managed g.Gen.inputs;
+      true)
+
+let suite =
+  [ Alcotest.test_case "iteration accounting" `Quick test_counts_iterations;
+    Alcotest.test_case "never worse than EVA" `Quick test_never_worse_than_eva;
+    Alcotest.test_case "monotone in budget" `Quick
+      test_more_iterations_never_worse;
+    Alcotest.test_case "finds improvements on the paper example" `Quick
+      test_finds_improvement_on_example;
+    Alcotest.test_case "deterministic per seed" `Quick test_determinism;
+    Alcotest.test_case "default budget scales with size" `Quick
+      test_default_iterations_scale;
+    QCheck_alcotest.to_alcotest prop_hecate_valid_and_equivalent ]
+
+let test_error_aware_objective () =
+  (* the ELASM-style knob: penalising the static noise proxy must never
+     yield a noisier plan than pure-latency exploration *)
+  let p, _ = Helpers.paper_example () in
+  let latency = Fhe_cost.Model.estimate in
+  let noise m = Fhe_sim.Noise.static_log2_error m in
+  let explore objective =
+    (H.compile ~seed:3 ~iterations:300 ~objective ~rbits:60 ~wbits:20 p)
+      .H.managed
+  in
+  let fast = explore latency in
+  let precise =
+    explore (fun m -> latency m *. (2.0 ** (0.5 *. noise m)))
+  in
+  Helpers.check_valid precise;
+  Alcotest.(check bool) "error-aware plan is at most as noisy" true
+    (noise precise <= noise fast +. 1e-9)
+
+let test_static_error_monotone_in_waterline () =
+  let p, _ = Helpers.paper_example () in
+  let at w =
+    Fhe_sim.Noise.static_log2_error (Fhe_eva.Eva.compile ~rbits:60 ~wbits:w p)
+  in
+  Alcotest.(check bool) "bigger waterline, smaller proxy" true (at 40 < at 20)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "error-aware objective (ELASM-style)" `Quick
+        test_error_aware_objective;
+      Alcotest.test_case "static error proxy monotone" `Quick
+        test_static_error_monotone_in_waterline ]

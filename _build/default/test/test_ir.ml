@@ -1,0 +1,155 @@
+open Fhe_ir
+
+let test_op_operands () =
+  Alcotest.(check (list int)) "mul" [ 1; 2 ] (Op.operands (Op.Mul (1, 2)));
+  Alcotest.(check (list int)) "neg" [ 3 ] (Op.operands (Op.Neg 3));
+  Alcotest.(check (list int)) "const" [] (Op.operands (Op.Const 1.0));
+  Alcotest.(check (list int)) "rotate" [ 0 ] (Op.operands (Op.Rotate (0, 5)));
+  Alcotest.(check (list int)) "upscale" [ 4 ] (Op.operands (Op.Upscale (4, 20)))
+
+let test_op_classes () =
+  Alcotest.(check bool) "rescale is sm" true (Op.is_scale_mgmt (Op.Rescale 0));
+  Alcotest.(check bool) "add is arith" true (Op.is_arith (Op.Add (0, 1)));
+  Alcotest.(check bool) "input is leaf" true
+    (Op.is_leaf (Op.Input { name = "x"; vt = Op.Cipher }));
+  Alcotest.(check bool) "mul not leaf" false (Op.is_leaf (Op.Mul (0, 1)));
+  Alcotest.(check string) "name" "modswitch" (Op.name (Op.Modswitch 0))
+
+let test_op_map_operands () =
+  let k = Op.map_operands (fun i -> i + 10) (Op.Mul (1, 2)) in
+  Alcotest.(check (list int)) "shifted" [ 11; 12 ] (Op.operands k)
+
+let test_program_make_rejects () =
+  let bad_operand () =
+    ignore
+      (Program.make
+         ~ops:[| Op.Input { name = "x"; vt = Op.Cipher }; Op.Neg 1 |]
+         ~outputs:[| 1 |] ~n_slots:4)
+  in
+  (try
+     bad_operand ();
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Program.make
+          ~ops:[| Op.Const 1.0 |]
+          ~outputs:[| 5 |] ~n_slots:4);
+     Alcotest.fail "expected Invalid_argument (output)"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Program.make ~ops:[| Op.Const 1.0 |] ~outputs:[| 0 |] ~n_slots:3);
+    Alcotest.fail "expected Invalid_argument (slots)"
+  with Invalid_argument _ -> ()
+
+let test_vtype () =
+  let p, (x, _, _, _, _, _, q) = Helpers.paper_example () in
+  Alcotest.(check bool) "input cipher" true (Program.vtype p x = Op.Cipher);
+  Alcotest.(check bool) "result cipher" true (Program.vtype p q = Op.Cipher);
+  let b = Builder.create ~n_slots:4 () in
+  let c = Builder.const b 2.0 in
+  let d = Builder.mul b c c in
+  let p2 = Builder.finish b ~outputs:[ d ] in
+  Alcotest.(check bool) "plain compute" true (Program.vtype p2 d = Op.Plain)
+
+let test_builder_dedup () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let a1 = Builder.mul b x x in
+  let a2 = Builder.mul b x x in
+  Alcotest.(check int) "structurally equal ops merge" a1 a2;
+  let i1 = Builder.input b "x" in
+  Alcotest.(check bool) "inputs never merge" true (i1 <> x)
+
+let test_builder_no_dedup () =
+  let b = Builder.create ~dedup:false ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let a1 = Builder.mul b x x in
+  let a2 = Builder.mul b x x in
+  Alcotest.(check bool) "kept distinct" true (a1 <> a2)
+
+let test_builder_rotate_normalise () =
+  let b = Builder.create ~n_slots:8 () in
+  let x = Builder.input b "x" in
+  Alcotest.(check int) "rotate 0 is identity" x (Builder.rotate b x 0);
+  Alcotest.(check int) "rotate n is identity" x (Builder.rotate b x 8);
+  let r1 = Builder.rotate b x (-1) in
+  let r2 = Builder.rotate b x 7 in
+  Alcotest.(check int) "negative normalised" r1 r2
+
+let test_builder_add_many () =
+  let b = Builder.create ~n_slots:4 () in
+  let xs = List.init 7 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let s = Builder.add_many b xs in
+  let p = Builder.finish b ~outputs:[ s ] in
+  (* balanced tree: depth ceil(log2 7) = 3 adds on the critical path *)
+  Alcotest.(check int) "ops" (7 + 6) (Program.n_ops p);
+  let inputs =
+    List.init 7 (fun i -> (Printf.sprintf "x%d" i, [| float_of_int i |]))
+  in
+  let out = (Fhe_sim.Interp.run_reference p ~inputs).(0) in
+  Alcotest.(check (float 1e-9)) "sum" 21.0 out.(0)
+
+let test_builder_vconst_too_long () =
+  let b = Builder.create ~n_slots:4 () in
+  try
+    ignore (Builder.vconst b (Array.make 5 1.0));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_analysis_users () =
+  let p, (x, _, x2, x3, _, _, q) = Helpers.paper_example () in
+  let users = Analysis.users p in
+  Alcotest.(check (list int)) "x used by x2 (twice) and x3"
+    [ x2; x2; x3 ] (List.sort compare users.(x));
+  Alcotest.(check (list int)) "q unused" [] users.(q)
+
+let test_analysis_depth () =
+  (* Fig. 3a of the paper *)
+  let p, (x, y, x2, x3, y2, s, q) = Helpers.paper_example () in
+  let d = Analysis.mult_depth p in
+  Alcotest.(check int) "x" 4 d.(x);
+  Alcotest.(check int) "y" 3 d.(y);
+  Alcotest.(check int) "x2" 3 d.(x2);
+  Alcotest.(check int) "x3" 2 d.(x3);
+  Alcotest.(check int) "y2" 2 d.(y2);
+  Alcotest.(check int) "s" 2 d.(s);
+  Alcotest.(check int) "q" 1 d.(q);
+  Alcotest.(check int) "max" 4 (Analysis.max_mult_depth p)
+
+let test_analysis_reachable () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let dead = Builder.neg b x in
+  let live = Builder.square b x in
+  let p = Builder.finish b ~outputs:[ live ] in
+  let r = Analysis.reachable p in
+  Alcotest.(check bool) "dead" false r.(dead);
+  Alcotest.(check bool) "live" true r.(live)
+
+let test_pp () =
+  let p, _ = Helpers.paper_example () in
+  let s = Pp.program_to_string p in
+  Alcotest.(check bool) "mentions mul" true
+    (Helpers.contains s "mul");
+  Alcotest.(check bool) "mentions ret" true (Helpers.contains s "ret")
+
+let suite =
+  [ Alcotest.test_case "op: operands" `Quick test_op_operands;
+    Alcotest.test_case "op: classes" `Quick test_op_classes;
+    Alcotest.test_case "op: map_operands" `Quick test_op_map_operands;
+    Alcotest.test_case "program: make rejects bad input" `Quick
+      test_program_make_rejects;
+    Alcotest.test_case "program: vtype" `Quick test_vtype;
+    Alcotest.test_case "builder: dedup" `Quick test_builder_dedup;
+    Alcotest.test_case "builder: dedup off" `Quick test_builder_no_dedup;
+    Alcotest.test_case "builder: rotate normalisation" `Quick
+      test_builder_rotate_normalise;
+    Alcotest.test_case "builder: add_many" `Quick test_builder_add_many;
+    Alcotest.test_case "builder: vconst bounds" `Quick
+      test_builder_vconst_too_long;
+    Alcotest.test_case "analysis: users" `Quick test_analysis_users;
+    Alcotest.test_case "analysis: mult depth (Fig 3a)" `Quick
+      test_analysis_depth;
+    Alcotest.test_case "analysis: reachable" `Quick test_analysis_reachable;
+    Alcotest.test_case "pp: program print" `Quick test_pp ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "reserve-fhe"
+    [ ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("passes", Test_passes.suite);
+      ("validator", Test_validator.suite);
+      ("cost", Test_cost.suite);
+      ("eva", Test_eva.suite);
+      ("rtype", Test_rtype.suite);
+      ("reserve", Test_reserve.suite);
+      ("hecate", Test_hecate.suite);
+      ("sim", Test_sim.suite);
+      ("apps", Test_apps.suite);
+      ("ckks-math", Test_ckks_math.suite);
+      ("ckks", Test_ckks.suite);
+      ("backend", Test_backend.suite);
+      ("extras", Test_extras.suite);
+      ("props", Test_props.suite);
+      ("edge", Test_edge.suite) ]

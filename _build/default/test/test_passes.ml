@@ -1,0 +1,138 @@
+open Fhe_ir
+
+let test_cse_merges () =
+  let b = Builder.create ~dedup:false ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let a1 = Builder.mul b x x in
+  let a2 = Builder.mul b x x in
+  let s = Builder.add b a1 a2 in
+  let p = Builder.finish b ~outputs:[ s ] in
+  let r = Cse.run p in
+  Alcotest.(check int) "one mul left" 3 (Program.n_ops r.Rewrite.prog);
+  Alcotest.(check int) "both map to same" r.Rewrite.remap.(a1)
+    r.Rewrite.remap.(a2)
+
+let test_cse_key_discriminates () =
+  let b = Builder.create ~dedup:false ~n_slots:4 () in
+  let c1 = Builder.const b 1.5 in
+  let c2 = Builder.const b 1.5 in
+  let x = Builder.input b "x" in
+  let s = Builder.add b (Builder.mul b x c1) (Builder.mul b x c2) in
+  let p = Builder.finish b ~outputs:[ s ] in
+  let merged = Cse.run p in
+  Alcotest.(check int) "same key merges consts" 4
+    (Program.n_ops merged.Rewrite.prog);
+  let kept = Cse.run ~key:(fun i -> i) p in
+  Alcotest.(check bool) "distinct keys keep consts apart" true
+    (Program.n_ops kept.Rewrite.prog > 4)
+
+let test_cse_never_merges_inputs () =
+  let b = Builder.create ~dedup:false ~n_slots:4 () in
+  let x1 = Builder.input b "x" in
+  let x2 = Builder.input b "x" in
+  let s = Builder.add b x1 x2 in
+  let p = Builder.finish b ~outputs:[ s ] in
+  let r = Cse.run p in
+  Alcotest.(check int) "inputs kept" 3 (Program.n_ops r.Rewrite.prog)
+
+let test_dce () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let _dead = Builder.rotate b (Builder.neg b x) 1 in
+  let live = Builder.square b x in
+  let p = Builder.finish b ~outputs:[ live ] in
+  let r = Dce.run p in
+  Alcotest.(check int) "only live remain" 2 (Program.n_ops r.Rewrite.prog);
+  Alcotest.(check int) "dead remapped to -1" (-1)
+    r.Rewrite.remap.(_dead)
+
+let test_constfold_scalars () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let c = Builder.add b (Builder.const b 2.0) (Builder.const b 3.0) in
+  let d = Builder.mul b c (Builder.const b 2.0) in
+  let out = Builder.mul b x d in
+  let p = Builder.finish b ~outputs:[ out ] in
+  let r = Constfold.run p in
+  let folded = r.Rewrite.prog in
+  (* input, const 10, mul *)
+  Alcotest.(check int) "folded to 3 ops" 3 (Program.n_ops folded);
+  let has_ten =
+    Program.count folded ~f:(function Op.Const 10.0 -> true | _ -> false)
+  in
+  Alcotest.(check int) "const 10 present" 1 has_ten
+
+let test_constfold_identities () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let e = Builder.mul b x (Builder.const b 1.0) in
+  let e = Builder.add b e (Builder.const b 0.0) in
+  let e = Builder.sub b e (Builder.const b 0.0) in
+  let e = Builder.neg b (Builder.neg b e) in
+  let p = Builder.finish b ~outputs:[ e ] in
+  let r = Constfold.run p in
+  Alcotest.(check int) "identity chain collapses to the input" 1
+    (Program.n_ops r.Rewrite.prog)
+
+let test_constfold_rotate_fusion () =
+  let b = Builder.create ~dedup:false ~n_slots:8 () in
+  let x = Builder.input b "x" in
+  let e = Builder.rotate b (Builder.rotate b x 3) 5 in
+  let p = Builder.finish b ~outputs:[ e ] in
+  let r = Constfold.run p in
+  Alcotest.(check int) "rotations fuse and cancel (3+5=8=0)" 1
+    (Program.n_ops r.Rewrite.prog)
+
+let test_constfold_rejects_managed () =
+  let p =
+    Program.make
+      ~ops:[| Op.Input { name = "x"; vt = Op.Cipher }; Op.Rescale 0 |]
+      ~outputs:[| 1 |] ~n_slots:4
+  in
+  try
+    ignore (Constfold.run p);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_rewrite_detects_deleted_operand () =
+  let p =
+    Program.make
+      ~ops:[| Op.Input { name = "x"; vt = Op.Cipher }; Op.Neg 0; Op.Neg 1 |]
+      ~outputs:[| 2 |] ~n_slots:4
+  in
+  try
+    ignore (Rewrite.rebuild p ~keep:(fun i -> i <> 1) ~rewrite:(fun _ k -> k));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_passes_preserve_semantics =
+  QCheck.Test.make ~name:"cse/dce/constfold preserve program semantics"
+    ~count:60 QCheck.small_int (fun seed ->
+      let g = Gen.make seed in
+      let before = Fhe_sim.Interp.run_reference g.Gen.prog ~inputs:g.Gen.inputs in
+      let check (r : Rewrite.result) =
+        let after = Fhe_sim.Interp.run_reference r.Rewrite.prog ~inputs:g.Gen.inputs in
+        Array.for_all2
+          (fun a b ->
+            Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) a b)
+          before after
+      in
+      check (Cse.run g.Gen.prog)
+      && check (Dce.run g.Gen.prog)
+      && check (Constfold.run g.Gen.prog))
+
+let suite =
+  [ Alcotest.test_case "cse: merges duplicates" `Quick test_cse_merges;
+    Alcotest.test_case "cse: key discriminates" `Quick test_cse_key_discriminates;
+    Alcotest.test_case "cse: inputs never merge" `Quick
+      test_cse_never_merges_inputs;
+    Alcotest.test_case "dce: removes dead ops" `Quick test_dce;
+    Alcotest.test_case "constfold: scalar folding" `Quick test_constfold_scalars;
+    Alcotest.test_case "constfold: identities" `Quick test_constfold_identities;
+    Alcotest.test_case "constfold: rotation fusion" `Quick
+      test_constfold_rotate_fusion;
+    Alcotest.test_case "constfold: rejects managed programs" `Quick
+      test_constfold_rejects_managed;
+    Alcotest.test_case "rewrite: deleted operand detection" `Quick
+      test_rewrite_detects_deleted_operand;
+    QCheck_alcotest.to_alcotest prop_passes_preserve_semantics ]

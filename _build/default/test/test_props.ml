@@ -1,0 +1,191 @@
+(* Cross-cutting property tests: scheme homomorphisms, ring algebra,
+   and validator fuzzing. *)
+
+open Fhe_ir
+
+(* ------------------------------------------------------------------ *)
+(* CKKS homomorphism properties on a small, fast ring *)
+
+let ctx = lazy (Ckks.Context.make ~n:64 ~levels:3 ())
+
+let keys = lazy (Ckks.Keys.keygen (Lazy.force ctx))
+
+let scale = 2.0 ** 24.0
+
+let arb_vec =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          let g = Fhe_util.Prng.create seed in
+          Array.init 32 (fun _ -> Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0))
+        int)
+
+let close ?(tol = 0.05) a b =
+  Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a b
+
+let prop_enc_dec =
+  QCheck.Test.make ~name:"ckks: dec (enc x) = x" ~count:20 arb_vec (fun v ->
+      let keys = Lazy.force keys in
+      let ct = Ckks.Evaluator.encrypt keys ~level:3 ~scale v in
+      close ~tol:0.01 (Array.sub (Ckks.Evaluator.decrypt keys ct) 0 32) v)
+
+let prop_additive_homomorphism =
+  QCheck.Test.make ~name:"ckks: dec (enc x + enc y) = x + y" ~count:20
+    (QCheck.pair arb_vec arb_vec) (fun (x, y) ->
+      let keys = Lazy.force keys in
+      let cx = Ckks.Evaluator.encrypt keys ~level:3 ~scale x in
+      let cy = Ckks.Evaluator.encrypt keys ~level:3 ~scale y in
+      let s = Ckks.Evaluator.decrypt keys (Ckks.Evaluator.add keys cx cy) in
+      close (Array.sub s 0 32) (Array.map2 ( +. ) x y))
+
+let prop_multiplicative_homomorphism =
+  QCheck.Test.make ~name:"ckks: dec (enc x * enc y) = x * y" ~count:15
+    (QCheck.pair arb_vec arb_vec) (fun (x, y) ->
+      let keys = Lazy.force keys in
+      let cx = Ckks.Evaluator.encrypt keys ~level:3 ~scale x in
+      let cy = Ckks.Evaluator.encrypt keys ~level:3 ~scale y in
+      let p =
+        Ckks.Evaluator.decrypt keys
+          (Ckks.Evaluator.rescale keys (Ckks.Evaluator.mul keys cx cy))
+      in
+      close (Array.sub p 0 32) (Array.map2 ( *. ) x y))
+
+let prop_rotation_group =
+  QCheck.Test.make ~name:"ckks: rotate k . rotate j = rotate (j+k)" ~count:10
+    (QCheck.triple arb_vec (QCheck.int_range 1 5) (QCheck.int_range 1 5))
+    (fun (x, j, k) ->
+      let keys = Lazy.force keys in
+      let cx = Ckks.Evaluator.encrypt keys ~level:2 ~scale x in
+      let a =
+        Ckks.Evaluator.decrypt keys
+          (Ckks.Evaluator.rotate keys (Ckks.Evaluator.rotate keys cx j) k)
+      in
+      let b =
+        Ckks.Evaluator.decrypt keys (Ckks.Evaluator.rotate keys cx (j + k))
+      in
+      close ~tol:0.1 (Array.sub a 0 32) (Array.sub b 0 32))
+
+(* ------------------------------------------------------------------ *)
+(* ring algebra *)
+
+let arb_poly =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun seed ->
+          let ctx = Lazy.force ctx in
+          let s = Ckks.Sampler.create ~seed in
+          Ckks.Sampler.uniform_ntt s ctx ~level:2 ~special:false)
+        int)
+
+let prop_poly_add_comm =
+  QCheck.Test.make ~name:"poly: a + b = b + a" ~count:50
+    (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      let ctx = Lazy.force ctx in
+      Ckks.Poly.add ctx a b = Ckks.Poly.add ctx b a)
+
+let prop_poly_mul_comm =
+  QCheck.Test.make ~name:"poly: a * b = b * a (NTT domain)" ~count:50
+    (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      let ctx = Lazy.force ctx in
+      Ckks.Poly.mul ctx a b = Ckks.Poly.mul ctx b a)
+
+let prop_poly_sub_inverse =
+  QCheck.Test.make ~name:"poly: (a + b) - b = a" ~count:50
+    (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+      let ctx = Lazy.force ctx in
+      Ckks.Poly.sub ctx (Ckks.Poly.add ctx a b) b = a)
+
+let prop_poly_ntt_roundtrip =
+  QCheck.Test.make ~name:"poly: of_ntt . to_ntt = id" ~count:50 arb_poly
+    (fun a ->
+      let ctx = Lazy.force ctx in
+      Ckks.Poly.to_ntt ctx (Ckks.Poly.of_ntt ctx a) = a)
+
+let prop_automorphism_compose =
+  QCheck.Test.make ~name:"poly: automorphisms compose" ~count:30
+    (QCheck.triple arb_poly (QCheck.int_range 0 3) (QCheck.int_range 0 3))
+    (fun (a, j, k) ->
+      let ctx = Lazy.force ctx in
+      let n2 = 2 * ctx.Ckks.Context.n in
+      let g1 = Ckks.Keys.galois_element ctx j in
+      let g2 = Ckks.Keys.galois_element ctx k in
+      let lhs =
+        Ckks.Poly.automorphism ctx (Ckks.Poly.automorphism ctx a ~g:g1) ~g:g2
+      in
+      let rhs = Ckks.Poly.automorphism ctx a ~g:(g1 * g2 mod n2) in
+      lhs = rhs)
+
+(* ------------------------------------------------------------------ *)
+(* validator fuzzing: perturbing any annotation of a legal managed
+   program (other than on inputs, whose levels are unconstrained) must
+   be detected *)
+
+let prop_validator_catches_mutations =
+  QCheck.Test.make ~name:"validator catches annotation mutations" ~count:80
+    (QCheck.pair QCheck.small_int QCheck.small_int) (fun (seed, pick) ->
+      let g = Gen.make seed in
+      let m = Fhe_eva.Eva.compile ~rbits:60 ~wbits:25 g.Gen.prog in
+      (* candidate mutation sites: non-leaf ops *)
+      let sites = ref [] in
+      Program.iteri
+        (fun i k -> if not (Op.is_leaf k) then sites := i :: !sites)
+        m.Managed.prog;
+      match !sites with
+      | [] -> QCheck.assume_fail ()
+      | sites ->
+          let sites = Array.of_list sites in
+          let i = sites.(pick mod Array.length sites) in
+          let scale = Array.copy m.Managed.scale in
+          let level = Array.copy m.Managed.level in
+          if pick mod 2 = 0 then scale.(i) <- scale.(i) + 1
+          else level.(i) <- level.(i) + 1;
+          let mutated =
+            Managed.make ~prog:m.Managed.prog ~scale ~level
+              ~rbits:m.Managed.rbits ~wbits:m.Managed.wbits
+          in
+          Result.is_error (Validator.check mutated))
+
+let prop_managed_passes_keep_validity =
+  QCheck.Test.make ~name:"managed cse/dce preserve validity" ~count:50
+    QCheck.small_int (fun seed ->
+      let g = Gen.make seed in
+      let m = Fhe_eva.Eva.compile ~rbits:60 ~wbits:25 g.Gen.prog in
+      Result.is_ok (Validator.check (Managed.cse m))
+      && Result.is_ok (Validator.check (Managed.dce m)))
+
+(* a managed program parsed back from its own print still validates
+   with its annotations recomputed by the compilers' path (structure
+   only; annotations are not in the text format) *)
+let prop_print_parse_structure =
+  QCheck.Test.make ~name:"managed print/parse keeps structure" ~count:30
+    QCheck.small_int (fun seed ->
+      let g = Gen.make seed in
+      let m = Fhe_eva.Eva.compile ~rbits:60 ~wbits:25 g.Gen.prog in
+      (* only structurally printable programs round trip (vconsts > 8
+         values print opaquely) *)
+      let printable =
+        Program.count m.Managed.prog ~f:(function
+          | Op.Vconst { values; _ } -> Array.length values > 8
+          | _ -> false)
+        = 0
+      in
+      QCheck.assume printable;
+      match Parser.parse ~n_slots:16 (Pp.program_to_string m.Managed.prog) with
+      | Error _ -> false
+      | Ok p' -> Program.n_ops p' = Program.n_ops m.Managed.prog)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_enc_dec;
+    QCheck_alcotest.to_alcotest prop_additive_homomorphism;
+    QCheck_alcotest.to_alcotest prop_multiplicative_homomorphism;
+    QCheck_alcotest.to_alcotest prop_rotation_group;
+    QCheck_alcotest.to_alcotest prop_poly_add_comm;
+    QCheck_alcotest.to_alcotest prop_poly_mul_comm;
+    QCheck_alcotest.to_alcotest prop_poly_sub_inverse;
+    QCheck_alcotest.to_alcotest prop_poly_ntt_roundtrip;
+    QCheck_alcotest.to_alcotest prop_automorphism_compose;
+    QCheck_alcotest.to_alcotest prop_validator_catches_mutations;
+    QCheck_alcotest.to_alcotest prop_managed_passes_keep_validity;
+    QCheck_alcotest.to_alcotest prop_print_parse_structure ]

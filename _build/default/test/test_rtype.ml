@@ -1,0 +1,120 @@
+module R = Reserve.Rtype
+
+let prm = R.params ~rbits:60 ~wbits:20
+
+let test_params_validation () =
+  (try
+     ignore (R.params ~rbits:60 ~wbits:0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (R.params ~rbits:20 ~wbits:60);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_principal_level () =
+  Alcotest.(check int) "rho 0" 1 (R.principal_level prm 0);
+  Alcotest.(check int) "rho 40" 1 (R.principal_level prm 40);
+  Alcotest.(check int) "rho 41" 2 (R.principal_level prm 41);
+  Alcotest.(check int) "rho 100" 2 (R.principal_level prm 100);
+  Alcotest.(check int) "rho 101" 3 (R.principal_level prm 101)
+
+let test_mul_operand_level () =
+  (* the paper's q: rho 0, l = ceil(40/60) = 1 *)
+  Alcotest.(check int) "rho 0" 1 (R.mul_operand_level prm 0);
+  (* the paper's x3: rho 30, l = ceil(70/60) = 2 *)
+  Alcotest.(check int) "rho 30" 2 (R.mul_operand_level prm 30)
+
+let test_mismatch () =
+  Alcotest.(check bool) "rho 0 matched" false (R.is_level_mismatch prm 0);
+  Alcotest.(check bool) "rho 30 mismatched" true (R.is_level_mismatch prm 30);
+  (* paper: {30/60 + 40/60} = 10/60 *)
+  Alcotest.(check int) "need 10 bits" 10 (R.mismatch_need prm 30)
+
+let test_mul_split_example () =
+  (* paper Fig 3c: rho(q) = 0 -> l = 1, operands 30/30 *)
+  let l, r1, r2 = R.mul_split prm 0 in
+  Alcotest.(check int) "l" 1 l;
+  Alcotest.(check int) "r1" 30 r1;
+  Alcotest.(check int) "r2" 30 r2;
+  (* after redistribution rho(x3) = 20 -> l = 1, operands 40/40 *)
+  let l, r1, r2 = R.mul_split prm 20 in
+  Alcotest.(check int) "l'" 1 l;
+  Alcotest.(check (pair int int)) "split" (40, 40) (r1, r2)
+
+let test_canonical_scale_and_bounds () =
+  Alcotest.(check int) "scale" 40 (R.canonical_scale prm ~rho:80 ~level:2);
+  Alcotest.(check int) "max reserve" 100 (R.max_reserve_for_level prm 2);
+  Alcotest.(check bool) "edge check" true (R.check_edge prm ~rin:30 ~level:1);
+  Alcotest.(check bool) "edge check fails" false
+    (R.check_edge prm ~rin:30 ~level:2)
+
+let test_pmul_operand () =
+  Alcotest.(check int) "rho + omega" 50 (R.pmul_operand prm 30)
+
+(* exact integer reformulations of the paper's §5/§6.2 identities *)
+let gen_prm =
+  QCheck.Gen.(
+    map2
+      (fun rbits wfrac -> R.params ~rbits ~wbits:(max 1 (wfrac mod rbits)))
+      (int_range 8 64) (int_range 1 64))
+
+let arb_prm = QCheck.make gen_prm
+
+let prop_split_sum =
+  QCheck.Test.make ~name:"mul_split: rho1 + rho2 = rho + l*rbits" ~count:500
+    QCheck.(pair arb_prm (int_range 0 400))
+    (fun (p, rho) ->
+      let l, r1, r2 = R.mul_split p rho in
+      r1 + r2 = rho + (l * p.R.rbits))
+
+let prop_split_principal_levels =
+  QCheck.Test.make
+    ~name:"mul_split: both operands at principal level l (Eq. Mul)" ~count:500
+    QCheck.(pair arb_prm (int_range 0 400))
+    (fun (p, rho) ->
+      let l, r1, r2 = R.mul_split p rho in
+      R.principal_level p r1 = l && R.principal_level p r2 = l)
+
+let prop_mismatch_need_resolves =
+  QCheck.Test.make
+    ~name:"mismatch_need drops the operand level by exactly one" ~count:500
+    QCheck.(pair arb_prm (int_range 0 400))
+    (fun (p, rho) ->
+      QCheck.assume (R.is_level_mismatch p rho);
+      let need = R.mismatch_need p rho in
+      (* with waterlines above rbits/2 the needed reduction can exceed
+         the whole reserve; redistribution then simply refuses *)
+      need > 0
+      && (rho - need < 0
+         || R.mul_operand_level p (rho - need) = R.mul_operand_level p rho - 1))
+
+let prop_principal_monotone =
+  QCheck.Test.make ~name:"principal level monotone in reserve" ~count:500
+    QCheck.(triple arb_prm (int_range 0 400) (int_range 0 50))
+    (fun (p, rho, d) ->
+      R.principal_level p rho <= R.principal_level p (rho + d))
+
+let prop_reserve_nonneg_scale =
+  QCheck.Test.make
+    ~name:"canonical scale at principal level stays >= waterline" ~count:500
+    QCheck.(pair arb_prm (int_range 0 400))
+    (fun (p, rho) ->
+      let l = R.principal_level p rho in
+      R.canonical_scale p ~rho ~level:l >= p.R.wbits)
+
+let suite =
+  [ Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "principal level" `Quick test_principal_level;
+    Alcotest.test_case "mul operand level" `Quick test_mul_operand_level;
+    Alcotest.test_case "level mismatch + need (paper values)" `Quick
+      test_mismatch;
+    Alcotest.test_case "mul split (Fig 3c/3d)" `Quick test_mul_split_example;
+    Alcotest.test_case "canonical scale / bounds" `Quick
+      test_canonical_scale_and_bounds;
+    Alcotest.test_case "pmul operand" `Quick test_pmul_operand;
+    QCheck_alcotest.to_alcotest prop_split_sum;
+    QCheck_alcotest.to_alcotest prop_split_principal_levels;
+    QCheck_alcotest.to_alcotest prop_mismatch_need_resolves;
+    QCheck_alcotest.to_alcotest prop_principal_monotone;
+    QCheck_alcotest.to_alcotest prop_reserve_nonneg_scale ]

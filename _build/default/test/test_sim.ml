@@ -1,0 +1,124 @@
+open Fhe_ir
+module I = Fhe_sim.Interp
+
+let small_managed () =
+  let p, _ = Helpers.paper_example () in
+  Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 p
+
+let test_reference_semantics () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let r = Builder.rotate b x 1 in
+  let s = Builder.sub b (Builder.neg b x) (Builder.const b 1.0) in
+  let m = Builder.mul b r (Builder.vconst b [| 2.0; 0.0; 1.0 |]) in
+  let p = Builder.finish b ~outputs:[ r; s; m ] in
+  let out = I.run_reference p ~inputs:[ ("x", [| 1.0; 2.0; 3.0; 4.0 |]) ] in
+  Alcotest.(check (array (float 1e-12))) "rotate left"
+    [| 2.0; 3.0; 4.0; 1.0 |] out.(0);
+  Alcotest.(check (array (float 1e-12))) "neg/sub/const"
+    [| -2.0; -3.0; -4.0; -5.0 |] out.(1);
+  Alcotest.(check (array (float 1e-12))) "vconst zero-extended"
+    [| 4.0; 0.0; 4.0; 0.0 |] out.(2)
+
+let test_input_padding () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let p = Builder.finish b ~outputs:[ x ] in
+  let out = I.run_reference p ~inputs:[ ("x", [| 7.0 |]) ] in
+  Alcotest.(check (array (float 0.0))) "padded" [| 7.0; 0.0; 0.0; 0.0 |] out.(0)
+
+let test_missing_input () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let p = Builder.finish b ~outputs:[ x ] in
+  try
+    ignore (I.run_reference p ~inputs:[]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_oversized_input () =
+  let b = Builder.create ~n_slots:4 () in
+  let x = Builder.input b "x" in
+  let p = Builder.finish b ~outputs:[ x ] in
+  try
+    ignore (I.run_reference p ~inputs:[ ("x", Array.make 5 0.0) ]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_error_bound_positive () =
+  let m = small_managed () in
+  let outs = I.run m ~inputs:Helpers.paper_inputs in
+  Array.iter
+    (fun (v : I.value) ->
+      Alcotest.(check bool) "err > 0" true (v.I.err > 0.0))
+    outs
+
+let test_error_shrinks_with_waterline () =
+  (* the whole point of the waterline: larger scales mean less error *)
+  let p, _ = Helpers.paper_example () in
+  let at w =
+    I.max_log2_error
+      (Fhe_eva.Eva.compile ~rbits:60 ~wbits:w p)
+      ~inputs:Helpers.paper_inputs
+  in
+  Alcotest.(check bool) "err(w=40) < err(w=20)" true (at 40 < at 20)
+
+let test_noisy_ops_accumulate () =
+  (* more rotations, more error *)
+  let build k =
+    let b = Builder.create ~n_slots:4 () in
+    let x = Builder.input b "x" in
+    let rec rot e i = if i = 0 then e else rot (Builder.rotate b e 1) (i - 1) in
+    (* dedup would fold identical rotates; chain them so each is distinct *)
+    Builder.finish b ~outputs:[ rot x k ]
+  in
+  let err k =
+    let m = Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 (build k) in
+    I.max_log2_error m ~inputs:[ ("x", [| 1.0; 2.0; 3.0; 4.0 |]) ]
+  in
+  Alcotest.(check bool) "3 rotations noisier than 1" true (err 3 > err 1)
+
+let test_custom_noise_model () =
+  let m = small_managed () in
+  let quiet =
+    { Fhe_sim.Noise.default with Fhe_sim.Noise.mul_bits = 0;
+      rotate_bits = 0; rescale_bits = 0 }
+  in
+  let e_quiet = I.max_log2_error ~noise:quiet m ~inputs:Helpers.paper_inputs in
+  let e_default = I.max_log2_error m ~inputs:Helpers.paper_inputs in
+  Alcotest.(check bool) "quieter model, smaller error" true
+    (e_quiet < e_default)
+
+let test_noise_contribution () =
+  Alcotest.(check (float 1e-12)) "2^(10-20)"
+    (1.0 /. 1024.0)
+    (Fhe_sim.Noise.contribution ~bits:10 ~scale:20)
+
+let prop_managed_tracks_reference =
+  QCheck.Test.make
+    ~name:"interp(managed) = reference modulo the error bound" ~count:40
+    QCheck.small_int (fun seed ->
+      let g = Gen.make seed in
+      let m = Fhe_eva.Eva.compile ~rbits:60 ~wbits:30 g.Gen.prog in
+      let refs = I.run_reference g.Gen.prog ~inputs:g.Gen.inputs in
+      let outs = I.run m ~inputs:g.Gen.inputs in
+      Array.for_all2
+        (fun (v : I.value) r ->
+          Array.for_all2
+            (fun x y -> Float.abs (x -. y) <= 1e-9 +. (1e-9 *. Float.abs y))
+            v.I.data r)
+        outs refs)
+
+let suite =
+  [ Alcotest.test_case "reference semantics" `Quick test_reference_semantics;
+    Alcotest.test_case "input padding" `Quick test_input_padding;
+    Alcotest.test_case "missing input rejected" `Quick test_missing_input;
+    Alcotest.test_case "oversized input rejected" `Quick test_oversized_input;
+    Alcotest.test_case "error bounds positive" `Quick test_error_bound_positive;
+    Alcotest.test_case "error shrinks with waterline" `Quick
+      test_error_shrinks_with_waterline;
+    Alcotest.test_case "noisy ops accumulate" `Quick test_noisy_ops_accumulate;
+    Alcotest.test_case "custom noise model" `Quick test_custom_noise_model;
+    Alcotest.test_case "noise contribution formula" `Quick
+      test_noise_contribution;
+    QCheck_alcotest.to_alcotest prop_managed_tracks_reference ]

@@ -1,0 +1,131 @@
+open Fhe_util
+
+let test_ceil_div () =
+  Alcotest.(check int) "7/2" 4 (Bits.ceil_div 7 2);
+  Alcotest.(check int) "6/2" 3 (Bits.ceil_div 6 2);
+  Alcotest.(check int) "0/5" 0 (Bits.ceil_div 0 5);
+  Alcotest.(check int) "-7/2" (-3) (Bits.ceil_div (-7) 2);
+  Alcotest.(check int) "1/60" 1 (Bits.ceil_div 1 60)
+
+let test_floor_div () =
+  Alcotest.(check int) "7/2" 3 (Bits.floor_div 7 2);
+  Alcotest.(check int) "-7/2" (-4) (Bits.floor_div (-7) 2);
+  Alcotest.(check int) "-6/2" (-3) (Bits.floor_div (-6) 2)
+
+let test_pos_rem () =
+  Alcotest.(check int) "7%4" 3 (Bits.pos_rem 7 4);
+  Alcotest.(check int) "-1%4" 3 (Bits.pos_rem (-1) 4);
+  Alcotest.(check int) "-8%4" 0 (Bits.pos_rem (-8) 4)
+
+let test_clamp () =
+  Alcotest.(check int) "below" 2 (Bits.clamp ~lo:2 ~hi:9 0);
+  Alcotest.(check int) "above" 9 (Bits.clamp ~lo:2 ~hi:9 100);
+  Alcotest.(check int) "inside" 5 (Bits.clamp ~lo:2 ~hi:9 5)
+
+let test_pow2f () =
+  Alcotest.(check (float 0.0)) "2^10" 1024.0 (Bits.pow2f 10);
+  Alcotest.(check (float 1e-12)) "2^-1" 0.5 (Bits.pow2f (-1))
+
+let prop_divmod_consistent =
+  QCheck.Test.make ~name:"ceil/floor div consistency" ~count:500
+    QCheck.(pair (int_range (-10000) 10000) (int_range 1 97))
+    (fun (a, b) ->
+      let c = Bits.ceil_div a b and f = Bits.floor_div a b in
+      c * b >= a && f * b <= a && c - f <= 1 && Bits.pos_rem a b = a - (f * b))
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 81 (Vec.get v 9);
+  Vec.set v 9 7;
+  Alcotest.(check int) "set" 7 (Vec.get v 9);
+  Alcotest.(check int) "array" 100 (Array.length (Vec.to_array v));
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 100))
+
+let test_vec_fold () =
+  let v = Vec.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "sum" 10 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !acc)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_split () =
+  let a = Prng.create 42 in
+  let c = Prng.split a in
+  let x = Prng.int a 1000000 and y = Prng.int c 1000000 in
+  Alcotest.(check bool) "independent streams differ" true (x <> y)
+
+let prop_prng_range =
+  QCheck.Test.make ~name:"prng int in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let test_prng_gaussian_moments () =
+  let g = Prng.create 7 in
+  let n = 20000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian g in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check (float 0.05)) "mean ~ 0" 0.0 mean;
+  Alcotest.(check (float 0.05)) "var ~ 1" 1.0 var
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in priority order" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h ~prio:x x) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_heap_ties () =
+  let h = Heap.create () in
+  Heap.push h ~prio:5 50;
+  Heap.push h ~prio:5 49;
+  Heap.push h ~prio:1 10;
+  Alcotest.(check (option int)) "lowest prio" (Some 10) (Heap.pop h);
+  Alcotest.(check (option int)) "tie by item" (Some 49) (Heap.pop h);
+  Alcotest.(check (option int)) "then" (Some 50) (Heap.pop h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_timer () =
+  let x, ms = Timer.time (fun () -> 21 * 2) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (ms >= 0.0)
+
+let suite =
+  [ Alcotest.test_case "bits: ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "bits: floor_div" `Quick test_floor_div;
+    Alcotest.test_case "bits: pos_rem" `Quick test_pos_rem;
+    Alcotest.test_case "bits: clamp" `Quick test_clamp;
+    Alcotest.test_case "bits: pow2f" `Quick test_pow2f;
+    QCheck_alcotest.to_alcotest prop_divmod_consistent;
+    Alcotest.test_case "vec: basic" `Quick test_vec_basic;
+    Alcotest.test_case "vec: fold/iter" `Quick test_vec_fold;
+    Alcotest.test_case "prng: determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng: split" `Quick test_prng_split;
+    QCheck_alcotest.to_alcotest prop_prng_range;
+    Alcotest.test_case "prng: gaussian moments" `Quick test_prng_gaussian_moments;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "heap: tie-breaking" `Quick test_heap_ties;
+    Alcotest.test_case "timer: basic" `Quick test_timer ]

@@ -1,0 +1,187 @@
+open Fhe_ir
+
+let mk ops outputs scale level =
+  Managed.make
+    ~prog:(Program.make ~ops ~outputs ~n_slots:4)
+    ~scale ~level ~rbits:60 ~wbits:20
+
+let cin name = Op.Input { name; vt = Op.Cipher }
+
+let ok m =
+  match Validator.check m with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "unexpectedly invalid: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Validator.pp_error) es))
+
+let expect_error m frag =
+  match Validator.check m with
+  | Ok () -> Alcotest.failf "expected error mentioning %S" frag
+  | Error es ->
+      let all =
+        String.concat "; "
+          (List.map (Format.asprintf "%a" Validator.pp_error) es)
+      in
+      if not (Helpers.contains all frag) then
+        Alcotest.failf "errors %S do not mention %S" all frag
+
+let test_legal_basic () =
+  ok
+    (mk
+       [| cin "x"; Op.Upscale (0, 40); Op.Mul (1, 1); Op.Rescale 2 |]
+       [| 3 |]
+       [| 20; 60; 120; 60 |]
+       [| 2; 2; 2; 1 |])
+
+let test_add_scale_mismatch () =
+  expect_error
+    (mk
+       [| cin "x"; cin "y"; Op.Upscale (1, 5); Op.Add (0, 2) |]
+       [| 3 |] [| 20; 20; 25; 25 |] [| 1; 1; 1; 1 |])
+    "scale mismatch"
+
+let test_add_level_mismatch () =
+  expect_error
+    (mk
+       [| cin "x"; cin "y"; Op.Add (0, 1) |]
+       [| 2 |] [| 20; 20; 20 |] [| 2; 1; 1 |])
+    "level mismatch"
+
+let test_mul_scale_rule () =
+  expect_error
+    (mk
+       [| cin "x"; Op.Mul (0, 0) |]
+       [| 1 |] [| 20; 39 |] [| 1; 1 |])
+    "expected 20 + 20"
+
+let test_scale_overflow () =
+  expect_error
+    (mk [| cin "x"; Op.Mul (0, 0); Op.Mul (1, 1) |] [| 2 |]
+       [| 20; 40; 80 |] [| 1; 1; 1 |])
+    "scale overflow"
+
+let test_waterline () =
+  expect_error
+    (mk
+       [| cin "x"; Op.Mul (0, 0); Op.Rescale 1 |]
+       [| 2 |] [| 20; 40; -20 |] [| 2; 2; 1 |])
+    "negative scale";
+  expect_error
+    (mk
+       [| cin "x"; Op.Upscale (0, 10); Op.Mul (1, 1); Op.Rescale 2 |]
+       [| 3 |] [| 20; 30; 60; 0 |] [| 2; 2; 2; 1 |])
+    "below waterline"
+
+let test_cipher_input_scale () =
+  expect_error
+    (mk [| cin "x" |] [| 0 |] [| 25 |] [| 1 |])
+    "expected waterline"
+
+let test_rescale_arithmetic () =
+  expect_error
+    (mk
+       [| cin "x"; Op.Upscale (0, 60); Op.Rescale 1 |]
+       [| 2 |] [| 20; 80; 30 |] [| 2; 2; 1 |])
+    "rescale scale";
+  expect_error
+    (mk
+       [| cin "x"; Op.Upscale (0, 60); Op.Rescale 1 |]
+       [| 2 |] [| 20; 80; 20 |] [| 2; 2; 2 |])
+    "rescale level"
+
+let test_modswitch_and_upscale () =
+  expect_error
+    (mk [| cin "x"; Op.Modswitch 0 |] [| 1 |] [| 20; 25 |] [| 2; 1 |])
+    "modswitch changed scale";
+  expect_error
+    (mk [| cin "x"; Op.Upscale (0, 0) |] [| 1 |] [| 20; 20 |] [| 1; 1 |])
+    "non-positive upscale"
+
+let test_level_floor () =
+  expect_error
+    (mk
+       [| cin "x"; Op.Upscale (0, 40); Op.Rescale 1 |]
+       [| 2 |] [| 20; 60; 0 |] [| 1; 1; 0 |])
+    "level 0 < 1"
+
+let test_neg_rotate_preserve () =
+  expect_error
+    (mk [| cin "x"; Op.Neg 0 |] [| 1 |] [| 20; 21 |] [| 1; 1 |])
+    "scale changed by neg";
+  expect_error
+    (mk [| cin "x"; Op.Rotate (0, 1) |] [| 1 |] [| 20; 20 |] [| 2; 1 |])
+    "level changed by rotate"
+
+let test_plain_operand_rules () =
+  (* plain-mul operand below waterline *)
+  expect_error
+    (mk
+       [| cin "x"; Op.Const 2.0; Op.Mul (0, 1) |]
+       [| 2 |] [| 20; 10; 30 |] [| 1; 1; 1 |])
+    "below waterline";
+  (* plain-add operand must match the cipher scale *)
+  expect_error
+    (mk
+       [| cin "x"; Op.Const 2.0; Op.Add (0, 1) |]
+       [| 2 |] [| 20; 25; 20 |] [| 1; 1; 1 |])
+    "does not match cipher scale"
+
+let test_check_exn () =
+  try
+    Validator.check_exn
+      (mk [| cin "x" |] [| 0 |] [| 5 |] [| 1 |]);
+    Alcotest.fail "expected Failure"
+  with Failure _ -> ()
+
+let test_managed_make_rejects () =
+  (try
+     ignore
+       (Managed.make
+          ~prog:(Program.make ~ops:[| cin "x" |] ~outputs:[| 0 |] ~n_slots:4)
+          ~scale:[| 20; 20 |] ~level:[| 1 |] ~rbits:60 ~wbits:20);
+     Alcotest.fail "expected Invalid_argument (lengths)"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Managed.make
+         ~prog:(Program.make ~ops:[| cin "x" |] ~outputs:[| 0 |] ~n_slots:4)
+         ~scale:[| 20 |] ~level:[| 1 |] ~rbits:20 ~wbits:60);
+    Alcotest.fail "expected Invalid_argument (wbits)"
+  with Invalid_argument _ -> ()
+
+let test_managed_accessors () =
+  let m =
+    mk
+      [| cin "x"; Op.Mul (0, 0); Op.Rescale 1; Op.Modswitch 2;
+         Op.Upscale (3, 30) |]
+      [| 4 |]
+      [| 20; 40; -20; -20; 10 |]
+      (* values irrelevant here *)
+      [| 3; 3; 2; 1; 1 |]
+  in
+  Alcotest.(check int) "rescales" 1 (Managed.n_rescale m);
+  Alcotest.(check int) "modswitches" 1 (Managed.n_modswitch m);
+  Alcotest.(check int) "upscales" 1 (Managed.n_upscale m);
+  Alcotest.(check int) "input level" 3 (Managed.input_level m);
+  Alcotest.(check int) "max level" 3 (Managed.max_level m);
+  Alcotest.(check int) "reserve" (3 * 60 - 20) (Managed.reserve m 0)
+
+let suite =
+  [ Alcotest.test_case "legal program accepted" `Quick test_legal_basic;
+    Alcotest.test_case "add: scale mismatch" `Quick test_add_scale_mismatch;
+    Alcotest.test_case "add: level mismatch" `Quick test_add_level_mismatch;
+    Alcotest.test_case "mul: result scale rule" `Quick test_mul_scale_rule;
+    Alcotest.test_case "scale overflow" `Quick test_scale_overflow;
+    Alcotest.test_case "waterline violations" `Quick test_waterline;
+    Alcotest.test_case "cipher input scale" `Quick test_cipher_input_scale;
+    Alcotest.test_case "rescale arithmetic" `Quick test_rescale_arithmetic;
+    Alcotest.test_case "modswitch/upscale rules" `Quick
+      test_modswitch_and_upscale;
+    Alcotest.test_case "level floor" `Quick test_level_floor;
+    Alcotest.test_case "neg/rotate preserve annotations" `Quick
+      test_neg_rotate_preserve;
+    Alcotest.test_case "plain operand rules" `Quick test_plain_operand_rules;
+    Alcotest.test_case "check_exn raises" `Quick test_check_exn;
+    Alcotest.test_case "managed: make rejects" `Quick test_managed_make_rejects;
+    Alcotest.test_case "managed: accessors" `Quick test_managed_accessors ]
