@@ -52,27 +52,71 @@ let find_app name =
         (Printf.sprintf "unknown app %S; try: %s" name
            (String.concat ", " (List.map (fun a -> a.Reg.name) Reg.all)))
 
-let do_compile app compiler ~rbits ~wbits ~iterations =
-  let p = app.Reg.build () in
-  let xmax_bits =
-    Fhe_sim.Interp.max_magnitude_bits p ~inputs:(app.Reg.inputs ~seed:42)
-  in
-  let iterations = if iterations <= 0 then None else Some iterations in
-  match String.lowercase_ascii compiler with
-  | "eva" -> Ok (p, Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p, xmax_bits)
-  | "hecate" ->
-      let r =
-        Fhe_hecate.Hecate.compile ?iterations ~xmax_bits ~rbits ~wbits p
+(* Escaped compiler exceptions become clean CLI errors, not backtraces. *)
+let protecting f =
+  match f () with
+  | v -> v
+  | exception e ->
+      Error (Printf.sprintf "compilation failed: %s" (Printexc.to_string e))
+
+let validated m =
+  match Validator.check m with
+  | Ok () -> Ok m
+  | Error es ->
+      Error
+        (Format.asprintf "illegal managed program:@\n%a"
+           (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+              Validator.pp_error)
+           es)
+
+let render_attempts attempts =
+  String.concat "\n"
+    (List.map
+       (fun (a : Reserve.Pipeline.attempt) ->
+         Format.asprintf "attempt %s (waterline %d):@\n%a"
+           (Reserve.Pipeline.engine_name a.Reserve.Pipeline.engine)
+           a.Reserve.Pipeline.wbits Reserve.Diag.pp_list
+           a.Reserve.Pipeline.diags)
+       attempts)
+
+let do_compile ?(fallback = false) app compiler ~rbits ~wbits ~iterations =
+  protecting (fun () ->
+      let p = app.Reg.build () in
+      let xmax_bits =
+        Fhe_sim.Interp.max_magnitude_bits p ~inputs:(app.Reg.inputs ~seed:42)
       in
-      Printf.printf "hecate: %d iterations, %d accepted\n"
-        r.Fhe_hecate.Hecate.iterations r.Fhe_hecate.Hecate.accepted;
-      Ok (p, r.Fhe_hecate.Hecate.managed, xmax_bits)
-  | ("reserve" | "ba" | "ra") as c ->
-      let variant =
-        match c with "ba" -> `Ba | "ra" -> `Ra | _ -> `Full
-      in
-      Ok (p, Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p, xmax_bits)
-  | other -> Error (Printf.sprintf "unknown compiler %S" other)
+      let iterations = if iterations <= 0 then None else Some iterations in
+      match String.lowercase_ascii compiler with
+      | "eva" ->
+          Ok (p, Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p, xmax_bits)
+      | "hecate" ->
+          let r =
+            Fhe_hecate.Hecate.compile ?iterations ~xmax_bits ~rbits ~wbits p
+          in
+          Printf.printf "hecate: %d iterations, %d accepted\n"
+            r.Fhe_hecate.Hecate.iterations r.Fhe_hecate.Hecate.accepted;
+          Ok (p, r.Fhe_hecate.Hecate.managed, xmax_bits)
+      | ("reserve" | "ba" | "ra") as c -> (
+          let variant =
+            match c with "ba" -> `Ba | "ra" -> `Ra | _ -> `Full
+          in
+          match
+            Reserve.Pipeline.compile_safe ~variant ~strict:(not fallback)
+              ~xmax_bits ~oracle_inputs:(app.Reg.inputs ~seed:42) ~rbits ~wbits
+              p
+          with
+          | Ok o ->
+              List.iter
+                (fun d ->
+                  Printf.printf "%s\n" (Reserve.Diag.to_string d))
+                o.Reserve.Pipeline.warnings;
+              if o.Reserve.Pipeline.fallbacks <> [] then
+                Printf.printf "fallback engine : %s (waterline %d)\n"
+                  (Reserve.Pipeline.engine_name o.Reserve.Pipeline.engine)
+                  o.Reserve.Pipeline.wbits;
+              Ok (p, o.Reserve.Pipeline.managed, xmax_bits)
+          | Error attempts -> Error (render_attempts attempts))
+      | other -> Error (Printf.sprintf "unknown compiler %S" other))
 
 let report app (m : Managed.t) xmax =
   Printf.printf "app            : %s (%s)\n" app.Reg.name app.Reg.description;
@@ -102,26 +146,45 @@ let handle = function
   | Ok () -> `Ok ()
   | Error msg -> `Error (false, msg)
 
+let fallback_arg =
+  let doc =
+    "Degrade gracefully: on any pass, validation, or self-check failure \
+     walk the fallback chain (reserve → ablations → EVA → EVA at lower \
+     waterlines) instead of failing."
+  in
+  Arg.(value & flag & info [ "fallback" ] ~doc)
+
+let strict_arg =
+  let doc =
+    "Attempt only the requested configuration and fail loudly (default; \
+     overrides $(b,--fallback))."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let compile_cmd =
-  let run app compiler wbits rbits iterations print_ir =
+  let run app compiler wbits rbits iterations print_ir fallback strict =
     handle
       (Result.bind (find_app app) (fun app ->
-           Result.bind (do_compile app compiler ~rbits ~wbits ~iterations)
+           Result.bind
+             (do_compile
+                ~fallback:(fallback && not strict)
+                app compiler ~rbits ~wbits ~iterations)
              (fun (_, m, xmax) ->
-               Validator.check_exn m;
-               report app m xmax;
-               if print_ir then
-                 Format.printf "%a"
-                   (Pp.pp_managed ~scale:m.Managed.scale ~level:m.Managed.level)
-                   m.Managed.prog;
-               Ok ())))
+               Result.bind (validated m) (fun m ->
+                   report app m xmax;
+                   if print_ir then
+                     Format.printf "%a"
+                       (Pp.pp_managed ~scale:m.Managed.scale
+                          ~level:m.Managed.level)
+                       m.Managed.prog;
+                   Ok ()))))
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an application and report statistics")
     Term.(
       ret
         (const run $ app_arg $ compiler_arg $ waterline_arg $ rbits_arg
-       $ iterations_arg $ print_ir_arg))
+       $ iterations_arg $ print_ir_arg $ fallback_arg $ strict_arg))
 
 let run_cmd =
   let run app compiler wbits rbits iterations seed =
@@ -129,22 +192,38 @@ let run_cmd =
       (Result.bind (find_app app) (fun app ->
            Result.bind (do_compile app compiler ~rbits ~wbits ~iterations)
              (fun (p, m, xmax) ->
-               Validator.check_exn m;
-               report app m xmax;
-               let inputs = app.Reg.inputs ~seed in
-               let outs = Fhe_sim.Interp.run m ~inputs in
-               let refs = Fhe_sim.Interp.run_reference p ~inputs in
-               Array.iteri
-                 (fun i (v : Fhe_sim.Interp.value) ->
-                   Printf.printf
-                     "output %d: first slots [%.5f %.5f %.5f] (expected [%.5f \
-                      %.5f %.5f]), error bound 2^%.1f\n"
-                     i v.Fhe_sim.Interp.data.(0) v.Fhe_sim.Interp.data.(1)
-                     v.Fhe_sim.Interp.data.(2) refs.(i).(0) refs.(i).(1)
-                     refs.(i).(2)
-                     (Fhe_util.Bits.log2f v.Fhe_sim.Interp.err))
-                 outs;
-               Ok ())))
+               Result.bind (validated m) (fun m ->
+                   report app m xmax;
+                   let inputs = app.Reg.inputs ~seed in
+                   let outs = Fhe_sim.Interp.run m ~inputs in
+                   let refs = Fhe_sim.Interp.run_reference p ~inputs in
+                   let mismatched = ref 0 in
+                   Array.iteri
+                     (fun i (v : Fhe_sim.Interp.value) ->
+                       Printf.printf
+                         "output %d: first slots [%.5f %.5f %.5f] (expected \
+                          [%.5f %.5f %.5f]), error bound 2^%.1f\n"
+                         i v.Fhe_sim.Interp.data.(0) v.Fhe_sim.Interp.data.(1)
+                         v.Fhe_sim.Interp.data.(2) refs.(i).(0) refs.(i).(1)
+                         refs.(i).(2)
+                         (Fhe_util.Bits.log2f v.Fhe_sim.Interp.err);
+                       Array.iteri
+                         (fun j x ->
+                           let bound =
+                             v.Fhe_sim.Interp.err
+                             +. (1e-9 *. (1.0 +. Float.abs refs.(i).(j)))
+                           in
+                           if Float.abs (x -. refs.(i).(j)) > bound then
+                             incr mismatched)
+                         v.Fhe_sim.Interp.data)
+                     outs;
+                   if !mismatched > 0 then
+                     Error
+                       (Printf.sprintf
+                          "differential check failed: %d slot(s) differ from \
+                           the reference beyond the noise bound"
+                          !mismatched)
+                   else Ok ()))))
   in
   Cmd.v
     (Cmd.info "run"
@@ -193,7 +272,8 @@ let compile_file_cmd =
   in
   let run file compiler wbits rbits n_slots print_ir dot =
     handle
-      (let ic = open_in_bin file in
+      (protecting @@ fun () ->
+       let ic = open_in_bin file in
        let text = really_input_string ic (in_channel_length ic) in
        close_in ic;
        match Parser.parse ~n_slots text with
@@ -211,7 +291,7 @@ let compile_file_cmd =
              | other -> Error (Printf.sprintf "unknown compiler %S" other)
            in
            Result.bind m (fun m ->
-               Validator.check_exn m;
+           Result.bind (validated m) (fun m ->
                Printf.printf "%s: %d ops -> %d managed, L = %d, est %.3f s\n"
                  file (Program.n_arith p)
                  (Program.n_ops m.Managed.prog)
@@ -229,7 +309,7 @@ let compile_file_cmd =
                    close_out oc;
                    Printf.printf "wrote %s\n" path)
                  dot;
-               Ok ()))
+               Ok ())))
   in
   Cmd.v
     (Cmd.info "compile-file"
@@ -239,6 +319,107 @@ let compile_file_cmd =
         (const run $ file_arg $ compiler_arg $ waterline_arg $ rbits_arg
        $ n_slots_arg $ print_ir_arg $ dot_arg))
 
+let fuzz_cmd =
+  let seeds_arg =
+    let doc = "Number of random programs to push through the compiler." in
+    Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let size_arg =
+    let doc = "Approximate op count of each random program." in
+    Arg.(value & opt int 25 & info [ "size" ] ~docv:"OPS" ~doc)
+  in
+  let run seeds size wbits rbits strict =
+    handle
+      (if seeds <= 0 then Error "--seeds must be positive"
+       else begin
+         let ok = ref 0 and fellback = ref 0 in
+         let failed = ref 0 and crashed = ref 0 in
+         let classes = Array.of_list Fhe_sim.Faults.all in
+         let n_cls = Array.length classes in
+         let injected = Array.make n_cls 0 and detected = Array.make n_cls 0 in
+         let missed = Array.make n_cls 0 and nosite = Array.make n_cls 0 in
+         let crash_msgs = ref [] in
+         for seed = 0 to seeds - 1 do
+           try
+             let g = Fhe_sim.Progen.make ~size seed in
+             let p = g.Fhe_sim.Progen.prog in
+             let managed =
+               match
+                 Reserve.Pipeline.compile_safe ~strict
+                   ~oracle_inputs:g.Fhe_sim.Progen.inputs ~rbits ~wbits p
+               with
+               | Ok o ->
+                   if o.Reserve.Pipeline.fallbacks = [] then incr ok
+                   else incr fellback;
+                   Some o.Reserve.Pipeline.managed
+               | Error _ ->
+                   incr failed;
+                   None
+             in
+             (* corrupt a known-legal plan; the validator must reject
+                every corruption class.  When the driver produced nothing
+                (already counted in [failed]) and EVA can't compile the
+                configuration either, there is no plan to corrupt — skip
+                injection for this seed rather than calling it a crash. *)
+             let victim =
+               match managed with
+               | Some m -> Some m
+               | None -> (
+                   match Fhe_eva.Eva.compile ~rbits ~wbits p with
+                   | m -> Some m
+                   | exception _ -> None)
+             in
+             Option.iter
+               (fun victim ->
+                 Array.iteri
+                   (fun ci cls ->
+                     match Fhe_sim.Faults.inject cls ~seed victim with
+                     | None -> nosite.(ci) <- nosite.(ci) + 1
+                     | Some bad -> (
+                         injected.(ci) <- injected.(ci) + 1;
+                         match Validator.check bad with
+                         | Error _ -> detected.(ci) <- detected.(ci) + 1
+                         | Ok () -> missed.(ci) <- missed.(ci) + 1))
+                   classes)
+               victim
+           with e ->
+             incr crashed;
+             if List.length !crash_msgs < 5 then
+               crash_msgs :=
+                 Printf.sprintf "seed %d: %s" seed (Printexc.to_string e)
+                 :: !crash_msgs
+         done;
+         Printf.printf "fuzz: %d random programs (size ~%d, waterline %d)\n"
+           seeds size wbits;
+         Printf.printf "  compiled (requested config) : %d\n" !ok;
+         Printf.printf "  compiled via fallback       : %d\n" !fellback;
+         Printf.printf "  failed with diagnostics     : %d\n" !failed;
+         Printf.printf "  crashed (uncaught)          : %d\n" !crashed;
+         Printf.printf "fault injection:\n";
+         Array.iteri
+           (fun ci cls ->
+             Printf.printf
+               "  %-18s injected %4d  detected %4d  missed %4d  no-site %4d\n"
+               (Fhe_sim.Faults.name cls) injected.(ci) detected.(ci)
+               missed.(ci) nosite.(ci))
+           classes;
+         List.iter print_endline (List.rev !crash_msgs);
+         if !crashed > 0 then Error "fuzz: uncaught exceptions in the driver"
+         else if Array.exists (fun c -> c > 0) missed then
+           Error "fuzz: some injected faults escaped the validator"
+         else Ok ()
+       end)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Push random programs and injected faults through the resilient \
+          driver and report pass/fallback/crash counts per fault class")
+    Term.(
+      ret
+        (const run $ seeds_arg $ size_arg $ waterline_arg $ rbits_arg
+       $ strict_arg))
+
 let () =
   let info =
     Cmd.info "fhec" ~version:"1.0.0"
@@ -247,4 +428,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd ]))
+          [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd;
+            fuzz_cmd ]))

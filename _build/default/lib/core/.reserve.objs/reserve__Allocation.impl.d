@@ -1,1 +1,1 @@
-lib/core/allocation.ml: Array Fhe_ir Fhe_util Hashtbl List Op Program Rtype
+lib/core/allocation.ml: Array Diag Fhe_ir Fhe_util Hashtbl List Op Program Rtype

@@ -1,1 +1,1 @@
-lib/core/allocation.mli: Fhe_ir Program Rtype
+lib/core/allocation.mli: Diag Fhe_ir Program Rtype

@@ -1,0 +1,1 @@
+lib/core/diag.ml: Fhe_ir Format List Op Option Parser Printexc Printf Validator

@@ -1,0 +1,1 @@
+lib/core/diag.mli: Fhe_ir Format Op Parser Validator

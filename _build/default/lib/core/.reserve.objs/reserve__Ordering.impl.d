@@ -1,1 +1,1 @@
-lib/core/ordering.ml: Analysis Array Fhe_cost Fhe_ir List Op Program Rtype
+lib/core/ordering.ml: Analysis Array Diag Fhe_cost Fhe_ir List Op Program Rtype

@@ -1,1 +1,1 @@
-lib/core/ordering.mli: Fhe_ir Program Rtype
+lib/core/ordering.mli: Diag Fhe_ir Program Rtype

@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Allocation Fhe_ir Fhe_util Ordering Placement Rtype Validator
+lib/core/pipeline.ml: Allocation Array Diag Fhe_eva Fhe_ir Fhe_sim Fhe_util Float List Managed Op Ordering Placement Program Result Rtype Validator

@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Fhe_ir Managed Program
+lib/core/pipeline.mli: Diag Fhe_ir Fhe_sim Managed Program

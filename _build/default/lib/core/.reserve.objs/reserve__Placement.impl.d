@@ -1,1 +1,1 @@
-lib/core/placement.ml: Allocation Analysis Array Emit Fhe_cost Fhe_ir Hashtbl Managed Op Program Rtype
+lib/core/placement.ml: Allocation Analysis Array Diag Emit Fhe_cost Fhe_ir Hashtbl List Managed Op Program Rtype Validator

@@ -1,1 +1,1 @@
-lib/core/placement.mli: Allocation Fhe_ir Managed Program
+lib/core/placement.mli: Allocation Diag Fhe_ir Managed Program

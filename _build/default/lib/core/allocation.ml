@@ -179,3 +179,48 @@ let run prm ?(redistribute = true) ?(output_reserve = 0) ~order prog =
   drain ();
   assert (!visited = n);
   { prm; rho; mul_level; rin; mismatched }
+
+let run_safe prm ?redistribute ?output_reserve ~order prog =
+  let pre = ref [] in
+  Program.iteri
+    (fun i k ->
+      if Op.is_scale_mgmt k then
+        pre :=
+          Diag.errorf ~op:i Diag.Allocation
+            ~hint:"pass the original arithmetic program, not a managed one"
+            "input already scale-managed (%s)" (Op.name k)
+          :: !pre)
+    prog;
+  let n = Program.n_ops prog in
+  if Array.length order <> n then
+    pre :=
+      Diag.errorf Diag.Allocation
+        ~hint:"the order array must come from Ordering.run on this program"
+        "allocation order has %d entries for %d ops" (Array.length order) n
+      :: !pre;
+  if !pre <> [] then Error (List.rev !pre)
+  else
+    match run prm ?redistribute ?output_reserve ~order prog with
+    | a ->
+        (* self-check: every ciphertext got a non-negative reserve and
+           every multiplication a realizable operand level *)
+        let bad = ref [] in
+        Program.iteri
+          (fun i k ->
+            if Program.vtype prog i = Op.Cipher then begin
+              if a.rho.(i) < 0 then
+                bad :=
+                  Diag.errorf ~op:i Diag.Allocation
+                    "negative reserve %d bits" a.rho.(i)
+                  :: !bad;
+              match k with
+              | Op.Mul _ when a.mul_level.(i) < 1 ->
+                  bad :=
+                    Diag.errorf ~op:i Diag.Allocation
+                      "multiplication operand level %d < 1" a.mul_level.(i)
+                    :: !bad
+              | _ -> ()
+            end)
+          prog;
+        if !bad = [] then Ok a else Error (List.rev !bad)
+    | exception e -> Error [ Diag.of_exn Diag.Allocation e ]

@@ -45,3 +45,15 @@ val run :
     keeps room for encoded magnitudes up to [2^output_reserve].
     The input must be an arithmetic-only program.
     @raise Invalid_argument on scale-managed input. *)
+
+val run_safe :
+  Rtype.params ->
+  ?redistribute:bool ->
+  ?output_reserve:int ->
+  order:int array ->
+  Program.t ->
+  t Diag.pass_result
+(** Like {!run} but never raises: scale-managed input and a mis-sized
+    [order] become diagnostics, escaped exceptions are demoted, and the
+    result is self-checked (non-negative reserves, realizable mul
+    levels). *)

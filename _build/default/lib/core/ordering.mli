@@ -13,3 +13,8 @@ open Fhe_ir
 val run : Rtype.params -> Program.t -> int array
 (** [run p prog] returns a rank per value id: smaller rank = allocated
     earlier.  Every value gets a distinct rank in [0 .. n-1]. *)
+
+val run_safe : Rtype.params -> Program.t -> int array Diag.pass_result
+(** Like {!run} but never raises: rejects scale-managed input with a
+    diagnostic per offending op, demotes escaped exceptions, and
+    self-checks that the produced rank is a permutation. *)

@@ -35,3 +35,162 @@ let compile ?variant ?xmax_bits ?eager_input_upscale ~rbits ~wbits prog =
   fst
     (compile_with_stats ?variant ?xmax_bits ?eager_input_upscale ~rbits ~wbits
        prog)
+
+(* ------------------------------------------------------------------ *)
+(* The resilient driver: validate after every pass, self-check the
+   result against the reference execution, and degrade through a
+   bounded fallback chain instead of crashing. *)
+
+type engine = [ `Reserve of variant | `Eva ]
+
+type attempt = { engine : engine; wbits : int; diags : Diag.t list }
+
+type outcome = {
+  managed : Managed.t;
+  engine : engine;
+  wbits : int;
+  fallbacks : attempt list;
+  warnings : Diag.t list;
+}
+
+let engine_name = function
+  | `Reserve `Full -> "reserve"
+  | `Reserve `Ra -> "reserve-ra"
+  | `Reserve `Ba -> "reserve-ba"
+  | `Eva -> "eva"
+
+let attempt_diags atts = List.concat_map (fun a -> a.diags) atts
+
+(* Deterministic synthetic inputs for the differential oracle when the
+   caller has none at hand; shorter than the slot count (zero-padded by
+   the interpreter) to keep the self-check cheap on wide programs. *)
+let synth_inputs prog =
+  let rng = Fhe_util.Prng.create 0x5eed in
+  let n = min (Program.n_slots prog) 64 in
+  let acc = ref [] in
+  Program.iteri
+    (fun _ k ->
+      match k with
+      | Op.Input { name; _ } when not (List.mem_assoc name !acc) ->
+          acc :=
+            ( name,
+              Array.init n (fun _ ->
+                  Fhe_util.Prng.uniform rng ~lo:(-1.0) ~hi:1.0) )
+            :: !acc
+      | _ -> ())
+    prog;
+  List.rev !acc
+
+(* The managed program must compute the same function as its source, up
+   to the propagated noise bound plus float-association slack. *)
+let oracle_check ?noise prog m ~inputs =
+  match
+    let refs = Fhe_sim.Interp.run_reference prog ~inputs in
+    let outs = Fhe_sim.Interp.run ?noise m ~inputs in
+    let bad = ref [] in
+    Array.iteri
+      (fun i (v : Fhe_sim.Interp.value) ->
+        let r = refs.(i) in
+        Array.iteri
+          (fun j x ->
+            let bound = v.Fhe_sim.Interp.err +. (1e-9 *. (1.0 +. Float.abs r.(j))) in
+            if Float.abs (x -. r.(j)) > bound && !bad = [] then
+              bad :=
+                [ Diag.errorf Diag.Oracle
+                    "output %d slot %d: managed %g differs from reference %g \
+                     beyond the noise bound %g"
+                    i j x r.(j) bound ])
+          v.Fhe_sim.Interp.data)
+      outs;
+    !bad
+  with
+  | [] -> Ok ()
+  | ds -> Error ds
+  | exception e -> Error [ Diag.of_exn Diag.Oracle e ]
+
+let attempt_one ~xmax_bits ?eager_input_upscale ~rbits ~oracle ~inputs ?noise
+    prog engine w =
+  let compiled =
+    match engine with
+    | `Reserve variant -> (
+        match Rtype.params ~rbits ~wbits:w with
+        | prm ->
+            let redistribute =
+              match variant with `Ba -> false | `Ra | `Full -> true
+            in
+            let hoist = match variant with `Ba | `Ra -> false | `Full -> true in
+            Result.bind (Ordering.run_safe prm prog) (fun order ->
+                Result.bind
+                  (Allocation.run_safe prm ~redistribute
+                     ~output_reserve:xmax_bits ~order prog)
+                  (fun alloc ->
+                    Placement.run_safe ~hoist ?eager_input_upscale prog alloc))
+        | exception e -> Error [ Diag.of_exn Diag.Driver e ])
+    | `Eva -> (
+        match Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits:w prog with
+        | m -> (
+            match Validator.check m with
+            | Ok () -> Ok m
+            | Error es -> Error (List.map Diag.of_validator_error es))
+        | exception e -> Error [ Diag.of_exn Diag.Driver e ])
+  in
+  Result.bind compiled (fun m ->
+      if not oracle then Ok m
+      else Result.map (fun () -> m) (oracle_check ?noise prog m ~inputs))
+
+let compile_safe ?(variant = `Full) ?(xmax_bits = 0) ?eager_input_upscale
+    ?(strict = false) ?(waterline_steps = [ 5; 10 ]) ?(oracle = true)
+    ?oracle_inputs ?noise ~rbits ~wbits prog =
+  try
+    let inputs =
+      match oracle_inputs with
+      | Some i -> i
+      | None -> if oracle then synth_inputs prog else []
+    in
+    let chain =
+      if strict then [ (`Reserve variant, wbits) ]
+      else
+        let variants =
+          match variant with
+          | `Full -> [ `Full; `Ra; `Ba ]
+          | `Ra -> [ `Ra; `Ba ]
+          | `Ba -> [ `Ba ]
+        in
+        List.map (fun v -> (`Reserve v, wbits)) variants
+        @ (`Eva, wbits)
+          :: List.filter_map
+               (fun d ->
+                 let w = wbits - d in
+                 if d > 0 && w >= 1 then Some (`Eva, w) else None)
+               waterline_steps
+    in
+    let rec go failed = function
+      | [] -> Error (List.rev failed)
+      | (engine, w) :: rest -> (
+          match
+            attempt_one ~xmax_bits ?eager_input_upscale ~rbits ~oracle ~inputs
+              ?noise prog engine w
+          with
+          | Ok m ->
+              let warnings =
+                if failed = [] then []
+                else
+                  [ Diag.warnf Diag.Driver
+                      "requested configuration failed; degraded to %s at \
+                       waterline %d after %d failed attempt(s)"
+                      (engine_name engine) w (List.length failed) ]
+              in
+              Ok
+                { managed = m;
+                  engine;
+                  wbits = w;
+                  fallbacks = List.rev failed;
+                  warnings }
+          | Error ds -> go ({ engine; wbits = w; diags = ds } :: failed) rest)
+    in
+    go [] chain
+  with e ->
+    Error
+      [ { engine = `Reserve variant;
+          wbits;
+          diags = [ Diag.of_exn Diag.Driver e ] } ]

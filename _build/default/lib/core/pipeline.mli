@@ -32,3 +32,59 @@ val compile_with_stats :
   ?variant:variant -> ?xmax_bits:int -> ?eager_input_upscale:bool ->
   rbits:int -> wbits:int -> Program.t -> Managed.t * stats
 (** Same, timing each phase (for the Table 4 reproduction). *)
+
+(** {1 Resilient driver}
+
+    [compile] aborts on the first internal failure — correct for a
+    compiler bug hunt, wrong for a service compiling untrusted programs.
+    {!compile_safe} instead validates after every pass, self-checks the
+    compiled program against the reference execution (the differential
+    oracle), and on any failure walks a bounded fallback chain:
+    reserve [`Full] → [`Ra] → [`Ba] → EVA at the requested waterline →
+    EVA at degraded waterlines.  Every failure is collected as
+    structured {!Diag.t} diagnostics; nothing escapes as an exception. *)
+
+type engine = [ `Reserve of variant | `Eva ]
+
+type attempt = {
+  engine : engine;
+  wbits : int;  (** waterline this attempt ran at *)
+  diags : Diag.t list;  (** why it failed *)
+}
+
+type outcome = {
+  managed : Managed.t;  (** the compiled, validated program *)
+  engine : engine;  (** which engine produced it *)
+  wbits : int;  (** the waterline it was compiled at *)
+  fallbacks : attempt list;
+      (** failed attempts preceding success, in chain order; empty when
+          the requested configuration succeeded *)
+  warnings : Diag.t list;  (** degradation notices *)
+}
+
+val engine_name : engine -> string
+
+val attempt_diags : attempt list -> Diag.t list
+(** All diagnostics of a (failed) chain, flattened in chain order. *)
+
+val compile_safe :
+  ?variant:variant ->
+  ?xmax_bits:int ->
+  ?eager_input_upscale:bool ->
+  ?strict:bool ->
+  ?waterline_steps:int list ->
+  ?oracle:bool ->
+  ?oracle_inputs:(string * float array) list ->
+  ?noise:Fhe_sim.Noise.t ->
+  rbits:int -> wbits:int -> Program.t ->
+  (outcome, attempt list) result
+(** Never raises.  [strict] (default false) disables the fallback chain:
+    only the requested configuration is attempted.  [waterline_steps]
+    (default [[5; 10]]) are bit decrements applied to [wbits] for the
+    final EVA fallbacks (steps that would drop the waterline below 1 bit
+    are skipped, so the chain always terminates after at most
+    [3 + 1 + length waterline_steps] attempts).  [oracle] (default true)
+    runs the differential self-check on [oracle_inputs] (synthesized
+    deterministically from the program when omitted); [noise] is its
+    error model.  [Error attempts] means every link of the chain failed;
+    each attempt carries its own diagnostics. *)

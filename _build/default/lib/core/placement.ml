@@ -279,3 +279,11 @@ let run ?hoist:(do_hoist = true) ?eager_input_upscale prog alloc =
   let m = insert ?eager_input_upscale prog alloc in
   let m = if do_hoist then hoist m else m in
   Managed.dce (Managed.cse m)
+
+let run_safe ?hoist ?eager_input_upscale prog alloc =
+  match run ?hoist ?eager_input_upscale prog alloc with
+  | m -> (
+      match Validator.check m with
+      | Ok () -> Ok m
+      | Error es -> Error (List.map Diag.of_validator_error es))
+  | exception e -> Error [ Diag.of_exn Diag.Placement e ]

@@ -35,3 +35,10 @@ val run :
   ?hoist:bool -> ?eager_input_upscale:bool -> Program.t -> Allocation.t ->
   Managed.t
 (** [insert], optional [hoist] (default true), then managed CSE + DCE. *)
+
+val run_safe :
+  ?hoist:bool -> ?eager_input_upscale:bool -> Program.t -> Allocation.t ->
+  Managed.t Diag.pass_result
+(** Like {!run} but never raises, and the produced program is run
+    through {!Fhe_ir.Validator.check}: an illegal result comes back as
+    validation diagnostics instead of an exception downstream. *)

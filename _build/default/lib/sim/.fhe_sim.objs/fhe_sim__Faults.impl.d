@@ -1,0 +1,1 @@
+lib/sim/faults.ml: Analysis Array Fhe_ir Fhe_util Format List Managed Op Program

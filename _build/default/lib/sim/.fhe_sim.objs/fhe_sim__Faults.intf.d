@@ -1,0 +1,1 @@
+lib/sim/faults.mli: Fhe_ir Format Managed

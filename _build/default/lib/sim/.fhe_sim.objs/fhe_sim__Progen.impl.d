@@ -1,0 +1,1 @@
+lib/sim/progen.ml: Array Builder Fhe_ir Fhe_util Hashtbl List Option Printf Program

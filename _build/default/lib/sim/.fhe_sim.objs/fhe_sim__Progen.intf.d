@@ -1,0 +1,1 @@
+lib/sim/progen.mli: Fhe_ir Program

@@ -1,0 +1,168 @@
+open Fhe_ir
+
+type cls =
+  | Scale_off_by_one
+  | Dropped_rescale
+  | Level_overflow
+  | Dangling_operand
+
+let all = [ Scale_off_by_one; Dropped_rescale; Level_overflow; Dangling_operand ]
+
+let name = function
+  | Scale_off_by_one -> "scale-off-by-one"
+  | Dropped_rescale -> "dropped-rescale"
+  | Level_overflow -> "level-overflow"
+  | Dangling_operand -> "dangling-operand"
+
+let pp ppf c = Format.pp_print_string ppf (name c)
+
+let tag = function
+  | Scale_off_by_one -> 1
+  | Dropped_rescale -> 2
+  | Level_overflow -> 3
+  | Dangling_operand -> 4
+
+let pick rng a = a.(Fhe_util.Prng.int rng (Array.length a))
+
+let remake (m : Managed.t) ~prog ~scale ~level =
+  Managed.make ~prog ~scale ~level ~rbits:m.Managed.rbits
+    ~wbits:m.Managed.wbits
+
+(* Annotation faults: perturb one value's recorded scale or level.  Any
+   cipher value works for scale (every op kind constrains its result
+   scale, and cipher inputs must sit exactly at the waterline); level
+   faults need a non-leaf (input levels are only constrained through
+   users). *)
+
+let bump_scale rng (m : Managed.t) =
+  let p = m.Managed.prog in
+  let sites = ref [] in
+  Program.iteri
+    (fun i _ -> if Program.vtype p i = Op.Cipher then sites := i :: !sites)
+    p;
+  match !sites with
+  | [] -> None
+  | sites ->
+      let i = pick rng (Array.of_list sites) in
+      let scale = Array.copy m.Managed.scale in
+      scale.(i) <- scale.(i) + (if Fhe_util.Prng.bool rng then 1 else -1);
+      Some (remake m ~prog:p ~scale ~level:(Array.copy m.Managed.level))
+
+let bump_level rng (m : Managed.t) =
+  let p = m.Managed.prog in
+  let sites = ref [] in
+  Program.iteri
+    (fun i k ->
+      if Program.vtype p i = Op.Cipher && not (Op.is_leaf k) then
+        sites := i :: !sites)
+    p;
+  match !sites with
+  | [] -> None
+  | sites ->
+      let i = pick rng (Array.of_list sites) in
+      let level = Array.copy m.Managed.level in
+      level.(i) <- level.(i) + 8;
+      Some (remake m ~prog:p ~scale:(Array.copy m.Managed.scale) ~level)
+
+(* Structural fault: delete a rescale whose result is consumed somewhere;
+   the users keep their annotations but now read the unrescaled value. *)
+
+let drop_rescale rng (m : Managed.t) =
+  let p = m.Managed.prog in
+  let n = Program.n_ops p in
+  let users = Analysis.users p in
+  let sites = ref [] in
+  Program.iteri
+    (fun i k ->
+      match k with
+      | Op.Rescale _ when users.(i) <> [] -> sites := i :: !sites
+      | _ -> ())
+    p;
+  match !sites with
+  | [] -> None
+  | sites ->
+      let r = pick rng (Array.of_list sites) in
+      let a = match Program.kind p r with Op.Rescale a -> a | _ -> assert false in
+      let remap o = if o = r then a else if o < r then o else o - 1 in
+      let old j' = if j' < r then j' else j' + 1 in
+      let ops =
+        Array.init (n - 1) (fun j' ->
+            Op.map_operands remap (Program.kind p (old j')))
+      in
+      let outputs = Array.map remap (Program.outputs p) in
+      let scale = Array.init (n - 1) (fun j' -> m.Managed.scale.(old j')) in
+      let level = Array.init (n - 1) (fun j' -> m.Managed.level.(old j')) in
+      let prog = Program.make ~ops ~outputs ~n_slots:(Program.n_slots p) in
+      Some (remake m ~prog ~scale ~level)
+
+(* Structural fault: rewire one cipher operand edge to an unrelated
+   cipher value whose (scale, level) disagree — the SSA shape stays
+   legal, the scale bookkeeping at the user no longer adds up. *)
+
+let replace_slot k slot o' =
+  match (k, slot) with
+  | Op.Add (_, b), 0 -> Op.Add (o', b)
+  | Op.Add (a, _), 1 -> Op.Add (a, o')
+  | Op.Sub (_, b), 0 -> Op.Sub (o', b)
+  | Op.Sub (a, _), 1 -> Op.Sub (a, o')
+  | Op.Mul (_, b), 0 -> Op.Mul (o', b)
+  | Op.Mul (a, _), 1 -> Op.Mul (a, o')
+  | Op.Neg _, 0 -> Op.Neg o'
+  | Op.Rotate (_, k), 0 -> Op.Rotate (o', k)
+  | Op.Rescale _, 0 -> Op.Rescale o'
+  | Op.Modswitch _, 0 -> Op.Modswitch o'
+  | Op.Upscale (_, amt), 0 -> Op.Upscale (o', amt)
+  | _ -> invalid_arg "Faults.replace_slot"
+
+let rewire_operand rng (m : Managed.t) =
+  let p = m.Managed.prog in
+  let n = Program.n_ops p in
+  let s = m.Managed.scale and l = m.Managed.level in
+  let is_c i = Program.vtype p i = Op.Cipher in
+  let edges = ref [] in
+  Program.iteri
+    (fun u k ->
+      if not (Op.is_leaf k) then
+        List.iteri
+          (fun slot o -> if is_c o then edges := (u, slot, o) :: !edges)
+          (Op.operands k))
+    p;
+  match !edges with
+  | [] -> None
+  | edges ->
+      let edges = Array.of_list edges in
+      let attempt () =
+        let u, slot, o = pick rng edges in
+        let candidates = ref [] in
+        for o' = 0 to u - 1 do
+          if o' <> o && is_c o' && (s.(o') <> s.(o) || l.(o') <> l.(o)) then
+            candidates := o' :: !candidates
+        done;
+        match !candidates with
+        | [] -> None
+        | cs ->
+            let o' = pick rng (Array.of_list cs) in
+            let ops =
+              Array.init n (fun j ->
+                  let k = Program.kind p j in
+                  if j = u then replace_slot k slot o' else k)
+            in
+            let prog =
+              Program.make ~ops ~outputs:(Array.copy (Program.outputs p))
+                ~n_slots:(Program.n_slots p)
+            in
+            Some
+              (remake m ~prog ~scale:(Array.copy s) ~level:(Array.copy l))
+      in
+      let rec retry k = if k = 0 then None
+        else match attempt () with Some m' -> Some m' | None -> retry (k - 1)
+      in
+      retry 64
+
+let inject cls ~seed m =
+  let rng = Fhe_util.Prng.create ((seed * 8) + tag cls) in
+  match cls with
+  | Scale_off_by_one -> bump_scale rng m
+  | Dropped_rescale -> drop_rescale rng m
+  | Level_overflow -> bump_level rng m
+  | Dangling_operand -> rewire_operand rng m

@@ -1,0 +1,33 @@
+open Fhe_ir
+
+(** Deterministic fault injection for managed programs.
+
+    Each class corrupts a legal scale-management plan the way a compiler
+    bug (or bit-flipped annotation) would, so tests can prove the
+    validator and the fallback driver actually catch that failure mode —
+    every corruption produced here violates at least one Table 2 rule,
+    i.e. {!Fhe_ir.Validator.check} is guaranteed to reject it. *)
+
+type cls =
+  | Scale_off_by_one
+      (** a ciphertext's recorded scale is off by one bit *)
+  | Dropped_rescale
+      (** a rescale op is deleted; its users read the unrescaled value *)
+  | Level_overflow
+      (** a ciphertext's level jumps past its modulus chain *)
+  | Dangling_operand
+      (** an operand edge is rewired to an unrelated value whose
+          scale/level disagree *)
+
+val all : cls list
+(** Every class, in declaration order. *)
+
+val name : cls -> string
+(** Stable kebab-case label, e.g. ["dropped-rescale"]. *)
+
+val pp : Format.formatter -> cls -> unit
+
+val inject : cls -> seed:int -> Managed.t -> Managed.t option
+(** [inject cls ~seed m] returns a corrupted copy of [m], or [None] when
+    [m] has no injection site for this class (e.g. no rescale op to
+    drop).  Equal seeds pick equal sites; [m] itself is never mutated. *)

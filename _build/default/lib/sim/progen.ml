@@ -1,0 +1,63 @@
+(* Random arithmetic-program generation, shared by the property tests
+   and the `fhec fuzz` harness.
+
+   Programs are DAGs over a couple of cipher inputs, a plain constant
+   pool, and random add/sub/mul/neg/rotate nodes; multiplicative depth
+   is kept moderate so every scale-management plan stays within a small
+   modulus chain. *)
+
+open Fhe_ir
+
+type t = {
+  prog : Program.t;
+  inputs : (string * float array) list;
+}
+
+let make ?(n_slots = 16) ?(size = 25) ?(n_inputs = 2) seed =
+  let rng = Fhe_util.Prng.create seed in
+  let b = Builder.create ~n_slots () in
+  let values = ref [] in
+  let depth = Hashtbl.create 64 in
+  let d e = Option.value ~default:0 (Hashtbl.find_opt depth e) in
+  let push e de =
+    Hashtbl.replace depth e (max de (d e));
+    values := e :: !values
+  in
+  let pick () =
+    let vs = Array.of_list !values in
+    vs.(Fhe_util.Prng.int rng (Array.length vs))
+  in
+  let inputs =
+    List.init n_inputs (fun i ->
+        let name = Printf.sprintf "in%d" i in
+        push (Builder.input b name) 0;
+        ( name,
+          Array.init n_slots (fun _ ->
+              Fhe_util.Prng.uniform rng ~lo:(-1.0) ~hi:1.0) ))
+  in
+  push (Builder.const b 0.5) 0;
+  push (Builder.const b (-0.25)) 0;
+  push
+    (Builder.vconst b ~tag:"gen"
+       (Array.init n_slots (fun i -> float_of_int (i mod 3) /. 4.0)))
+    0;
+  for _ = 1 to size do
+    let a = pick () and c = pick () in
+    let e, de =
+      match Fhe_util.Prng.int rng 6 with
+      | 0 -> (Builder.add b a c, max (d a) (d c))
+      | 1 -> (Builder.sub b a c, max (d a) (d c))
+      | 2 when d a + d c < 4 -> (Builder.mul b a c, max (d a) (d c) + 1)
+      | 2 -> (Builder.add b a c, max (d a) (d c))
+      | 3 -> (Builder.neg b a, d a)
+      | 4 -> (Builder.rotate b a (1 + Fhe_util.Prng.int rng (n_slots - 1)), d a)
+      | _ when 2 * d a < 4 -> (Builder.square b a, d a + 1)
+      | _ -> (Builder.add b a c, max (d a) (d c))
+    in
+    push e de
+  done;
+  let outputs =
+    match !values with v :: w :: _ when v <> w -> [ v; w ] | v :: _ -> [ v ] | [] -> assert false
+  in
+  let prog = Builder.finish b ~outputs in
+  { prog; inputs }

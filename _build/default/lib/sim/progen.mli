@@ -1,0 +1,17 @@
+open Fhe_ir
+
+(** Deterministic random-program generation for property tests and the
+    [fhec fuzz] harness.  Equal seeds give equal programs and inputs. *)
+
+type t = {
+  prog : Program.t;  (** an arithmetic-only DAG *)
+  inputs : (string * float array) list;
+      (** matching synthetic input vectors in [[-1, 1)] *)
+}
+
+val make : ?n_slots:int -> ?size:int -> ?n_inputs:int -> int -> t
+(** [make seed] generates a program of roughly [size] random ops
+    (default 25) over [n_inputs] cipher inputs (default 2) and a small
+    plain-constant pool, on [n_slots]-slot vectors (default 16);
+    multiplicative depth is capped so every compiler stays within a
+    small modulus chain. *)

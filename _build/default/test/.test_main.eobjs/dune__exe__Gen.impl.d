@@ -1,1 +1,1 @@
-test/gen.ml: Array Builder Fhe_ir Fhe_util Hashtbl List Option Printf Program
+test/gen.ml: Fhe_ir Fhe_sim

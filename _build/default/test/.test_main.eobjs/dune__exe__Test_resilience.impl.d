@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Fhe_ir Fhe_sim Gen Hashtbl Helpers List Managed Op Parser Printf Program QCheck QCheck_alcotest Reserve Result Validator

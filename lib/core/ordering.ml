@@ -70,3 +70,35 @@ let run (prm : Rtype.params) prog =
   (* walk only covers live chains; rank leftovers (dead code) last. *)
   Array.iteri (fun v _ -> assign v) rank;
   rank
+
+let run_safe prm prog =
+  let pre = ref [] in
+  Program.iteri
+    (fun i k ->
+      if Op.is_scale_mgmt k then
+        pre :=
+          Diag.errorf ~op:i Diag.Ordering
+            ~hint:"pass the original arithmetic program, not a managed one"
+            "input already scale-managed (%s)" (Op.name k)
+          :: !pre)
+    prog;
+  if !pre <> [] then Error (List.rev !pre)
+  else
+    match run prm prog with
+    | rank ->
+        (* self-check: the rank must be a permutation of 0..n-1, or the
+           allocation heap would starve/duplicate visits downstream *)
+        let n = Program.n_ops prog in
+        let seen = Array.make n false in
+        let bad = ref [] in
+        Array.iteri
+          (fun v r ->
+            if r < 0 || r >= n || seen.(r) then
+              bad :=
+                Diag.errorf ~op:v Diag.Ordering
+                  "rank %d is out of range or duplicated" r
+                :: !bad
+            else seen.(r) <- true)
+          rank;
+        if !bad = [] then Ok rank else Error (List.rev !bad)
+    | exception e -> Error [ Diag.of_exn Diag.Ordering e ]

@@ -11,6 +11,9 @@ let check (m : Managed.t) =
   let is_c i = Program.vtype p i = Op.Cipher in
   let n = Program.n_ops p in
   for i = 0 to n - 1 do
+    (* A structurally broken op must not stop the sweep: record it
+       against this op id and keep checking the rest. *)
+    try
     (* Per-value invariants. *)
     if s.(i) < 0 then err i "negative scale (%d bits)" s.(i);
     if s.(i) > l.(i) * rb then
@@ -84,6 +87,9 @@ let check (m : Managed.t) =
         if s.(i) <> s.(a) + amt then
           err i "upscale scale %d, expected %d + %d" s.(i) s.(a) amt;
         if l.(i) <> l.(a) then err i "upscale changed level"
+    with
+    | Invalid_argument m -> err i "structurally broken op: %s" m
+    | Failure m -> err i "check failed: %s" m
   done;
   match List.rev !errs with [] -> Ok () | es -> Error es
 

@@ -12,7 +12,11 @@ type error = { op : Op.id; msg : string }
 val pp_error : Format.formatter -> error -> unit
 
 val check : Managed.t -> (unit, error list) result
-(** All violated constraints, in op order.  The checked rules are:
+(** All violated constraints, in op order — the sweep never stops early:
+    an op whose checks themselves blow up (e.g. a structurally broken
+    reference) is reported against its op id and checking continues, so
+    diagnostics can point at every offending instruction in one run.
+    The checked rules are:
     - every value: [0 <= scale <= level*rbits] (no scale overflow);
     - every ciphertext: [level >= 1] and [scale >= wbits] (waterline);
     - add/sub of two ciphers: equal scales and levels, result inherits;

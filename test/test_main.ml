@@ -16,4 +16,5 @@ let () =
       ("backend", Test_backend.suite);
       ("extras", Test_extras.suite);
       ("props", Test_props.suite);
+      ("resilience", Test_resilience.suite);
       ("edge", Test_edge.suite) ]
