@@ -37,10 +37,18 @@ let paper_iters =
   [ ("SF", 553); ("HCD", 736); ("LR", 2675); ("MR", 3326); ("PR", 5959);
     ("MLP", 677); ("Lenet-5", 14763); ("Lenet-C", 13208) ]
 
+(* BENCH_HECATE_CAP caps exploration globally: the `json` smoke rule in
+   the test tree sets it so the emitter stays fast under `dune runtest` *)
+let hecate_cap =
+  match int_of_string_opt (try Sys.getenv "BENCH_HECATE_CAP" with Not_found -> "") with
+  | Some n when n > 0 -> n
+  | _ -> max_int
+
 let hecate_budget name =
   let paper = List.assoc name paper_iters in
-  if String.length name > 5 then min paper 120 (* Lenet-* *)
-  else min paper 1200
+  min hecate_cap
+    (if String.length name > 5 then min paper 120 (* Lenet-* *)
+     else min paper 1200)
 
 let progs : (string, Program.t) Hashtbl.t = Hashtbl.create 8
 
@@ -374,10 +382,98 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_compile.json: the machine-readable perf baseline, and the gate
+   that re-measures and diffs against it (Fhe_check.Benchjson schema) *)
+
+let bench_compilers =
+  [ (Eva, "eva"); (Hecate, "hecate"); (Rsv `Ba, "reserve-ba");
+    (Rsv `Ra, "reserve-ra"); (Rsv `Full, "reserve-full") ]
+
+let json_out () =
+  try Sys.getenv "BENCH_JSON_OUT" with Not_found -> "BENCH_compile.json"
+
+let measure_run () =
+  let wbits = 30 in
+  let entries =
+    List.concat_map
+      (fun (a : Reg.app) ->
+        List.map
+          (fun (c, label) ->
+            let m, ms = compile a ~wbits c in
+            {
+              Fhe_check.Benchjson.app = a.Reg.name;
+              compiler = label;
+              compile_ms = ms;
+              input_level = Managed.input_level m;
+              modulus_bits = Managed.input_level m * rbits;
+              est_latency_us = Fhe_cost.Model.estimate m;
+            })
+          bench_compilers)
+      Reg.all
+  in
+  { Fhe_check.Benchjson.rbits; wbits; entries }
+
+let json () =
+  section "BENCH_compile.json: per-app compile time / modulus / latency";
+  let run = measure_run () in
+  let text =
+    Fhe_check.Benchjson.to_string (Fhe_check.Benchjson.run_to_json run)
+  in
+  (* the emitter must produce what the gate can parse *)
+  (match Fhe_check.Benchjson.parse text with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench json: emitted malformed JSON: " ^ e));
+  let out = json_out () in
+  let oc = open_out out in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (m : Fhe_check.Benchjson.measurement) ->
+      Printf.printf "  %-8s %-12s %9.2f ms  L=%2d (%4d bits)  est %8.3f s\n"
+        m.Fhe_check.Benchjson.app m.Fhe_check.Benchjson.compiler
+        m.Fhe_check.Benchjson.compile_ms m.Fhe_check.Benchjson.input_level
+        m.Fhe_check.Benchjson.modulus_bits
+        (m.Fhe_check.Benchjson.est_latency_us /. 1e6))
+    run.Fhe_check.Benchjson.entries;
+  Printf.printf "wrote %s (%d entries)\n" out
+    (List.length run.Fhe_check.Benchjson.entries)
+
+let gate () =
+  section "perf gate: current measurements vs recorded BENCH_compile.json";
+  let path =
+    try Sys.getenv "BENCH_JSON_BASELINE" with Not_found -> json_out ()
+  in
+  let baseline =
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match
+      Result.bind (Fhe_check.Benchjson.parse text)
+        Fhe_check.Benchjson.run_of_json
+    with
+    | Ok r -> r
+    | Error e -> failwith (path ^ ": " ^ e)
+  in
+  let current = measure_run () in
+  match Fhe_check.Benchjson.compare_runs ~baseline ~current () with
+  | [] ->
+      Printf.printf "gate passed: %d entries within bounds of %s\n"
+        (List.length baseline.Fhe_check.Benchjson.entries)
+        path
+  | regressions ->
+      List.iter (fun r -> Printf.printf "  REGRESSION %s\n" r) regressions;
+      Printf.eprintf "perf gate failed: %d regression(s) vs %s\n"
+        (List.length regressions) path;
+      exit 1
 
 let all_sections =
   [ ("table3", table3); ("fig2", figure2); ("table4", table4);
     ("fig6", figure6); ("fig7", figure7); ("fig8", figure8); ("micro", micro) ]
+
+(* on-demand sections (not part of the default full run: `json`
+   overwrites the recorded baseline and `gate` diffs against it) *)
+let extra_sections = [ ("json", json); ("gate", gate) ]
 
 let () =
   let requested =
@@ -387,10 +483,11 @@ let () =
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name all_sections with
+      match List.assoc_opt name (all_sections @ extra_sections) with
       | Some f -> f ()
       | None ->
           Printf.eprintf "unknown section %S (know: %s)\n" name
-            (String.concat ", " (List.map fst all_sections));
+            (String.concat ", "
+               (List.map fst (all_sections @ extra_sections)));
           exit 1)
     requested

@@ -420,6 +420,57 @@ let fuzz_cmd =
         (const run $ seeds_arg $ size_arg $ waterline_arg $ rbits_arg
        $ strict_arg))
 
+let check_cmd =
+  let apps_arg =
+    let doc = "Check the eight registry applications." in
+    Arg.(value & flag & info [ "apps" ] ~doc)
+  in
+  let gen_arg =
+    let doc = "Also check $(docv) coverage-guided generated programs." in
+    Arg.(value & opt int 0 & info [ "gen" ] ~docv:"N" ~doc)
+  in
+  let check_seed_arg =
+    let doc = "Seed of the coverage-guided generator." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let hecate_arg =
+    let doc = "Hecate exploration budget per program." in
+    Arg.(value & opt int 60 & info [ "hecate-iterations" ] ~docv:"N" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Print one status line per checked program." in
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+  in
+  let run apps gen seed wbits rbits hecate verbose =
+    handle
+      (if (not apps) && gen <= 0 then
+         Error "nothing to check: pass --apps and/or --gen N"
+       else begin
+         let progress = if verbose then print_endline else fun _ -> () in
+         let s =
+           Fhe_check.Conformance.run ~rbits ~wbits
+             ~hecate_iterations:hecate ~apps ~gen ~seed ~progress ()
+         in
+         Format.printf "%a@." Fhe_check.Conformance.pp s;
+         if Fhe_check.Conformance.ok s then Ok ()
+         else
+           Error
+             (Printf.sprintf "conformance: %d violation(s)"
+                (List.length s.Fhe_check.Conformance.failures))
+       end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the conformance subsystem: differential compilation under \
+          EVA/Hecate/reserve variants with semantic-equivalence and \
+          reserve-typing oracles, plus metamorphic pass-preservation, over \
+          the registry apps and/or coverage-guided generated programs")
+    Term.(
+      ret
+        (const run $ apps_arg $ gen_arg $ check_seed_arg $ waterline_arg
+       $ rbits_arg $ hecate_arg $ verbose_arg))
+
 let () =
   let info =
     Cmd.info "fhec" ~version:"1.0.0"
@@ -429,4 +480,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd;
-            fuzz_cmd ]))
+            fuzz_cmd; check_cmd ]))

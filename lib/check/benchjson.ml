@@ -1,0 +1,314 @@
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* emit *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let to_string j =
+  let b = Buffer.create 1024 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Num f -> Buffer.add_string b (number f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Arr vs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            go v)
+          vs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            go v)
+          kvs;
+        Buffer.add_char b '}'
+  in
+  go j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* parse *)
+
+exception Bad of int * string
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let bad msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else bad (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n
+       && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else bad ("expected " ^ word)
+  in
+  let string_body () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then bad "short \\u escape";
+              let code =
+                try int_of_string ("0x" ^ String.sub text !pos 4)
+                with _ -> bad "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* BMP only; enough for this schema *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_char b '?';
+              go ()
+          | _ -> bad "bad escape")
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number_body () =
+    let start = !pos in
+    let is_num c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num text.[!pos] do
+      advance ()
+    done;
+    if !pos = start then bad "expected a number";
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some f -> f
+    | None -> bad "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> bad "unexpected end of input"
+    | Some '"' -> Str (string_body ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> bad "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> bad "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number_body ())
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then bad "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (p, msg) ->
+      Error (Printf.sprintf "JSON error at offset %d: %s" p msg)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* the bench-compile schema *)
+
+let schema = "fhe-bench-compile/v1"
+
+type measurement = {
+  app : string;
+  compiler : string;
+  compile_ms : float;
+  input_level : int;
+  modulus_bits : int;
+  est_latency_us : float;
+}
+
+type run = {
+  rbits : int;
+  wbits : int;
+  entries : measurement list;
+}
+
+let run_to_json r =
+  Obj
+    [ ("schema", Str schema);
+      ("rbits", Num (float_of_int r.rbits));
+      ("waterline", Num (float_of_int r.wbits));
+      ( "entries",
+        Arr
+          (List.map
+             (fun m ->
+               Obj
+                 [ ("app", Str m.app);
+                   ("compiler", Str m.compiler);
+                   ("compile_ms", Num m.compile_ms);
+                   ("input_level", Num (float_of_int m.input_level));
+                   ("modulus_bits", Num (float_of_int m.modulus_bits));
+                   ("est_latency_us", Num m.est_latency_us) ])
+             r.entries) ) ]
+
+let get_str k j =
+  match member k j with Some (Str s) -> Ok s | _ -> Error ("missing " ^ k)
+
+let get_num k j =
+  match member k j with Some (Num f) -> Ok f | _ -> Error ("missing " ^ k)
+
+let ( let* ) = Result.bind
+
+let run_of_json j =
+  let* s = get_str "schema" j in
+  if s <> schema then Error (Printf.sprintf "unknown schema %S" s)
+  else
+    let* rbits = get_num "rbits" j in
+    let* wbits = get_num "waterline" j in
+    let* entries =
+      match member "entries" j with
+      | Some (Arr es) ->
+          List.fold_left
+            (fun acc e ->
+              let* acc = acc in
+              let* app = get_str "app" e in
+              let* compiler = get_str "compiler" e in
+              let* compile_ms = get_num "compile_ms" e in
+              let* input_level = get_num "input_level" e in
+              let* modulus_bits = get_num "modulus_bits" e in
+              let* est_latency_us = get_num "est_latency_us" e in
+              Ok
+                ({ app; compiler; compile_ms;
+                   input_level = int_of_float input_level;
+                   modulus_bits = int_of_float modulus_bits;
+                   est_latency_us }
+                :: acc))
+            (Ok []) es
+          |> Result.map List.rev
+      | _ -> Error "missing entries"
+    in
+    Ok { rbits = int_of_float rbits; wbits = int_of_float wbits; entries }
+
+let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10) ~baseline
+    ~current () =
+  let find app compiler =
+    List.find_opt
+      (fun m -> m.app = app && m.compiler = compiler)
+      current.entries
+  in
+  List.filter_map
+    (fun b ->
+      match find b.app b.compiler with
+      | None ->
+          Some
+            (Printf.sprintf "%s/%s: entry missing from current run" b.app
+               b.compiler)
+      | Some c ->
+          if c.modulus_bits > b.modulus_bits then
+            Some
+              (Printf.sprintf
+                 "%s/%s: consumed modulus grew %d -> %d bits (L %d -> %d)"
+                 b.app b.compiler b.modulus_bits c.modulus_bits
+                 b.input_level c.input_level)
+          else if
+            c.est_latency_us > b.est_latency_us *. (1.0 +. latency_slack)
+          then
+            Some
+              (Printf.sprintf
+                 "%s/%s: estimated latency regressed %.0f -> %.0f us"
+                 b.app b.compiler b.est_latency_us c.est_latency_us)
+          else if
+            b.compile_ms > 0.0 && c.compile_ms > b.compile_ms *. time_slack
+          then
+            Some
+              (Printf.sprintf
+                 "%s/%s: compile time regressed %.2f -> %.2f ms (slack %.1fx)"
+                 b.app b.compiler b.compile_ms c.compile_ms time_slack)
+          else None)
+    baseline.entries

@@ -1,0 +1,71 @@
+(** The machine-readable perf baseline ([BENCH_compile.json]).
+
+    One flat record per (app, compiler): compile time, consumed modulus
+    (the encryption parameter [L] and [L·rbits] bits), and the Table 3
+    latency estimate.  The emitter, a dependency-free JSON parser, and
+    the gate comparator live together so the schema has exactly one
+    owner: `bench json` writes the file, `bench gate` re-measures and
+    diffs against it, and future PRs inherit a mechanical regression
+    check instead of eyeballing tables. *)
+
+(** {1 A minimal JSON tree} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact, valid JSON; strings are escaped. *)
+
+val parse : string -> (json, string) result
+(** Strict little parser (objects, arrays, strings with the common
+    escapes, numbers, [true]/[false]/[null]); [Error] carries the
+    offending position. *)
+
+val member : string -> json -> json option
+(** Field lookup on an [Obj]. *)
+
+(** {1 The bench-compile schema} *)
+
+val schema : string
+(** ["fhe-bench-compile/v1"]. *)
+
+type measurement = {
+  app : string;
+  compiler : string;  (** {!Differential.compiler_name} label *)
+  compile_ms : float;
+  input_level : int;
+  modulus_bits : int;
+  est_latency_us : float;
+}
+
+type run = {
+  rbits : int;
+  wbits : int;
+  entries : measurement list;
+}
+
+val run_to_json : run -> json
+
+val run_of_json : json -> (run, string) result
+(** Rejects unknown schemas and malformed entries. *)
+
+val compare_runs :
+  ?time_slack:float ->
+  ?latency_slack:float ->
+  baseline:run ->
+  current:run ->
+  unit ->
+  string list
+(** The perf gate: one message per regression, [] = gate passes.
+    Checked per (app, compiler) pair of the baseline:
+    - the pair must still exist;
+    - [modulus_bits] must not grow at all (consumed modulus is exact);
+    - [est_latency_us] must stay within [1 + latency_slack]
+      (default 0.10) of the baseline;
+    - [compile_ms] must stay within [time_slack] (default 3.0, wall
+      clocks are noisy) times the baseline. *)

@@ -1,0 +1,147 @@
+module Reg = Fhe_apps.Registry
+
+type kind = Semantic | Typing | Metamorphic_ | Crash
+
+type failure = {
+  subject : string;
+  compiler : string;
+  kind : kind;
+  detail : string;
+}
+
+type summary = {
+  programs : int;
+  compilations : int;
+  failures : failure list;
+  coverage : int;
+  corpus : int;
+}
+
+let ok s = s.failures = []
+
+let kind_name = function
+  | Semantic -> "semantic"
+  | Typing -> "typing"
+  | Metamorphic_ -> "metamorphic"
+  | Crash -> "crash"
+
+let entry_failures subject (e : Differential.entry) =
+  let compiler = Differential.compiler_name e.Differential.compiler in
+  let mk kind detail = { subject; compiler; kind; detail } in
+  match e.Differential.crash with
+  | Some msg -> [ mk Crash msg ]
+  | None ->
+      List.concat
+        [ List.map
+            (fun v -> mk Typing ("validator: " ^ v))
+            e.Differential.validator_errors;
+          List.map
+            (fun v ->
+              mk Typing (Format.asprintf "%a" Invariants.pp_violation v))
+            e.Differential.lemma_violations;
+          (match e.Differential.oracle with
+          | Some o when not (Oracle.ok o) ->
+              [ mk Semantic
+                  (Format.asprintf "%a" Oracle.pp_mismatch
+                     (List.hd o.Oracle.mismatches)) ]
+          | Some _ -> []
+          | None -> [ mk Semantic "oracle could not execute the program" ]) ]
+
+let check_one ~rbits ~wbits ~xmax_bits ~hecate_iterations ?noise ~subject p
+    ~inputs =
+  let d =
+    Differential.run ~rbits ~wbits ~xmax_bits ~hecate_iterations ?noise
+      ~label:subject p ~inputs
+  in
+  let diff_failures =
+    List.concat_map (entry_failures subject) d.Differential.entries
+  in
+  let meta_failures =
+    List.map
+      (fun (f : Metamorphic.failure) ->
+        { subject; compiler = "-"; kind = Metamorphic_;
+          detail = f.Metamorphic.relation ^ ": " ^ f.Metamorphic.detail })
+      (Metamorphic.check ~rbits ~wbits ~xmax_bits ?noise p ~inputs)
+  in
+  (List.length d.Differential.entries, diff_failures @ meta_failures)
+
+let run ?(rbits = 60) ?(wbits = 30) ?(hecate_iterations = 60) ?noise
+    ?(apps = true) ?(gen = 0) ?(seed = 1) ?(progress = fun _ -> ()) () =
+  let programs = ref 0 and compilations = ref 0 in
+  let failures = ref [] in
+  let note subject n fs =
+    incr programs;
+    compilations := !compilations + n;
+    failures := List.rev_append fs !failures;
+    progress
+      (Printf.sprintf "%-24s %s" subject
+         (if fs = [] then "ok"
+          else Printf.sprintf "%d violation(s)" (List.length fs)))
+  in
+  if apps then
+    List.iter
+      (fun (a : Reg.app) ->
+        let subject = a.Reg.name in
+        match
+          let p = a.Reg.build () in
+          let inputs = a.Reg.inputs ~seed:42 in
+          let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+          check_one ~rbits ~wbits ~xmax_bits ~hecate_iterations ?noise
+            ~subject p ~inputs
+        with
+        | n, fs -> note subject n fs
+        | exception e ->
+            note subject 0
+              [ { subject; compiler = "-"; kind = Crash;
+                  detail = Printexc.to_string e } ])
+      Reg.all;
+  let coverage = Coverage.create () in
+  let corpus = ref 0 in
+  if gen > 0 then begin
+    let candidates = Coverage.generate coverage ~seed ~budget:gen in
+    corpus := List.length (Coverage.distill candidates);
+    List.iter
+      (fun (c : Coverage.candidate) ->
+        let subject =
+          Printf.sprintf "gen-%d(%s)" c.Coverage.seed c.Coverage.profile
+        in
+        match
+          check_one ~rbits ~wbits ~xmax_bits:0 ~hecate_iterations ?noise
+            ~subject c.Coverage.gen.Fhe_sim.Progen.prog
+            ~inputs:c.Coverage.gen.Fhe_sim.Progen.inputs
+        with
+        | n, fs -> note subject n fs
+        | exception e ->
+            note subject 0
+              [ { subject; compiler = "-"; kind = Crash;
+                  detail = Printexc.to_string e } ])
+      candidates
+  end;
+  {
+    programs = !programs;
+    compilations = !compilations;
+    failures = List.rev !failures;
+    coverage = Coverage.cardinal coverage;
+    corpus = !corpus;
+  }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "%-11s %-24s %-12s %s"
+    (kind_name f.kind) f.subject f.compiler f.detail
+
+let pp ppf s =
+  let count k =
+    List.length (List.filter (fun f -> f.kind = k) s.failures)
+  in
+  if s.failures <> [] then begin
+    Format.fprintf ppf "violations:@\n";
+    List.iter (fun f -> Format.fprintf ppf "  %a@\n" pp_failure f) s.failures
+  end;
+  Format.fprintf ppf
+    "conformance: %d program(s), %d compilation(s); %d semantic, %d typing, \
+     %d metamorphic, %d crash violation(s)"
+    s.programs s.compilations (count Semantic) (count Typing)
+    (count Metamorphic_) (count Crash);
+  if s.coverage > 0 then
+    Format.fprintf ppf "@\ncoverage: %d feature(s), corpus of %d program(s)"
+      s.coverage s.corpus

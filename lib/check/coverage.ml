@@ -1,0 +1,147 @@
+open Fhe_ir
+
+type t = (string, unit) Hashtbl.t
+
+let create () : t = Hashtbl.create 128
+
+let bucket n =
+  if n <= 0 then 0
+  else if n <= 1 then 1
+  else if n <= 2 then 2
+  else if n <= 4 then 4
+  else if n <= 8 then 8
+  else if n <= 16 then 16
+  else if n <= 32 then 32
+  else if n <= 64 then 64
+  else if n <= 128 then 128
+  else 256
+
+let features ?(rbits = 60) ?(wbits = 30) p =
+  let feats = ref [] in
+  let hit f = feats := f :: !feats in
+  let hitf fmt = Printf.ksprintf hit fmt in
+  let n_slots = Program.n_slots p in
+  let rot_amounts = Hashtbl.create 8 in
+  Program.iteri
+    (fun i k ->
+      match k with
+      | Op.Input _ | Op.Const _ | Op.Vconst _ -> ()
+      | Op.Add _ -> hit "op:add"
+      | Op.Sub _ -> hit "op:sub"
+      | Op.Neg _ -> hit "op:neg"
+      | Op.Mul (a, b) ->
+          if Program.vtype p a = Op.Cipher && Program.vtype p b = Op.Cipher
+          then hit "op:mul-cc"
+          else if Program.vtype p i = Op.Cipher then hit "op:mul-cp"
+          else hit "op:mul-pp"
+      | Op.Rotate (_, k) ->
+          hit "op:rotate";
+          Hashtbl.replace rot_amounts k ();
+          if k = 1 || k = n_slots - 1 then hit "rot:unit"
+          else if k > 1 && k land (k - 1) = 0 then hit "rot:pow2"
+          else hit "rot:other";
+          if 2 * k >= n_slots then hit "rot:halfspan"
+      | Op.Rescale _ | Op.Modswitch _ | Op.Upscale _ -> hit "op:scale-mgmt")
+    p;
+  hitf "rot:distinct:%d" (bucket (Hashtbl.length rot_amounts));
+  hitf "depth:%d" (Analysis.max_mult_depth p);
+  let fanout = Array.fold_left max 0 (Analysis.n_uses p) in
+  hitf "fanout:%d" (bucket fanout);
+  hitf "arith:%d" (bucket (Program.n_arith p));
+  hitf "outputs:%d" (Array.length (Program.outputs p));
+  (* scale-management pressure of the forward baseline: which corners
+     of the rescale/modswitch/upscale machinery this program reaches *)
+  (try
+     let m = Fhe_eva.Eva.compile ~rbits ~wbits p in
+     hitf "level:%d" (Managed.input_level m);
+     hitf "rescale:%d" (bucket (Managed.n_rescale m));
+     hitf "modswitch:%d" (bucket (Managed.n_modswitch m));
+     hitf "upscale:%d" (bucket (Managed.n_upscale m))
+   with _ -> hit "eva-rejects");
+  List.sort_uniq compare !feats
+
+let add ?rbits ?wbits (t : t) p =
+  let fresh = ref 0 in
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem t f) then begin
+        Hashtbl.replace t f ();
+        incr fresh
+      end)
+    (features ?rbits ?wbits p);
+  !fresh
+
+let cardinal = Hashtbl.length
+
+let mem (t : t) f = Hashtbl.mem t f
+
+let to_list (t : t) =
+  List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t [])
+
+let profiles =
+  let d = Fhe_sim.Progen.default_profile in
+  [ ("uniform", d);
+    ( "mul-chain",
+      { d with Fhe_sim.Progen.w_mul = 5; w_square = 2; w_rotate = 0;
+        max_depth = 6 } );
+    ( "square-chain",
+      { d with Fhe_sim.Progen.w_square = 6; w_mul = 0; w_add = 2;
+        max_depth = 6 } );
+    ( "rot-pow2",
+      { d with Fhe_sim.Progen.w_rotate = 5; w_mul = 1;
+        rotate_strides = [ 1; 2; 4; 8 ] } );
+    ( "rot-wide",
+      { d with Fhe_sim.Progen.w_rotate = 5;
+        rotate_strides = [ 1; 7; 8; 15 ] } );
+    ( "add-wide",
+      { d with Fhe_sim.Progen.w_add = 5; w_sub = 3; w_mul = 1;
+        max_depth = 2 } );
+    ( "neg-rot",
+      { d with Fhe_sim.Progen.w_neg = 3; w_rotate = 3; w_mul = 1 } ) ]
+
+type candidate = {
+  gen : Fhe_sim.Progen.t;
+  profile : string;
+  seed : int;
+  fresh : int;
+}
+
+let generate ?(n_slots = 16) ?(sizes = [ 10; 25; 40; 60 ]) ?rbits ?wbits t
+    ~seed ~budget =
+  let profs = Array.of_list profiles in
+  let np = Array.length profs in
+  let yield = Array.make np 0 and uses = Array.make np 0 in
+  let out = ref [] in
+  for i = 0 to budget - 1 do
+    (* warm-up: visit every profile once; then exploit by yield rate,
+       with a deterministic round-robin explore every [np]-th draw *)
+    let pi =
+      if i < np then i
+      else if i mod np = 0 then i / np mod np
+      else begin
+        let best = ref 0 and best_rate = ref neg_infinity in
+        Array.iteri
+          (fun j y ->
+            let rate =
+              float_of_int (y + 1) /. float_of_int (uses.(j) + 1)
+            in
+            if rate > !best_rate then begin
+              best := j;
+              best_rate := rate
+            end)
+          yield;
+        !best
+      end
+    in
+    let name, profile = profs.(pi) in
+    let size = List.nth sizes (i mod List.length sizes) in
+    let seed' = (seed * 1_000_003) + i in
+    let g = Fhe_sim.Progen.make ~n_slots ~size ~profile seed' in
+    let fresh = add ?rbits ?wbits t g.Fhe_sim.Progen.prog in
+    uses.(pi) <- uses.(pi) + 1;
+    yield.(pi) <- yield.(pi) + fresh;
+    out := { gen = g; profile = name; seed = seed'; fresh } :: !out
+  done;
+  List.rev !out
+
+let distill cs = List.filter (fun c -> c.fresh > 0) cs

@@ -1,0 +1,69 @@
+open Fhe_ir
+
+(** Coverage-guided program generation.
+
+    {!Fhe_sim.Progen}'s uniform op mix rarely produces the corners
+    where scale managers actually differ: long cipher-mul chains (deep
+    rescale cascades), power-of-two rotation ladders, wide shallow
+    adds.  This module extracts a feature set from each generated
+    program — op/shape features plus scale-management features of its
+    EVA compilation (levels consumed, rescale/modswitch/upscale
+    pressure) — and drives a battery of generation {!Fhe_sim.Progen.profile}s
+    with a deterministic bandit: profiles that keep yielding unseen
+    features get picked more.  Kept programs form the conformance
+    corpus. *)
+
+type t
+(** A mutable coverage map (a set of feature labels). *)
+
+val create : unit -> t
+
+val features : ?rbits:int -> ?wbits:int -> Program.t -> string list
+(** Feature labels of one program, sorted and without duplicates:
+    [op:*] presence (with cipher×cipher vs cipher×plain muls split),
+    [depth:*] multiplicative depth, [rot:*] rotation-amount classes,
+    [fanout:*] / [arith:*] / [outputs:*] shape buckets, and — when EVA
+    can compile the program at [rbits]/[wbits] (defaults 60/30) —
+    [level:*] and [rescale:*]/[modswitch:*]/[upscale:*] pressure
+    buckets. *)
+
+val add : ?rbits:int -> ?wbits:int -> t -> Program.t -> int
+(** Record a program's features; returns how many were unseen. *)
+
+val cardinal : t -> int
+
+val mem : t -> string -> bool
+
+val to_list : t -> string list
+(** Sorted. *)
+
+val profiles : (string * Fhe_sim.Progen.profile) list
+(** The generation battery: the default mix plus mul-chain, square-
+    chain, power-of-two-rotation, wide-rotation, shallow-add, and
+    neg/rotate profiles. *)
+
+type candidate = {
+  gen : Fhe_sim.Progen.t;
+  profile : string;  (** battery entry that produced it *)
+  seed : int;  (** exact [Progen.make] seed, for replay *)
+  fresh : int;  (** unseen features it contributed *)
+}
+
+val generate :
+  ?n_slots:int ->
+  ?sizes:int list ->
+  ?rbits:int ->
+  ?wbits:int ->
+  t ->
+  seed:int ->
+  budget:int ->
+  candidate list
+(** Run exactly [budget] candidate generations (sizes cycling through
+    [sizes], default [[10; 25; 40; 60]]), steering profile choice by
+    coverage yield with a deterministic bandit: profiles that keep
+    producing unseen features are drawn more often.  All candidates are
+    returned in generation order; deterministic in [seed] and the
+    prior state of the map. *)
+
+val distill : candidate list -> candidate list
+(** The coverage corpus: candidates that contributed an unseen feature. *)

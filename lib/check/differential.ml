@@ -1,0 +1,133 @@
+open Fhe_ir
+
+type compiler = Eva | Hecate | Reserve of Reserve.Pipeline.variant
+
+let all_compilers = [ Eva; Hecate; Reserve `Ba; Reserve `Ra; Reserve `Full ]
+
+let compiler_name = function
+  | Eva -> "eva"
+  | Hecate -> "hecate"
+  | Reserve `Ba -> "reserve-ba"
+  | Reserve `Ra -> "reserve-ra"
+  | Reserve `Full -> "reserve-full"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "eva" -> Some Eva
+  | "hecate" -> Some Hecate
+  | "reserve-ba" | "ba" -> Some (Reserve `Ba)
+  | "reserve-ra" | "ra" -> Some (Reserve `Ra)
+  | "reserve-full" | "reserve" | "full" -> Some (Reserve `Full)
+  | _ -> None
+
+type entry = {
+  compiler : compiler;
+  managed : Managed.t option;
+  compile_ms : float;
+  input_level : int;
+  modulus_bits : int;
+  est_latency_us : float;
+  validator_errors : string list;
+  lemma_violations : Invariants.violation list;
+  oracle : Oracle.report option;
+  crash : string option;
+}
+
+let entry_ok e =
+  e.crash = None && e.managed <> None && e.validator_errors = []
+  && e.lemma_violations = []
+  && match e.oracle with Some o -> Oracle.ok o | None -> false
+
+type report = { label : string; entries : entry list }
+
+let ok r = List.for_all entry_ok r.entries
+
+let failures r =
+  List.filter_map
+    (fun e ->
+      if entry_ok e then None
+      else
+        let what =
+          match e.crash with
+          | Some msg -> "crash: " ^ msg
+          | None -> (
+              match (e.validator_errors, e.lemma_violations, e.oracle) with
+              | v :: _, _, _ -> "validator: " ^ v
+              | [], l :: _, _ ->
+                  Format.asprintf "%a" Invariants.pp_violation l
+              | [], [], Some o when not (Oracle.ok o) ->
+                  Format.asprintf "%a" Oracle.pp_mismatch
+                    (List.hd o.Oracle.mismatches)
+              | _ -> "no managed program produced")
+        in
+        Some (compiler_name e.compiler, what))
+    r.entries
+
+let run ?(rbits = 60) ?(wbits = 30) ?(xmax_bits = 0) ?(hecate_iterations = 60)
+    ?noise ?(compilers = all_compilers) ~label p ~inputs =
+  let one compiler =
+    let compile () =
+      match compiler with
+      | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
+      | Hecate ->
+          (Fhe_hecate.Hecate.compile ~iterations:hecate_iterations ~xmax_bits
+             ~rbits ~wbits p)
+            .Fhe_hecate.Hecate.managed
+      | Reserve variant ->
+          Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p
+    in
+    match Fhe_util.Timer.time compile with
+    | m, compile_ms ->
+        let validator_errors =
+          match Validator.check m with
+          | Ok () -> []
+          | Error es ->
+              List.map (Format.asprintf "%a" Validator.pp_error) es
+        in
+        let lemma_violations = Invariants.check m in
+        let oracle =
+          try Some (Oracle.check ?noise p m ~inputs)
+          with _ -> None
+        in
+        {
+          compiler;
+          managed = Some m;
+          compile_ms;
+          input_level = Managed.input_level m;
+          modulus_bits = Managed.input_level m * rbits;
+          est_latency_us = Fhe_cost.Model.estimate m;
+          validator_errors;
+          lemma_violations;
+          oracle;
+          crash = None;
+        }
+    | exception e ->
+        {
+          compiler;
+          managed = None;
+          compile_ms = 0.0;
+          input_level = 0;
+          modulus_bits = 0;
+          est_latency_us = 0.0;
+          validator_errors = [];
+          lemma_violations = [];
+          oracle = None;
+          crash = Some (Printexc.to_string e);
+        }
+  in
+  { label; entries = List.map one compilers }
+
+let pp ppf r =
+  Format.fprintf ppf "differential %s:" r.label;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@\n  %-12s " (compiler_name e.compiler);
+      if entry_ok e then
+        Format.fprintf ppf "ok  L=%d (%d bits)  %.2f ms  est %.3f s"
+          e.input_level e.modulus_bits e.compile_ms
+          (e.est_latency_us /. 1e6)
+      else
+        match failures { r with entries = [ e ] } with
+        | (_, what) :: _ -> Format.fprintf ppf "FAIL  %s" what
+        | [] -> Format.fprintf ppf "FAIL")
+    r.entries

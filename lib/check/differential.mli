@@ -1,0 +1,67 @@
+open Fhe_ir
+
+(** The differential driver: one program, every compiler.
+
+    Compiles a source program under EVA, Hecate, and the three reserve
+    pipeline variants, then holds each result to the same conformance
+    bar — {!Fhe_ir.Validator} legality, the {!Invariants} reserve
+    lemmas, and {!Oracle} agreement with the interpreted source.
+    Because every compiler is compared against the one reference
+    execution, agreement is transitive: all five managed programs
+    compute the same function.  Per-compiler measurements (compile
+    time, input level, consumed modulus bits, estimated latency) ride
+    along for regression pinning and the perf baseline. *)
+
+type compiler = Eva | Hecate | Reserve of Reserve.Pipeline.variant
+
+val all_compilers : compiler list
+(** EVA, Hecate, Ba, Ra, Full — the paper's five columns. *)
+
+val compiler_name : compiler -> string
+(** Stable label: ["eva"], ["hecate"], ["reserve-ba"], ["reserve-ra"],
+    ["reserve-full"]. *)
+
+val of_name : string -> compiler option
+
+type entry = {
+  compiler : compiler;
+  managed : Managed.t option;  (** [None] when compilation failed *)
+  compile_ms : float;
+  input_level : int;  (** encryption parameter [L]; 0 on failure *)
+  modulus_bits : int;  (** consumed modulus: [L * rbits] *)
+  est_latency_us : float;  (** Table 3 cost-model estimate *)
+  validator_errors : string list;
+  lemma_violations : Invariants.violation list;
+  oracle : Oracle.report option;
+  crash : string option;  (** escaped exception, if any *)
+}
+
+val entry_ok : entry -> bool
+(** Compiled, legal, lemma-clean, and oracle-agreeing. *)
+
+type report = { label : string; entries : entry list }
+
+val ok : report -> bool
+
+val failures : report -> (string * string) list
+(** [(compiler, what)] for every failed entry, in compiler order. *)
+
+val run :
+  ?rbits:int ->
+  ?wbits:int ->
+  ?xmax_bits:int ->
+  ?hecate_iterations:int ->
+  ?noise:Fhe_sim.Noise.t ->
+  ?compilers:compiler list ->
+  label:string ->
+  Program.t ->
+  inputs:(string * float array) list ->
+  report
+(** Compile under each compiler (default {!all_compilers}) and check.
+    [rbits] defaults to 60, [wbits] to 30, [xmax_bits] to 0.
+    [hecate_iterations] (default 60) bounds the exploration so
+    differential sweeps stay cheap; it does not change correctness,
+    only plan quality.  Never raises: per-compiler exceptions are
+    recorded in the entry. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,86 @@
+open Fhe_ir
+
+type violation = { op : Op.id; rule : string; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "op %%%d violates %s: %s" v.op v.rule v.detail
+
+let check (m : Managed.t) =
+  let p = m.Managed.prog in
+  let prm = Reserve.Rtype.params ~rbits:m.Managed.rbits ~wbits:m.Managed.wbits in
+  let rho i = Managed.reserve m i in
+  let level i = m.Managed.level.(i) in
+  let scale i = m.Managed.scale.(i) in
+  let is_cipher i = Program.vtype p i = Op.Cipher in
+  let input_l = Managed.input_level m in
+  let out = ref [] in
+  let fail op rule detail = out := { op; rule; detail } :: !out in
+  let failf op rule fmt = Format.kasprintf (fail op rule) fmt in
+  Program.iteri
+    (fun i k ->
+      if rho i < 0 then
+        failf i "reserve-nonnegative" "reserve %d < 0 (scale %d, level %d)"
+          (rho i) (scale i) (level i);
+      if is_cipher i then begin
+        (* the waterline lemma, stated through the principal level *)
+        let principal = Reserve.Rtype.principal_level prm (rho i) in
+        if level i < principal then
+          failf i "principal-level"
+            "level %d below principal level %d of reserve %d" (level i)
+            principal (rho i);
+        if input_l > 0 && level i > input_l then
+          failf i "level-within-modulus" "level %d exceeds input level %d"
+            (level i) input_l
+      end;
+      match k with
+      | Op.Mul (a, b) when is_cipher a && is_cipher b ->
+          if level a <> level b then
+            failf i "mul-reserve" "operand levels differ (%d vs %d)" (level a)
+              (level b)
+          else begin
+            (* Equation Mul: ρ1 + ρ2 = ρ + l·rbits at the common level *)
+            let l = level a in
+            if rho a + rho b <> rho i + (l * m.Managed.rbits) then
+              failf i "mul-reserve"
+                "reserve %d + %d <> result reserve %d + %d*rbits" (rho a)
+                (rho b) (rho i) l
+          end
+      | Op.Mul (a, b) when is_cipher a || is_cipher b ->
+          let pl = if is_cipher a then b else a in
+          if scale pl < m.Managed.wbits then
+            failf i "pmul-waterline"
+              "plain operand %%%d encoded at scale %d < waterline %d" pl
+              (scale pl) m.Managed.wbits
+      | Op.Add (a, b) | Op.Sub (a, b) ->
+          if is_cipher a && is_cipher b then begin
+            if level a <> level b || rho a <> rho b then
+              failf i "add-reserve"
+                "operands (reserve %d @ level %d) vs (reserve %d @ level %d)"
+                (rho a) (level a) (rho b) (level b)
+            else if rho i <> rho a || level i <> level a then
+              failf i "add-reserve"
+                "result (reserve %d @ level %d) not inherited from operands \
+                 (reserve %d @ level %d)"
+                (rho i) (level i) (rho a) (level a)
+          end
+      | Op.Rescale a when is_cipher i ->
+          if rho i <> rho a then
+            failf i "rescale-invariant" "reserve changed %d -> %d" (rho a)
+              (rho i);
+          if level i <> level a - 1 then
+            failf i "rescale-invariant" "level %d -> %d (expected one drop)"
+              (level a) (level i)
+      | Op.Modswitch a when is_cipher i ->
+          if rho i <> rho a - m.Managed.rbits then
+            failf i "modswitch-reserve"
+              "reserve %d -> %d (expected a drop of rbits=%d)" (rho a) (rho i)
+              m.Managed.rbits
+      | Op.Upscale (a, bits) when is_cipher i ->
+          if rho i <> rho a - bits then
+            failf i "upscale-reserve" "reserve %d -> %d (expected a drop of %d)"
+              (rho a) (rho i) bits
+      | _ -> ())
+    p;
+  List.rev !out
+
+let ok m = check m = []

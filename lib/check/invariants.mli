@@ -1,0 +1,36 @@
+open Fhe_ir
+
+(** The paper's §5 reserve-typing lemmas, checked on final programs.
+
+    {!Fhe_ir.Validator} enforces the Table 2 scale/level transfer rules
+    directly; this module re-derives the same well-typedness through the
+    {e reserve} view ([ρ = l·rbits − scale], {!Reserve.Rtype}) — an
+    independent formulation, so a bookkeeping bug has to fool two
+    different judgments to escape.  Every compiler's output (EVA,
+    Hecate, and all reserve variants) must satisfy all of these:
+
+    - [reserve-nonnegative]: [ρ ≥ 0] everywhere (no scale overflow);
+    - [principal-level]: every ciphertext lives at or above its
+      principal level [⌈(ρ + ω)/r⌉] (the waterline lemma);
+    - [level-within-modulus]: no ciphertext level exceeds the input
+      level [L] (the consumed modulus bound);
+    - [mul-reserve]: cipher×cipher multiplication at a common operand
+      level [l] satisfies [ρ₁ + ρ₂ = ρ + l·rbits] (Equation Mul);
+    - [pmul-waterline]: the plaintext operand of a cipher×plain
+      multiplication is encoded at or above the waterline;
+    - [add-reserve]: cipher±cipher operands carry equal reserve at
+      equal level, inherited by the result;
+    - [rescale-invariant]: rescale preserves reserve exactly and drops
+      one level (the lemma that decouples analysis from placement);
+    - [modswitch-reserve] / [upscale-reserve]: modswitch consumes
+      [rbits] of reserve, upscale consumes its amount. *)
+
+type violation = { op : Op.id; rule : string; detail : string }
+
+val check : Managed.t -> violation list
+(** All violated lemmas in op order; [] = well-typed.  The sweep never
+    stops early. *)
+
+val ok : Managed.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

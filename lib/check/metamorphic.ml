@@ -1,0 +1,88 @@
+open Fhe_ir
+
+type failure = { relation : string; detail : string }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "metamorphic %s: %s" f.relation f.detail
+
+let relations =
+  [ "identity"; "constfold"; "cse"; "dce"; "optimize"; "optimize-then-compile";
+    "managed-cse"; "managed-dce"; "managed-cse-dce" ]
+
+(* exact reference comparison (tiny slack for float re-association) *)
+let same_reference ~slack p q ~inputs =
+  let a = Fhe_sim.Interp.run_reference p ~inputs in
+  let b = Fhe_sim.Interp.run_reference q ~inputs in
+  if Array.length a <> Array.length b then Some "output count changed"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i ra ->
+        Array.iteri
+          (fun j x ->
+            let bound = slack *. (1.0 +. Float.abs x) in
+            if !bad = None && Float.abs (x -. b.(i).(j)) > bound then
+              bad :=
+                Some
+                  (Printf.sprintf "output %d slot %d: %g <> %g" i j x
+                     b.(i).(j)))
+          ra)
+      a;
+    !bad
+  end
+
+let check ?(rbits = 60) ?(wbits = 25) ?(xmax_bits = 0) ?noise p ~inputs =
+  let failures = ref [] in
+  let fail relation detail = failures := { relation; detail } :: !failures in
+  let guarded relation f =
+    try f () with e -> fail relation ("exception: " ^ Printexc.to_string e)
+  in
+  let slack = 1e-9 in
+  (* 1. source-level rewrites preserve the reference semantics *)
+  let arith relation (pass : Program.t -> Rewrite.result) =
+    guarded relation (fun () ->
+        let r = pass p in
+        match same_reference ~slack p r.Rewrite.prog ~inputs with
+        | None -> ()
+        | Some d -> fail relation d)
+  in
+  arith "identity" Rewrite.identity;
+  arith "constfold" Constfold.run;
+  arith "cse" (Cse.run ?key:None);
+  arith "dce" Dce.run;
+  let optimize q =
+    let q = (Constfold.run q).Rewrite.prog in
+    let q = (Cse.run q).Rewrite.prog in
+    (Dce.run q).Rewrite.prog
+  in
+  guarded "optimize" (fun () ->
+      match same_reference ~slack p (optimize p) ~inputs with
+      | None -> ()
+      | Some d -> fail "optimize" d);
+  (* 2. the compiled forms: well-typed under both judgments and
+     oracle-equivalent to the *original* source *)
+  let well_typed relation (m : Managed.t) =
+    (match Validator.check m with
+    | Ok () -> ()
+    | Error es ->
+        fail relation
+          (Format.asprintf "validator: %a" Validator.pp_error (List.hd es)));
+    (match Invariants.check m with
+    | [] -> ()
+    | v :: _ ->
+        fail relation (Format.asprintf "%a" Invariants.pp_violation v));
+    let o = Oracle.check ?noise p m ~inputs in
+    if not (Oracle.ok o) then
+      fail relation
+        (Format.asprintf "%a" Oracle.pp_mismatch
+           (List.hd o.Oracle.mismatches))
+  in
+  guarded "optimize-then-compile" (fun () ->
+      well_typed "optimize-then-compile"
+        (Reserve.Pipeline.compile ~xmax_bits ~rbits ~wbits (optimize p)));
+  guarded "managed-rewrites" (fun () ->
+      let m = Reserve.Pipeline.compile ~xmax_bits ~rbits ~wbits p in
+      well_typed "managed-cse" (Managed.cse m);
+      well_typed "managed-dce" (Managed.dce m);
+      well_typed "managed-cse-dce" (Managed.dce (Managed.cse m)));
+  List.rev !failures

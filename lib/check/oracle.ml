@@ -1,0 +1,84 @@
+open Fhe_ir
+
+type mismatch = {
+  output : int;
+  slot : int;
+  got : float;
+  expected : float;
+  bound : float;
+}
+
+type report = {
+  mismatches : mismatch list;
+  outputs : int;
+  slots : int;
+  max_abs_error : float;
+  worst_bound : float;
+}
+
+let ok r = r.mismatches = []
+
+let synth_inputs ?(seed = 42) p =
+  let rng = Fhe_util.Prng.create seed in
+  let n_slots = Program.n_slots p in
+  let acc = ref [] in
+  Program.iteri
+    (fun _ k ->
+      match k with
+      | Op.Input { name; _ } ->
+          acc :=
+            ( name,
+              Array.init n_slots (fun _ ->
+                  Fhe_util.Prng.uniform rng ~lo:(-1.0) ~hi:1.0) )
+            :: !acc
+      | _ -> ())
+    p;
+  List.rev !acc
+
+let check ?noise ?(slack = 1e-9) src m ~inputs =
+  let refs = Fhe_sim.Interp.run_reference src ~inputs in
+  let outs = Fhe_sim.Interp.run ?noise m ~inputs in
+  if Array.length refs <> Array.length outs then
+    invalid_arg "Oracle.check: output count mismatch";
+  let mismatches = ref [] in
+  let max_abs_error = ref 0.0 and worst_bound = ref 0.0 in
+  let slots = ref 0 in
+  Array.iteri
+    (fun i (v : Fhe_sim.Interp.value) ->
+      let r = refs.(i) in
+      slots := max !slots (Array.length v.Fhe_sim.Interp.data);
+      Array.iteri
+        (fun j x ->
+          let bound =
+            v.Fhe_sim.Interp.err +. (slack *. (1.0 +. Float.abs r.(j)))
+          in
+          let err = Float.abs (x -. r.(j)) in
+          max_abs_error := Float.max !max_abs_error err;
+          worst_bound := Float.max !worst_bound bound;
+          if err > bound then
+            mismatches :=
+              { output = i; slot = j; got = x; expected = r.(j); bound }
+              :: !mismatches)
+        v.Fhe_sim.Interp.data)
+    outs;
+  {
+    mismatches = List.rev !mismatches;
+    outputs = Array.length outs;
+    slots = !slots;
+    max_abs_error = !max_abs_error;
+    worst_bound = !worst_bound;
+  }
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf "output %d slot %d: got %g, expected %g (bound %g)"
+    m.output m.slot m.got m.expected m.bound
+
+let pp ppf r =
+  if ok r then
+    Format.fprintf ppf "oracle: %d output(s) agree (max err %g <= bound %g)"
+      r.outputs r.max_abs_error r.worst_bound
+  else
+    Format.fprintf ppf "oracle: %d mismatch(es)@\n%a"
+      (List.length r.mismatches)
+      (Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_mismatch)
+      r.mismatches

@@ -1,0 +1,56 @@
+open Fhe_ir
+
+(** The semantic-equivalence oracle.
+
+    A scale-management compiler may only change {e bookkeeping}: the
+    managed program must compute the same function as its arithmetic
+    source, up to the worst-case noise bound the simulator propagates
+    ({!Fhe_sim.Interp}).  This module packages that check as a reusable
+    judgment: interpret both programs on deterministic plaintext
+    vectors and compare slot by slot against the per-output bound from
+    {!Fhe_sim.Noise}, plus a small relative slack for floating-point
+    re-association. *)
+
+type mismatch = {
+  output : int;  (** output index *)
+  slot : int;
+  got : float;  (** managed-program value *)
+  expected : float;  (** reference value *)
+  bound : float;  (** tolerance that was exceeded *)
+}
+
+type report = {
+  mismatches : mismatch list;  (** in (output, slot) order; [] = agree *)
+  outputs : int;  (** outputs compared *)
+  slots : int;  (** slots per output *)
+  max_abs_error : float;  (** worst observed |got - expected| *)
+  worst_bound : float;  (** largest tolerance granted to any slot *)
+}
+
+val ok : report -> bool
+(** No mismatches. *)
+
+val synth_inputs : ?seed:int -> Program.t -> (string * float array) list
+(** Deterministic vectors in [[-1, 1)] for {e every} input of the
+    program (cipher and plain), in op order; equal seeds (default 42)
+    give equal vectors.  Use when a program has no natural dataset
+    (generated programs, parsed files). *)
+
+val check :
+  ?noise:Fhe_sim.Noise.t ->
+  ?slack:float ->
+  Program.t ->
+  Managed.t ->
+  inputs:(string * float array) list ->
+  report
+(** [check src m ~inputs] interprets [src] exactly and [m] under the
+    noise model and compares.  A slot passes when
+    [|got - expected| <= err_bound + slack * (1 + |expected|)]
+    ([slack] defaults to [1e-9]).
+    @raise Invalid_argument if the programs disagree on output count or
+    an input vector is missing/too long (caller bugs, not compiler
+    bugs). *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val pp : Format.formatter -> report -> unit

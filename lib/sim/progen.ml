@@ -1,10 +1,18 @@
-(* Random arithmetic-program generation, shared by the property tests
-   and the `fhec fuzz` harness.
+(* Random arithmetic-program generation, shared by the property tests,
+   the `fhec fuzz` harness, and the coverage-guided conformance
+   generator (Fhe_check.Coverage).
 
    Programs are DAGs over a couple of cipher inputs, a plain constant
    pool, and random add/sub/mul/neg/rotate nodes; multiplicative depth
    is kept moderate so every scale-management plan stays within a small
-   modulus chain. *)
+   modulus chain.
+
+   A [profile] skews the op mix, the depth cap, and the rotation
+   strides so callers can steer generation into corners (deep mul
+   chains, power-of-two rotation cascades, ...) the uniform mix rarely
+   reaches.  [default_profile] reproduces the historical distribution
+   draw-for-draw: equal seeds keep producing the exact programs the
+   fixed-seed fuzz alias and the property tests were pinned against. *)
 
 open Fhe_ir
 
@@ -13,7 +21,42 @@ type t = {
   inputs : (string * float array) list;
 }
 
-let make ?(n_slots = 16) ?(size = 25) ?(n_inputs = 2) seed =
+type profile = {
+  w_add : int;
+  w_sub : int;
+  w_mul : int;
+  w_neg : int;
+  w_rotate : int;
+  w_square : int;
+  max_depth : int;
+  rotate_strides : int list;
+}
+
+let default_profile =
+  { w_add = 1; w_sub = 1; w_mul = 1; w_neg = 1; w_rotate = 1; w_square = 1;
+    max_depth = 4; rotate_strides = [] }
+
+(* op selector: scan the weight ranges in declared order.  With the
+   default profile the total is 6 and the scan maps a draw of [k] to
+   op [k] — exactly the historical [Prng.int rng 6] dispatch. *)
+type picked = Padd | Psub | Pmul | Pneg | Protate | Psquare
+
+let pick_op rng pr =
+  let total =
+    pr.w_add + pr.w_sub + pr.w_mul + pr.w_neg + pr.w_rotate + pr.w_square
+  in
+  if total <= 0 then invalid_arg "Progen: profile weights sum to 0";
+  let r = Fhe_util.Prng.int rng total in
+  if r < pr.w_add then Padd
+  else if r < pr.w_add + pr.w_sub then Psub
+  else if r < pr.w_add + pr.w_sub + pr.w_mul then Pmul
+  else if r < pr.w_add + pr.w_sub + pr.w_mul + pr.w_neg then Pneg
+  else if r < pr.w_add + pr.w_sub + pr.w_mul + pr.w_neg + pr.w_rotate then
+    Protate
+  else Psquare
+
+let make ?(n_slots = 16) ?(size = 25) ?(n_inputs = 2)
+    ?(profile = default_profile) seed =
   let rng = Fhe_util.Prng.create seed in
   let b = Builder.create ~n_slots () in
   let values = ref [] in
@@ -41,18 +84,26 @@ let make ?(n_slots = 16) ?(size = 25) ?(n_inputs = 2) seed =
     (Builder.vconst b ~tag:"gen"
        (Array.init n_slots (fun i -> float_of_int (i mod 3) /. 4.0)))
     0;
+  let rotate_amount () =
+    match profile.rotate_strides with
+    | [] -> 1 + Fhe_util.Prng.int rng (n_slots - 1)
+    | strides ->
+        List.nth strides (Fhe_util.Prng.int rng (List.length strides))
+  in
   for _ = 1 to size do
     let a = pick () and c = pick () in
     let e, de =
-      match Fhe_util.Prng.int rng 6 with
-      | 0 -> (Builder.add b a c, max (d a) (d c))
-      | 1 -> (Builder.sub b a c, max (d a) (d c))
-      | 2 when d a + d c < 4 -> (Builder.mul b a c, max (d a) (d c) + 1)
-      | 2 -> (Builder.add b a c, max (d a) (d c))
-      | 3 -> (Builder.neg b a, d a)
-      | 4 -> (Builder.rotate b a (1 + Fhe_util.Prng.int rng (n_slots - 1)), d a)
-      | _ when 2 * d a < 4 -> (Builder.square b a, d a + 1)
-      | _ -> (Builder.add b a c, max (d a) (d c))
+      match pick_op rng profile with
+      | Padd -> (Builder.add b a c, max (d a) (d c))
+      | Psub -> (Builder.sub b a c, max (d a) (d c))
+      | Pmul when d a + d c < profile.max_depth ->
+          (Builder.mul b a c, max (d a) (d c) + 1)
+      | Pmul -> (Builder.add b a c, max (d a) (d c))
+      | Pneg -> (Builder.neg b a, d a)
+      | Protate -> (Builder.rotate b a (rotate_amount ()), d a)
+      | Psquare when 2 * d a < profile.max_depth ->
+          (Builder.square b a, d a + 1)
+      | Psquare -> (Builder.add b a c, max (d a) (d c))
     in
     push e de
   done;

@@ -9,9 +9,31 @@ type t = {
       (** matching synthetic input vectors in [[-1, 1)] *)
 }
 
-val make : ?n_slots:int -> ?size:int -> ?n_inputs:int -> int -> t
+type profile = {
+  w_add : int;
+  w_sub : int;
+  w_mul : int;
+  w_neg : int;
+  w_rotate : int;
+  w_square : int;  (** op-mix weights (relative, each >= 0, sum > 0) *)
+  max_depth : int;
+      (** multiplicative-depth cap: a mul/square that would push the
+          operand depth sum past this is demoted to an add *)
+  rotate_strides : int list;
+      (** rotation amounts to draw from; [[]] = uniform in
+          [[1, n_slots)] *)
+}
+
+val default_profile : profile
+(** Equal weights, depth cap 4, uniform rotations — draw-for-draw the
+    historical distribution, so fixed seeds keep their programs. *)
+
+val make :
+  ?n_slots:int -> ?size:int -> ?n_inputs:int -> ?profile:profile -> int -> t
 (** [make seed] generates a program of roughly [size] random ops
     (default 25) over [n_inputs] cipher inputs (default 2) and a small
     plain-constant pool, on [n_slots]-slot vectors (default 16);
     multiplicative depth is capped so every compiler stays within a
-    small modulus chain. *)
+    small modulus chain.  [profile] (default {!default_profile}) skews
+    the op mix for coverage-guided generation
+    ({!Fhe_check.Coverage} feeds uncovered-feature profiles back in). *)
