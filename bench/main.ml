@@ -17,6 +17,16 @@ module Reg = Fhe_apps.Registry
 
 let rbits = 60
 
+(* -j N (0 = the runtime's recommended domain count); only the batch
+   sections (json, gate) fan out — the table/figure sections interleave
+   measurement with printing and stay sequential *)
+let jobs = ref 0
+
+let with_pool f =
+  let width = if !jobs <= 0 then Domain.recommended_domain_count () else !jobs in
+  if width = 1 then f None
+  else Fhe_par.Pool.with_pool ~domains:width (fun p -> f (Some p))
+
 (* ------------------------------------------------------------------ *)
 (* Shared compilation cache: (app, waterline, compiler) -> managed     *)
 
@@ -76,28 +86,34 @@ let xmax_of (a : Reg.app) =
 let plan_cache : (string * int * string, Managed.t * float) Hashtbl.t =
   Hashtbl.create 64
 
+(* one measured compilation; reads the prog/xmax caches but never
+   writes any table, so it is safe on a pool once those are warm *)
+let compile_nocache (a : Reg.app) ~wbits c =
+  let p = prog_of a in
+  let xmax_bits = xmax_of a in
+  let m, ms =
+    Fhe_util.Timer.time (fun () ->
+        match c with
+        | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
+        | Hecate ->
+            (Fhe_hecate.Hecate.compile ~xmax_bits
+               ~iterations:(hecate_budget a.Reg.name) ~rbits ~wbits p)
+              .Fhe_hecate.Hecate.managed
+        | Rsv variant ->
+            Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p)
+  in
+  Validator.check_exn m;
+  (m, ms)
+
 (* compile (cached); returns the managed program and the wall time (ms) *)
 let compile (a : Reg.app) ~wbits c =
   let key = (a.Reg.name, wbits, compiler_name c) in
   match Hashtbl.find_opt plan_cache key with
   | Some r -> r
   | None ->
-      let p = prog_of a in
-      let xmax_bits = xmax_of a in
-      let m, ms =
-        Fhe_util.Timer.time (fun () ->
-            match c with
-            | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
-            | Hecate ->
-                (Fhe_hecate.Hecate.compile ~xmax_bits
-                   ~iterations:(hecate_budget a.Reg.name) ~rbits ~wbits p)
-                  .Fhe_hecate.Hecate.managed
-            | Rsv variant ->
-                Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p)
-      in
-      Validator.check_exn m;
-      Hashtbl.replace plan_cache key (m, ms);
-      (m, ms)
+      let r = compile_nocache a ~wbits c in
+      Hashtbl.replace plan_cache key r;
+      r
 
 let latency_s m = Fhe_cost.Model.estimate m /. 1e6
 
@@ -392,30 +408,59 @@ let bench_compilers =
 let json_out () =
   try Sys.getenv "BENCH_JSON_OUT" with Not_found -> "BENCH_compile.json"
 
-let measure_run () =
+let measure_run ?pool () =
   let wbits = 30 in
-  let entries =
+  (* warm the prog/xmax caches sequentially so the parallel tasks only
+     ever read them *)
+  List.iter (fun a -> ignore (xmax_of a)) Reg.all;
+  let pairs =
     List.concat_map
       (fun (a : Reg.app) ->
-        List.map
-          (fun (c, label) ->
-            let m, ms = compile a ~wbits c in
-            {
-              Fhe_check.Benchjson.app = a.Reg.name;
-              compiler = label;
-              compile_ms = ms;
-              input_level = Managed.input_level m;
-              modulus_bits = Managed.input_level m * rbits;
-              est_latency_us = Fhe_cost.Model.estimate m;
-            })
-          bench_compilers)
+        List.map (fun (c, label) -> (a, c, label)) bench_compilers)
       Reg.all
   in
-  { Fhe_check.Benchjson.rbits; wbits; entries }
+  let measure (a, c, label) =
+    let m, ms = compile_nocache a ~wbits c in
+    {
+      Fhe_check.Benchjson.app = a.Reg.name;
+      compiler = label;
+      compile_ms = ms;
+      input_level = Managed.input_level m;
+      modulus_bits = Managed.input_level m * rbits;
+      est_latency_us = Fhe_cost.Model.estimate m;
+    }
+  in
+  let entries, wall_ms =
+    Fhe_util.Timer.time (fun () ->
+        match pool with
+        | None -> List.map measure pairs
+        | Some pool -> Fhe_par.Pool.map pool measure pairs)
+  in
+  let domains =
+    match pool with None -> 1 | Some p -> Fhe_par.Pool.domains p
+  in
+  { Fhe_check.Benchjson.rbits; wbits; domains; wall_time_par = wall_ms;
+    entries }
+
+(* BENCH_JSON_DETERMINISTIC=1 zeroes the measured wall times and the
+   recorded pool width so the @par harness can byte-compare a -j 1
+   emission against a -j 4 one; everything else in the file is
+   deterministic *)
+let scrub run =
+  match Sys.getenv_opt "BENCH_JSON_DETERMINISTIC" with
+  | None | Some "" | Some "0" -> run
+  | Some _ ->
+      { run with
+        Fhe_check.Benchjson.domains = 1;
+        wall_time_par = 0.0;
+        entries =
+          List.map
+            (fun m -> { m with Fhe_check.Benchjson.compile_ms = 0.0 })
+            run.Fhe_check.Benchjson.entries }
 
 let json () =
   section "BENCH_compile.json: per-app compile time / modulus / latency";
-  let run = measure_run () in
+  let run = scrub (with_pool (fun pool -> measure_run ?pool ())) in
   let text =
     Fhe_check.Benchjson.to_string (Fhe_check.Benchjson.run_to_json run)
   in
@@ -455,7 +500,7 @@ let gate () =
     | Ok r -> r
     | Error e -> failwith (path ^ ": " ^ e)
   in
-  let current = measure_run () in
+  let current = with_pool (fun pool -> measure_run ?pool ()) in
   match Fhe_check.Benchjson.compare_runs ~baseline ~current () with
   | [] ->
       Printf.printf "gate passed: %d entries within bounds of %s\n"
@@ -476,10 +521,26 @@ let all_sections =
 let extra_sections = [ ("json", json); ("gate", gate) ]
 
 let () =
+  (* peel `-j N` off the section list *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 0 ->
+            jobs := v;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "-j expects a non-negative integer, got %S\n" n;
+            exit 1)
+    | [ "-j" ] ->
+        Printf.eprintf "-j expects an argument\n";
+        exit 1
+    | name :: rest -> parse (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_sections
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst all_sections
+    | names -> names
   in
   List.iter
     (fun name ->

@@ -44,6 +44,22 @@ let seed_arg =
   let doc = "Seed for the synthetic input data." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Parallel width of the driver: a fixed-size pool of $(docv) domains \
+     compiles independent programs concurrently.  $(b,-j 1) is the \
+     sequential legacy path; 0 (the default) uses the runtime's \
+     recommended domain count.  Reports are byte-identical at every \
+     width."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* -j N -> a pool for the driver (None = sequential legacy path) *)
+let with_pool jobs f =
+  let width = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  if width = 1 then f None
+  else Fhe_par.Pool.with_pool ~domains:width (fun pool -> f (Some pool))
+
 let find_app name =
   match Reg.find name with
   | a -> Ok a
@@ -328,87 +344,17 @@ let fuzz_cmd =
     let doc = "Approximate op count of each random program." in
     Arg.(value & opt int 25 & info [ "size" ] ~docv:"OPS" ~doc)
   in
-  let run seeds size wbits rbits strict =
+  let run seeds size wbits rbits strict jobs =
     handle
       (if seeds <= 0 then Error "--seeds must be positive"
-       else begin
-         let ok = ref 0 and fellback = ref 0 in
-         let failed = ref 0 and crashed = ref 0 in
-         let classes = Array.of_list Fhe_sim.Faults.all in
-         let n_cls = Array.length classes in
-         let injected = Array.make n_cls 0 and detected = Array.make n_cls 0 in
-         let missed = Array.make n_cls 0 and nosite = Array.make n_cls 0 in
-         let crash_msgs = ref [] in
-         for seed = 0 to seeds - 1 do
-           try
-             let g = Fhe_sim.Progen.make ~size seed in
-             let p = g.Fhe_sim.Progen.prog in
-             let managed =
-               match
-                 Reserve.Pipeline.compile_safe ~strict
-                   ~oracle_inputs:g.Fhe_sim.Progen.inputs ~rbits ~wbits p
-               with
-               | Ok o ->
-                   if o.Reserve.Pipeline.fallbacks = [] then incr ok
-                   else incr fellback;
-                   Some o.Reserve.Pipeline.managed
-               | Error _ ->
-                   incr failed;
-                   None
+       else
+         with_pool jobs (fun pool ->
+             let s =
+               Fhe_check.Fuzzdriver.run ?pool ~size ~rbits ~wbits ~strict
+                 ~seeds ()
              in
-             (* corrupt a known-legal plan; the validator must reject
-                every corruption class.  When the driver produced nothing
-                (already counted in [failed]) and EVA can't compile the
-                configuration either, there is no plan to corrupt — skip
-                injection for this seed rather than calling it a crash. *)
-             let victim =
-               match managed with
-               | Some m -> Some m
-               | None -> (
-                   match Fhe_eva.Eva.compile ~rbits ~wbits p with
-                   | m -> Some m
-                   | exception _ -> None)
-             in
-             Option.iter
-               (fun victim ->
-                 Array.iteri
-                   (fun ci cls ->
-                     match Fhe_sim.Faults.inject cls ~seed victim with
-                     | None -> nosite.(ci) <- nosite.(ci) + 1
-                     | Some bad -> (
-                         injected.(ci) <- injected.(ci) + 1;
-                         match Validator.check bad with
-                         | Error _ -> detected.(ci) <- detected.(ci) + 1
-                         | Ok () -> missed.(ci) <- missed.(ci) + 1))
-                   classes)
-               victim
-           with e ->
-             incr crashed;
-             if List.length !crash_msgs < 5 then
-               crash_msgs :=
-                 Printf.sprintf "seed %d: %s" seed (Printexc.to_string e)
-                 :: !crash_msgs
-         done;
-         Printf.printf "fuzz: %d random programs (size ~%d, waterline %d)\n"
-           seeds size wbits;
-         Printf.printf "  compiled (requested config) : %d\n" !ok;
-         Printf.printf "  compiled via fallback       : %d\n" !fellback;
-         Printf.printf "  failed with diagnostics     : %d\n" !failed;
-         Printf.printf "  crashed (uncaught)          : %d\n" !crashed;
-         Printf.printf "fault injection:\n";
-         Array.iteri
-           (fun ci cls ->
-             Printf.printf
-               "  %-18s injected %4d  detected %4d  missed %4d  no-site %4d\n"
-               (Fhe_sim.Faults.name cls) injected.(ci) detected.(ci)
-               missed.(ci) nosite.(ci))
-           classes;
-         List.iter print_endline (List.rev !crash_msgs);
-         if !crashed > 0 then Error "fuzz: uncaught exceptions in the driver"
-         else if Array.exists (fun c -> c > 0) missed then
-           Error "fuzz: some injected faults escaped the validator"
-         else Ok ()
-       end)
+             Format.printf "%a@." Fhe_check.Fuzzdriver.pp s;
+             Fhe_check.Fuzzdriver.verdict s))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -418,7 +364,7 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ seeds_arg $ size_arg $ waterline_arg $ rbits_arg
-       $ strict_arg))
+       $ strict_arg $ jobs_arg))
 
 let check_cmd =
   let apps_arg =
@@ -441,23 +387,23 @@ let check_cmd =
     let doc = "Print one status line per checked program." in
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
   in
-  let run apps gen seed wbits rbits hecate verbose =
+  let run apps gen seed wbits rbits hecate verbose jobs =
     handle
       (if (not apps) && gen <= 0 then
          Error "nothing to check: pass --apps and/or --gen N"
-       else begin
-         let progress = if verbose then print_endline else fun _ -> () in
-         let s =
-           Fhe_check.Conformance.run ~rbits ~wbits
-             ~hecate_iterations:hecate ~apps ~gen ~seed ~progress ()
-         in
-         Format.printf "%a@." Fhe_check.Conformance.pp s;
-         if Fhe_check.Conformance.ok s then Ok ()
-         else
-           Error
-             (Printf.sprintf "conformance: %d violation(s)"
-                (List.length s.Fhe_check.Conformance.failures))
-       end)
+       else
+         with_pool jobs (fun pool ->
+             let progress = if verbose then print_endline else fun _ -> () in
+             let s =
+               Fhe_check.Conformance.run ?pool ~rbits ~wbits
+                 ~hecate_iterations:hecate ~apps ~gen ~seed ~progress ()
+             in
+             Format.printf "%a@." Fhe_check.Conformance.pp s;
+             if Fhe_check.Conformance.ok s then Ok ()
+             else
+               Error
+                 (Printf.sprintf "conformance: %d violation(s)"
+                    (List.length s.Fhe_check.Conformance.failures))))
   in
   Cmd.v
     (Cmd.info "check"
@@ -469,7 +415,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ apps_arg $ gen_arg $ check_seed_arg $ waterline_arg
-       $ rbits_arg $ hecate_arg $ verbose_arg))
+       $ rbits_arg $ hecate_arg $ verbose_arg $ jobs_arg))
 
 let () =
   let info =

@@ -202,7 +202,9 @@ let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 (* ------------------------------------------------------------------ *)
 (* the bench-compile schema *)
 
-let schema = "fhe-bench-compile/v1"
+let schema = "fhe-bench-compile/v2"
+
+let schema_v1 = "fhe-bench-compile/v1"
 
 type measurement = {
   app : string;
@@ -216,6 +218,8 @@ type measurement = {
 type run = {
   rbits : int;
   wbits : int;
+  domains : int;
+  wall_time_par : float;
   entries : measurement list;
 }
 
@@ -224,6 +228,8 @@ let run_to_json r =
     [ ("schema", Str schema);
       ("rbits", Num (float_of_int r.rbits));
       ("waterline", Num (float_of_int r.wbits));
+      ("domains", Num (float_of_int r.domains));
+      ("wall_time_par", Num r.wall_time_par);
       ( "entries",
         Arr
           (List.map
@@ -247,10 +253,19 @@ let ( let* ) = Result.bind
 
 let run_of_json j =
   let* s = get_str "schema" j in
-  if s <> schema then Error (Printf.sprintf "unknown schema %S" s)
+  if s <> schema && s <> schema_v1 then
+    Error (Printf.sprintf "unknown schema %S" s)
   else
     let* rbits = get_num "rbits" j in
     let* wbits = get_num "waterline" j in
+    (* v2 additions; a v1 file is a sequential run with no recorded
+       batch wall time *)
+    let domains =
+      match member "domains" j with Some (Num f) -> int_of_float f | _ -> 1
+    in
+    let wall_time_par =
+      match member "wall_time_par" j with Some (Num f) -> f | _ -> 0.0
+    in
     let* entries =
       match member "entries" j with
       | Some (Arr es) ->
@@ -273,7 +288,9 @@ let run_of_json j =
           |> Result.map List.rev
       | _ -> Error "missing entries"
     in
-    Ok { rbits = int_of_float rbits; wbits = int_of_float wbits; entries }
+    Ok
+      { rbits = int_of_float rbits; wbits = int_of_float wbits; domains;
+        wall_time_par; entries }
 
 let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10) ~baseline
     ~current () =

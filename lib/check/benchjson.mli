@@ -32,7 +32,11 @@ val member : string -> json -> json option
 (** {1 The bench-compile schema} *)
 
 val schema : string
-(** ["fhe-bench-compile/v1"]. *)
+(** ["fhe-bench-compile/v2"]. *)
+
+val schema_v1 : string
+(** ["fhe-bench-compile/v1"]: the pre-multicore schema, still
+    accepted by {!run_of_json}. *)
 
 type measurement = {
   app : string;
@@ -46,13 +50,20 @@ type measurement = {
 type run = {
   rbits : int;
   wbits : int;
+  domains : int;  (** pool width the run was measured at (v2; v1 = 1) *)
+  wall_time_par : float;
+      (** wall time (ms) of the whole measurement batch at that width
+          (v2; v1 = 0) *)
   entries : measurement list;
 }
 
 val run_to_json : run -> json
+(** Always emits the v2 schema. *)
 
 val run_of_json : json -> (run, string) result
-(** Rejects unknown schemas and malformed entries. *)
+(** Accepts v2 and v1 files (v1 defaults [domains] to 1 and
+    [wall_time_par] to 0); rejects unknown schemas and malformed
+    entries. *)
 
 val compare_runs :
   ?time_slack:float ->

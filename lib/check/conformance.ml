@@ -65,58 +65,78 @@ let check_one ~rbits ~wbits ~xmax_bits ~hecate_iterations ?noise ~subject p
   in
   (List.length d.Differential.entries, diff_failures @ meta_failures)
 
-let run ?(rbits = 60) ?(wbits = 30) ?(hecate_iterations = 60) ?noise
+let run ?pool ?(rbits = 60) ?(wbits = 30) ?(hecate_iterations = 60) ?noise
     ?(apps = true) ?(gen = 0) ?(seed = 1) ?(progress = fun _ -> ()) () =
-  let programs = ref 0 and compilations = ref 0 in
-  let failures = ref [] in
-  let note subject n fs =
-    incr programs;
-    compilations := !compilations + n;
-    failures := List.rev_append fs !failures;
-    progress
-      (Printf.sprintf "%-24s %s" subject
-         (if fs = [] then "ok"
-          else Printf.sprintf "%d violation(s)" (List.length fs)))
+  (* Phase 1 (sequential): assemble the work list.  Coverage-guided
+     generation is a bandit over the shared coverage map, so it stays
+     sequential — candidate [i+1] depends on what [i] contributed.
+     Each work item is (subject, thunk); the thunks are pure. *)
+  let app_items =
+    if not apps then []
+    else
+      List.map
+        (fun (a : Reg.app) ->
+          ( a.Reg.name,
+            fun () ->
+              let p = a.Reg.build () in
+              let inputs = a.Reg.inputs ~seed:42 in
+              let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+              check_one ~rbits ~wbits ~xmax_bits ~hecate_iterations ?noise
+                ~subject:a.Reg.name p ~inputs ))
+        Reg.all
   in
-  if apps then
-    List.iter
-      (fun (a : Reg.app) ->
-        let subject = a.Reg.name in
-        match
-          let p = a.Reg.build () in
-          let inputs = a.Reg.inputs ~seed:42 in
-          let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
-          check_one ~rbits ~wbits ~xmax_bits ~hecate_iterations ?noise
-            ~subject p ~inputs
-        with
-        | n, fs -> note subject n fs
-        | exception e ->
-            note subject 0
-              [ { subject; compiler = "-"; kind = Crash;
-                  detail = Printexc.to_string e } ])
-      Reg.all;
   let coverage = Coverage.create () in
   let corpus = ref 0 in
-  if gen > 0 then begin
-    let candidates = Coverage.generate coverage ~seed ~budget:gen in
-    corpus := List.length (Coverage.distill candidates);
-    List.iter
-      (fun (c : Coverage.candidate) ->
-        let subject =
-          Printf.sprintf "gen-%d(%s)" c.Coverage.seed c.Coverage.profile
-        in
-        match
-          check_one ~rbits ~wbits ~xmax_bits:0 ~hecate_iterations ?noise
-            ~subject c.Coverage.gen.Fhe_sim.Progen.prog
-            ~inputs:c.Coverage.gen.Fhe_sim.Progen.inputs
-        with
-        | n, fs -> note subject n fs
-        | exception e ->
-            note subject 0
-              [ { subject; compiler = "-"; kind = Crash;
-                  detail = Printexc.to_string e } ])
-      candidates
-  end;
+  let gen_items =
+    if gen <= 0 then []
+    else begin
+      let candidates = Coverage.generate coverage ~seed ~budget:gen in
+      corpus := List.length (Coverage.distill candidates);
+      List.map
+        (fun (c : Coverage.candidate) ->
+          let subject =
+            Printf.sprintf "gen-%d(%s)" c.Coverage.seed c.Coverage.profile
+          in
+          ( subject,
+            fun () ->
+              check_one ~rbits ~wbits ~xmax_bits:0 ~hecate_iterations ?noise
+                ~subject c.Coverage.gen.Fhe_sim.Progen.prog
+                ~inputs:c.Coverage.gen.Fhe_sim.Progen.inputs ))
+        candidates
+    end
+  in
+  let items = app_items @ gen_items in
+  (* Phase 2 (parallel): run the checks.  Exceptions become Crash
+     results inside the task, so one pathological program can't abort
+     the sweep at any pool width. *)
+  let check (subject, thunk) =
+    match thunk () with
+    | n, fs -> (subject, n, fs)
+    | exception e ->
+        ( subject, 0,
+          [ { subject; compiler = "-"; kind = Crash;
+              detail = Printexc.to_string e } ] )
+  in
+  let checked =
+    match pool with
+    | None -> List.map check items
+    | Some pool -> Fhe_par.Pool.map pool check items
+  in
+  (* Phase 3 (sequential): fold the results in submission order, so
+     progress lines and the failure list are byte-identical whatever
+     the pool width. *)
+  let programs = ref 0 and compilations = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (subject, n, fs) ->
+      incr programs;
+      compilations := !compilations + n;
+      failures := List.rev_append fs !failures;
+      progress
+        (Printf.sprintf "%-24s %s" subject
+           (if fs = [] then "ok"
+            else Printf.sprintf "%d violation(s)" (List.length fs))))
+    checked;
   {
     programs = !programs;
     compilations = !compilations;

@@ -30,6 +30,7 @@ val ok : summary -> bool
 val kind_name : kind -> string
 
 val run :
+  ?pool:Fhe_par.Pool.t ->
   ?rbits:int ->
   ?wbits:int ->
   ?hecate_iterations:int ->
@@ -47,7 +48,12 @@ val run :
     Apps use their registry datasets and measured [x_max] headroom;
     generated programs use their synthetic inputs.  [progress] (e.g.
     [print_endline]) is called once per program with a one-line
-    status.  Never raises. *)
+    status.  Never raises.
+
+    With [pool] the per-program checks run in parallel.  Generation
+    stays sequential (the coverage bandit is stateful) and results are
+    folded in submission order, so the summary, the failure list, and
+    the progress lines are byte-identical at every pool width. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 

@@ -63,8 +63,9 @@ let failures r =
         Some (compiler_name e.compiler, what))
     r.entries
 
-let run ?(rbits = 60) ?(wbits = 30) ?(xmax_bits = 0) ?(hecate_iterations = 60)
-    ?noise ?(compilers = all_compilers) ~label p ~inputs =
+let run ?pool ?(rbits = 60) ?(wbits = 30) ?(xmax_bits = 0)
+    ?(hecate_iterations = 60) ?noise ?(compilers = all_compilers) ~label p
+    ~inputs =
   let one compiler =
     let compile () =
       match compiler with
@@ -115,7 +116,12 @@ let run ?(rbits = 60) ?(wbits = 30) ?(xmax_bits = 0) ?(hecate_iterations = 60)
           crash = Some (Printexc.to_string e);
         }
   in
-  { label; entries = List.map one compilers }
+  let entries =
+    match pool with
+    | None -> List.map one compilers
+    | Some pool -> Fhe_par.Pool.map pool one compilers
+  in
+  { label; entries }
 
 let pp ppf r =
   Format.fprintf ppf "differential %s:" r.label;

@@ -47,6 +47,7 @@ val failures : report -> (string * string) list
 (** [(compiler, what)] for every failed entry, in compiler order. *)
 
 val run :
+  ?pool:Fhe_par.Pool.t ->
   ?rbits:int ->
   ?wbits:int ->
   ?xmax_bits:int ->
@@ -58,6 +59,11 @@ val run :
   inputs:(string * float array) list ->
   report
 (** Compile under each compiler (default {!all_compilers}) and check.
+    With [pool] the compilers run in parallel; entries always come
+    back in compiler order, so the report is identical at any pool
+    width (modulo the measured [compile_ms]).  Don't pass a pool that
+    is already running this call's caller — nested pool use is
+    rejected; {!Conformance.run} parallelizes per program instead.
     [rbits] defaults to 60, [wbits] to 30, [xmax_bits] to 0.
     [hecate_iterations] (default 60) bounds the exploration so
     differential sweeps stay cheap; it does not change correctness,

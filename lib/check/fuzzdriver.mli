@@ -1,0 +1,48 @@
+(** The fuzz harness behind [fhec fuzz]: random programs plus injected
+    faults through the resilient driver, sequentially or on a pool.
+
+    Every seed's work — generated program, synthetic inputs, fault
+    sites — derives from the seed alone, so per-seed results don't
+    depend on which domain runs them; results are aggregated in seed
+    order.  The whole report is therefore byte-identical at every pool
+    width, which the [@par] stress test checks by diffing a sequential
+    against a parallel run. *)
+
+type stats = {
+  seeds : int;  (** programs pushed through *)
+  size : int;  (** approximate op count per program *)
+  wbits : int;
+  ok : int;  (** compiled in the requested configuration *)
+  fellback : int;  (** compiled via the fallback chain *)
+  failed : int;  (** failed with diagnostics (no crash) *)
+  crashed : int;  (** escaped exceptions — always a bug *)
+  classes : Fhe_sim.Faults.cls array;  (** [Fhe_sim.Faults.all] *)
+  injected : int array;  (** per class: seeds with a fault injected *)
+  detected : int array;  (** per class: injections the validator caught *)
+  missed : int array;  (** per class: injections that slipped through *)
+  nosite : int array;  (** per class: seeds with no injection site *)
+  crash_msgs : string list;  (** at most 5, in seed order *)
+}
+
+val run :
+  ?pool:Fhe_par.Pool.t ->
+  ?size:int ->
+  ?rbits:int ->
+  ?wbits:int ->
+  ?strict:bool ->
+  seeds:int ->
+  unit ->
+  stats
+(** [run ~seeds ()] fuzzes seeds [0 .. seeds-1] ([size] defaults to
+    25, [rbits] 60, [wbits] 30, [strict] false).  With [pool], seeds
+    are chunked across the pool; the stats are identical either way.
+    Per-seed exceptions are captured as [crashed], never re-raised.
+    @raise Invalid_argument when [seeds <= 0]. *)
+
+val verdict : stats -> (unit, string) result
+(** The gate [fhec fuzz] exits on: [Error] when anything crashed or
+    any injected fault escaped the validator. *)
+
+val pp : Format.formatter -> stats -> unit
+(** The classic [fhec fuzz] report, including up to five crash
+    messages. *)

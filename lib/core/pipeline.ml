@@ -194,3 +194,17 @@ let compile_safe ?(variant = `Full) ?(xmax_bits = 0) ?eager_input_upscale
       [ { engine = `Reserve variant;
           wbits;
           diags = [ Diag.of_exn Diag.Driver e ] } ]
+
+(* ------------------------------------------------------------------ *)
+(* Batch compilation *)
+
+let compile_batch ?pool ?variant ?xmax_bits ?eager_input_upscale ~rbits
+    ~wbits progs =
+  let one p =
+    match compile ?variant ?xmax_bits ?eager_input_upscale ~rbits ~wbits p with
+    | m -> Ok m
+    | exception e -> Error (Printexc.to_string e)
+  in
+  match pool with
+  | None -> List.map one progs
+  | Some pool -> Fhe_par.Pool.map pool one progs

@@ -33,6 +33,17 @@ val compile_with_stats :
   rbits:int -> wbits:int -> Program.t -> Managed.t * stats
 (** Same, timing each phase (for the Table 4 reproduction). *)
 
+val compile_batch :
+  ?pool:Fhe_par.Pool.t ->
+  ?variant:variant -> ?xmax_bits:int -> ?eager_input_upscale:bool ->
+  rbits:int -> wbits:int -> Program.t list ->
+  (Managed.t, string) result list
+(** Compile N independent programs, in parallel when a {!Fhe_par.Pool}
+    is supplied.  Results come back in input order; a program whose
+    compilation raises becomes an [Error] (the rendered exception)
+    without disturbing its neighbours.  Programs share nothing, so the
+    result list is identical at every pool width. *)
+
 (** {1 Resilient driver}
 
     [compile] aborts on the first internal failure — correct for a

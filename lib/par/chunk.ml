@@ -1,0 +1,22 @@
+let ranges ~chunks n =
+  if chunks < 1 then
+    invalid_arg (Printf.sprintf "Fhe_par.Chunk.ranges: chunks %d" chunks);
+  if n <= 0 then []
+  else begin
+    let k = min chunks n in
+    let base = n / k and extra = n mod k in
+    (* the first [extra] ranges carry one element more *)
+    let rec go i start acc =
+      if i = k then List.rev acc
+      else
+        let len = base + if i < extra then 1 else 0 in
+        go (i + 1) (start + len) ((start, len) :: acc)
+    in
+    go 0 0 []
+  end
+
+let split ~chunks xs =
+  let a = Array.of_list xs in
+  List.map
+    (fun (start, len) -> Array.to_list (Array.sub a start len))
+    (ranges ~chunks (Array.length a))

@@ -1,0 +1,18 @@
+(** Balanced work splitting for the domain pool.
+
+    Per-item tasks are the right granularity for whole-program
+    compilations, but thousands of tiny tasks (fuzz seeds) would spend
+    their time on the queue lock.  [split] groups a work list into at
+    most [chunks] contiguous runs whose lengths differ by at most one;
+    mapping over the chunks and concatenating preserves the original
+    order, so the determinism contract of {!Pool.map} carries over. *)
+
+val ranges : chunks:int -> int -> (int * int) list
+(** [ranges ~chunks n] partitions [0 .. n-1] into at most [chunks]
+    contiguous [(start, length)] ranges, in order, each non-empty, with
+    lengths differing by at most one.  [n = 0] gives [[]].
+    [chunks < 1] is an error. *)
+
+val split : chunks:int -> 'a list -> 'a list list
+(** [split ~chunks xs] cuts [xs] into the {!ranges} partition;
+    [List.concat (split ~chunks xs) = xs]. *)

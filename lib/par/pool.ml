@@ -1,0 +1,153 @@
+(* A fixed-size domain pool over a mutex/condition work channel.
+
+   Tasks are closures pushed onto one shared FIFO; worker domains and
+   the submitting caller both pop from it, so a pool of width [d] runs
+   [d] tasks at a time with [d - 1] spawned domains.  Each [map] call
+   owns its result array and completion counter, so concurrent [map]s
+   on one pool interleave safely (a caller draining the queue may even
+   execute another call's tasks — harmless, the counters are
+   per-call).
+
+   Determinism contract: results are collected by submission index;
+   scheduling order is irrelevant to what [map] returns. *)
+
+type t = {
+  width : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when the queue gains a task *)
+  mutable shut : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* set while a domain is executing a pool task; rejects nested use *)
+let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let nested_msg =
+  "Fhe_par.Pool: map/iter called from inside a pool task; parallelize at \
+   the outer level only"
+
+let run_task job =
+  Domain.DLS.set inside true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside false) job
+
+(* Workers block for work and exit once the pool is shut *and* the
+   queue is empty, so shutdown never drops queued tasks. *)
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec next () =
+      match Queue.take_opt t.queue with
+      | Some job -> Some job
+      | None ->
+          if t.shut then None
+          else begin
+            Condition.wait t.work t.lock;
+            next ()
+          end
+    in
+    match next () with
+    | None -> Mutex.unlock t.lock
+    | Some job ->
+        Mutex.unlock t.lock;
+        (* tasks wrap their own exceptions; a raise here is a pool bug,
+           but swallowing it beats losing a worker domain *)
+        (try run_task job with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let width =
+    match domains with
+    | None -> Domain.recommended_domain_count ()
+    | Some d when d >= 1 -> d
+    | Some d -> invalid_arg (Printf.sprintf "Fhe_par.Pool.create: domains %d" d)
+  in
+  let t =
+    { width; queue = Queue.create (); lock = Mutex.create ();
+      work = Condition.create (); shut = false; workers = [] }
+  in
+  t.workers <- List.init (width - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let domains t = t.width
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.shut then Mutex.unlock t.lock
+  else begin
+    t.shut <- true;
+    Condition.broadcast t.work;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.lock;
+    List.iter Domain.join ws
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+type ('b, 'e) slot = Empty | Ok_ of 'b | Exn of exn * Printexc.raw_backtrace
+
+let map t f xs =
+  if Domain.DLS.get inside then invalid_arg nested_msg;
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let results = Array.make n Empty in
+    let completed = ref 0 in
+    let finished = Condition.create () in
+    let task i () =
+      let r =
+        match f xs.(i) with
+        | v -> Ok_ v
+        | exception e -> Exn (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- r;
+      Mutex.lock t.lock;
+      incr completed;
+      if !completed = n then Condition.broadcast finished;
+      Mutex.unlock t.lock
+    in
+    Mutex.lock t.lock;
+    if t.shut then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Fhe_par.Pool.map: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* the caller works the queue too; once it runs dry, wait for the
+       stragglers running on other domains *)
+    let rec drain () =
+      Mutex.lock t.lock;
+      match Queue.take_opt t.queue with
+      | Some job ->
+          Mutex.unlock t.lock;
+          run_task job;
+          drain ()
+      | None ->
+          while !completed < n do
+            Condition.wait finished t.lock
+          done;
+          Mutex.unlock t.lock
+    in
+    drain ();
+    (* re-raise the lowest-indexed failure, deterministically *)
+    Array.iter
+      (function
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty | Ok_ _ -> ())
+      results;
+    List.init n (fun i ->
+        match results.(i) with
+        | Ok_ v -> v
+        | Empty | Exn _ -> assert false)
+  end
+
+let iter t f xs = ignore (map t (fun x -> f x) xs : unit list)

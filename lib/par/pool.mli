@@ -1,0 +1,61 @@
+(** A fixed-size domain pool with a channel-based work queue.
+
+    The compilation drivers — the [fhec check] conformance sweep, the
+    fuzz harness, and the bench emitters — push many independent
+    compilations through one of these.  The design goals, in order:
+
+    {ol
+    {- {b Determinism.}  [map] returns results in submission order, so a
+       driver that collects results and {e then} renders its report
+       produces byte-identical output at every pool width.  Side
+       effects inside tasks run in scheduling order, which is
+       unspecified; keep tasks pure and do the printing after [map]
+       returns.}
+    {- {b No escape.}  A task that raises does not tear down the pool
+       or poison other tasks: every task's exception is captured, all
+       remaining tasks still run, and [map] re-raises the
+       lowest-indexed exception (with its original backtrace) once the
+       batch has drained.}
+    {- {b Legacy parity.}  [create ~domains:1] spawns no domains at
+       all: tasks run in the caller, in submission order — exactly the
+       sequential driver this replaces.}}
+
+    The submitting domain participates in the work: [create ~domains:4]
+    spawns three worker domains and the caller executes queued tasks
+    while it waits, so [domains] is the true parallel width.  Pools are
+    small (a few domains) and long-lived; create one per driver run and
+    [shutdown] it when done. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (default
+    {!Domain.recommended_domain_count}).  [domains < 1] is an error. *)
+
+val domains : t -> int
+(** The parallel width this pool was created with (including the
+    submitting domain). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element, in parallel across the
+    pool, and returns the results {e in the order of [xs]}.  If one or
+    more applications raise, every task still runs to completion and
+    the exception of the lowest-indexed failure is re-raised with its
+    original backtrace.
+
+    @raise Invalid_argument when called from inside a pool task
+    (nested data parallelism would deadlock a fixed-size pool — split
+    the work at the outer level instead), or after [shutdown]. *)
+
+val iter : t -> ('a -> unit) -> 'a list -> unit
+(** [map] for effects; the same ordering, exception, and nesting rules
+    apply (effects run in scheduling order, not submission order). *)
+
+val shutdown : t -> unit
+(** Drain the queue, join every worker domain, and mark the pool
+    closed.  Idempotent: second and later calls are no-ops.  Calling
+    [map]/[iter] afterwards raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on the
+    way out, exception or not. *)

@@ -1,0 +1,15 @@
+/* CLOCK_MONOTONIC for Timer: Unix.gettimeofday is wall-clock and
+   steps under NTP adjustment, which skews bench timings; the
+   monotonic clock only ever moves forward. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value fhe_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -14,6 +14,14 @@ let next_int64 t =
 let split t =
   { state = next_int64 t }
 
+(* Parallel drivers split every per-item stream from the root seed
+   before any work is scheduled, so the streams — and everything
+   generated from them — depend only on the seed and the item index,
+   never on how many domains end up running the items. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n";
+  Array.init n (fun _ -> split t)
+
 let int t bound =
   assert (bound > 0);
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in

@@ -13,6 +13,14 @@ val create : int -> t
 val split : t -> t
 (** Derive an independent generator (for parallel-feeling streams). *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent generators up front, one per
+    work item.  Because every stream is split from the root generator
+    before any work is scheduled, stream [i] depends only on the seed
+    and on [i] — not on which worker domain eventually consumes it —
+    which is what keeps parallel generation byte-identical to
+    sequential.  Advances [t] by [n] draws. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,7 +1,11 @@
+external monotonic_ns : unit -> int64 = "fhe_monotonic_ns"
+
+let now_ns = monotonic_ns
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = monotonic_ns () in
   let r = f () in
-  let t1 = Unix.gettimeofday () in
-  (r, (t1 -. t0) *. 1000.0)
+  let t1 = monotonic_ns () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e6)
 
 let time_ms f = snd (time f)

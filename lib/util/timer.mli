@@ -1,8 +1,16 @@
-(** Wall-clock timing for the compile-time experiments (Table 4). *)
+(** Monotonic timing for the compile-time experiments (Table 4).
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)]: unlike the wall clock
+    it never steps backwards under NTP adjustment, so elapsed times are
+    always non-negative even on a loaded host. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock (arbitrary epoch; only
+    differences are meaningful). *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed wall
-    time in milliseconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed
+    monotonic time in milliseconds. *)
 
 val time_ms : (unit -> unit) -> float
-(** Elapsed wall time of a thunk, in milliseconds. *)
+(** Elapsed monotonic time of a thunk, in milliseconds. *)

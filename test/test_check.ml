@@ -470,6 +470,8 @@ let sample_run () =
   {
     Benchjson.rbits = 60;
     wbits = 30;
+    domains = 4;
+    wall_time_par = 12.5;
     entries =
       [
         {
@@ -500,6 +502,34 @@ let test_benchjson_round_trip () =
       match Benchjson.run_of_json j with
       | Error e -> Alcotest.fail ("schema round trip failed: " ^ e)
       | Ok r' -> Alcotest.(check bool) "round trip exact" true (r = r'))
+
+(* a v1 file (no domains / wall_time_par) must still parse, as a
+   sequential run *)
+let test_benchjson_v1_compat () =
+  let s =
+    {|{"schema":"fhe-bench-compile/v1","rbits":60,"waterline":30,"entries":[{"app":"SF","compiler":"eva","compile_ms":1.5,"input_level":3,"modulus_bits":180,"est_latency_us":250}]}|}
+  in
+  match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
+  | Error e -> Alcotest.fail ("v1 baseline rejected: " ^ e)
+  | Ok r ->
+      Alcotest.(check int) "v1 defaults to one domain" 1 r.Benchjson.domains;
+      Alcotest.(check (float 0.0)) "v1 has no batch wall time" 0.0
+        r.Benchjson.wall_time_par;
+      Alcotest.(check int) "v1 entries survive" 1
+        (List.length r.Benchjson.entries)
+
+let test_benchjson_v2_fields () =
+  let r = sample_run () in
+  let s = Benchjson.to_string (Benchjson.run_to_json r) in
+  Alcotest.(check bool) "emits the v2 schema tag" true
+    (contains s "fhe-bench-compile/v2");
+  match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+      Alcotest.(check int) "domains round trips" r.Benchjson.domains
+        r'.Benchjson.domains;
+      Alcotest.(check (float 1e-9)) "wall_time_par round trips"
+        r.Benchjson.wall_time_par r'.Benchjson.wall_time_par
 
 let test_benchjson_parse_rejects () =
   List.iter
@@ -623,6 +653,8 @@ let () =
       ( "benchjson",
         [
           t "round trip" test_benchjson_round_trip;
+          t "v1 files still parse" test_benchjson_v1_compat;
+          t "v2 fields round trip" test_benchjson_v2_fields;
           t "parser rejects garbage" test_benchjson_parse_rejects;
           t "string escapes" test_benchjson_escapes;
           t "rejects unknown schema" test_benchjson_rejects_unknown_schema;
