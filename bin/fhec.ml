@@ -44,6 +44,36 @@ let seed_arg =
   let doc = "Seed for the synthetic input data." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
+(* content-addressed compilation cache (Fhe_cache.Store); enabled
+   in-memory by default, so the flags exist to turn it off, to make the
+   default explicit in scripts, and to add the on-disk store *)
+let cache_arg =
+  let doc =
+    "Enable the content-addressed compilation cache (the default; \
+     in-memory only unless $(b,--cache-dir) is given)."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the compilation cache entirely." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persist cache entries under $(docv) (created on first write; \
+     corrupt entries are detected, discarded and recomputed).  Implies \
+     $(b,--cache)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let setup_cache cache dir no_cache =
+  Fhe_cache.Store.set_dir dir;
+  if no_cache then Fhe_cache.Store.set_enabled false
+  else if cache || dir <> None then Fhe_cache.Store.set_enabled true
+
+let cache_term =
+  Term.(const setup_cache $ cache_arg $ cache_dir_arg $ no_cache_arg)
+
 let jobs_arg =
   let doc =
     "Parallel width of the driver: a fixed-size pool of $(docv) domains \
@@ -178,7 +208,7 @@ let strict_arg =
   Arg.(value & flag & info [ "strict" ] ~doc)
 
 let compile_cmd =
-  let run app compiler wbits rbits iterations print_ir fallback strict =
+  let run () app compiler wbits rbits iterations print_ir fallback strict =
     handle
       (Result.bind (find_app app) (fun app ->
            Result.bind
@@ -199,11 +229,12 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile an application and report statistics")
     Term.(
       ret
-        (const run $ app_arg $ compiler_arg $ waterline_arg $ rbits_arg
-       $ iterations_arg $ print_ir_arg $ fallback_arg $ strict_arg))
+        (const run $ cache_term $ app_arg $ compiler_arg $ waterline_arg
+       $ rbits_arg $ iterations_arg $ print_ir_arg $ fallback_arg
+       $ strict_arg))
 
 let run_cmd =
-  let run app compiler wbits rbits iterations seed =
+  let run () app compiler wbits rbits iterations seed =
     handle
       (Result.bind (find_app app) (fun app ->
            Result.bind (do_compile app compiler ~rbits ~wbits ~iterations)
@@ -246,11 +277,11 @@ let run_cmd =
        ~doc:"Compile and execute on the fixed-point/noise simulator")
     Term.(
       ret
-        (const run $ app_arg $ compiler_arg $ waterline_arg $ rbits_arg
-       $ iterations_arg $ seed_arg))
+        (const run $ cache_term $ app_arg $ compiler_arg $ waterline_arg
+       $ rbits_arg $ iterations_arg $ seed_arg))
 
 let compare_cmd =
-  let run app wbits rbits iterations =
+  let run () app wbits rbits iterations =
     handle
       (Result.bind (find_app app) (fun app ->
            let one name =
@@ -271,7 +302,9 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all three compilers on one application")
     Term.(
-      ret (const run $ app_arg $ waterline_arg $ rbits_arg $ iterations_arg))
+      ret
+        (const run $ cache_term $ app_arg $ waterline_arg $ rbits_arg
+       $ iterations_arg))
 
 let compile_file_cmd =
   let file_arg =
@@ -286,7 +319,7 @@ let compile_file_cmd =
     let doc = "Slot count of the program's ciphertexts." in
     Arg.(value & opt int 4096 & info [ "slots" ] ~docv:"N" ~doc)
   in
-  let run file compiler wbits rbits n_slots print_ir dot =
+  let run () file compiler wbits rbits n_slots print_ir dot =
     handle
       (protecting @@ fun () ->
        let ic = open_in_bin file in
@@ -332,8 +365,8 @@ let compile_file_cmd =
        ~doc:"Compile a program written in the textual IR format")
     Term.(
       ret
-        (const run $ file_arg $ compiler_arg $ waterline_arg $ rbits_arg
-       $ n_slots_arg $ print_ir_arg $ dot_arg))
+        (const run $ cache_term $ file_arg $ compiler_arg $ waterline_arg
+       $ rbits_arg $ n_slots_arg $ print_ir_arg $ dot_arg))
 
 let fuzz_cmd =
   let seeds_arg =
@@ -344,7 +377,7 @@ let fuzz_cmd =
     let doc = "Approximate op count of each random program." in
     Arg.(value & opt int 25 & info [ "size" ] ~docv:"OPS" ~doc)
   in
-  let run seeds size wbits rbits strict jobs =
+  let run () seeds size wbits rbits strict jobs =
     handle
       (if seeds <= 0 then Error "--seeds must be positive"
        else
@@ -363,8 +396,8 @@ let fuzz_cmd =
           driver and report pass/fallback/crash counts per fault class")
     Term.(
       ret
-        (const run $ seeds_arg $ size_arg $ waterline_arg $ rbits_arg
-       $ strict_arg $ jobs_arg))
+        (const run $ cache_term $ seeds_arg $ size_arg $ waterline_arg
+       $ rbits_arg $ strict_arg $ jobs_arg))
 
 let check_cmd =
   let apps_arg =
@@ -387,7 +420,7 @@ let check_cmd =
     let doc = "Print one status line per checked program." in
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
   in
-  let run apps gen seed wbits rbits hecate verbose jobs =
+  let run () apps gen seed wbits rbits hecate verbose jobs =
     handle
       (if (not apps) && gen <= 0 then
          Error "nothing to check: pass --apps and/or --gen N"
@@ -414,8 +447,8 @@ let check_cmd =
           the registry apps and/or coverage-guided generated programs")
     Term.(
       ret
-        (const run $ apps_arg $ gen_arg $ check_seed_arg $ waterline_arg
-       $ rbits_arg $ hecate_arg $ verbose_arg $ jobs_arg))
+        (const run $ cache_term $ apps_arg $ gen_arg $ check_seed_arg
+       $ waterline_arg $ rbits_arg $ hecate_arg $ verbose_arg $ jobs_arg))
 
 let () =
   let info =

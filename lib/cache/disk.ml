@@ -1,0 +1,64 @@
+let header = "fhe-cache-entry/1"
+
+let safe_key key =
+  key <> ""
+  && String.for_all
+       (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+       key
+
+let path ~dir ~key =
+  if not (safe_key key) then
+    invalid_arg ("Disk.path: not a hex digest key: " ^ key);
+  Filename.concat dir (key ^ ".entry")
+
+let ensure_dir dir =
+  (* one level is enough for _fhecache/; races with other writers are
+     benign (EEXIST) *)
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ()
+
+let get ~dir ~key =
+  match open_in_bin (path ~dir ~key) with
+  | exception Sys_error _ -> `Miss
+  | ic -> (
+      let result =
+        try
+          let text = really_input_string ic (in_channel_length ic) in
+          match String.index_opt text '\n' with
+          | None -> `Poisoned
+          | Some i -> (
+              let head = String.sub text 0 i in
+              let payload =
+                String.sub text (i + 1) (String.length text - i - 1)
+              in
+              match String.split_on_char ' ' head with
+              | [ h; md5; len ]
+                when h = header
+                     && int_of_string_opt len = Some (String.length payload)
+                     && md5 = Digest.to_hex (Digest.string payload) ->
+                  `Hit payload
+              | _ -> `Poisoned)
+        with _ -> `Poisoned
+      in
+      close_in_noerr ic;
+      result)
+
+let put ~dir ~key payload =
+  try
+    ensure_dir dir;
+    let final = path ~dir ~key in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    let oc = open_out_bin tmp in
+    Printf.fprintf oc "%s %s %d\n" header
+      (Digest.to_hex (Digest.string payload))
+      (String.length payload);
+    output_string oc payload;
+    close_out oc;
+    Sys.rename tmp final
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let remove ~dir ~key =
+  try Sys.remove (path ~dir ~key) with Sys_error _ -> ()

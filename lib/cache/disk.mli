@@ -1,0 +1,27 @@
+(** The on-disk half of the compilation cache: one file per entry under
+    a cache directory (conventionally [_fhecache/]).
+
+    Every entry is integrity-checked: a header line with the format
+    version, the payload's MD5, and the payload length guards the
+    payload bytes.  A corrupt, truncated, or version-skewed file reads
+    back as [`Poisoned] — never as a payload — so the caller can
+    recompute instead of trusting damaged bytes (the payload is
+    [Marshal] data, which must not be fed corrupt input).
+
+    Writes go through a temp file and [rename], so concurrent readers
+    and writers (including other processes) see either the old complete
+    entry or the new complete entry.  All operations are best-effort:
+    I/O errors degrade to a miss or a dropped store, never an
+    exception. *)
+
+val path : dir:string -> key:string -> string
+(** Where the entry for [key] lives.  [key] must be a hex digest (as
+    produced by {!Key.make}); anything else raises
+    [Invalid_argument]. *)
+
+val get : dir:string -> key:string -> [ `Hit of string | `Miss | `Poisoned ]
+
+val put : dir:string -> key:string -> string -> unit
+(** Creates [dir] if needed. *)
+
+val remove : dir:string -> key:string -> unit

@@ -1,0 +1,8 @@
+let version = "fhe-cache/1"
+
+let make ~digest ~compiler ~rbits ~wbits ?(xmax_bits = 0) ?(extra = []) () =
+  let fields =
+    version :: digest :: compiler :: string_of_int rbits
+    :: string_of_int wbits :: string_of_int xmax_bits :: extra
+  in
+  Digest.to_hex (Digest.string (String.concat "\x01" fields))

@@ -1,0 +1,25 @@
+(** Content-addressed cache keys.
+
+    A key names one compilation result: the program's structural digest
+    ({!Fhe_ir.Intern.digest}), the compiler variant, and every
+    configuration knob that can change the output.  The composed key is
+    itself digested, so it is a fixed-width hex string safe to use as a
+    filename in the on-disk store; a format-version stamp is folded in,
+    invalidating persisted entries wholesale when the representation
+    changes. *)
+
+val version : string
+(** The cache format version folded into every key. *)
+
+val make :
+  digest:string ->
+  compiler:string ->
+  rbits:int ->
+  wbits:int ->
+  ?xmax_bits:int ->
+  ?extra:string list ->
+  unit ->
+  string
+(** [extra] carries compiler-specific knobs (e.g. the Hecate
+    exploration budget, or the placement switches of a reserve
+    variant); order matters. *)

@@ -1,0 +1,60 @@
+type 'a t = {
+  mutable young : (string, 'a) Hashtbl.t;
+  mutable old : (string, 'a) Hashtbl.t;
+  cap : int;
+  lock : Mutex.t;
+}
+
+let create ?(cap = 256) () =
+  let size = max 16 (min cap 4096) in
+  { young = Hashtbl.create size;
+    old = Hashtbl.create size;
+    cap;
+    lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+(* assumes the lock is held *)
+let flip_if_full t =
+  if Hashtbl.length t.young >= t.cap then begin
+    t.old <- t.young;
+    t.young <- Hashtbl.create (max 16 (min t.cap 4096))
+  end
+
+let add t k v =
+  if t.cap > 0 then
+    locked t (fun () ->
+        flip_if_full t;
+        Hashtbl.replace t.young k v)
+
+let find t k =
+  if t.cap <= 0 then None
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.young k with
+        | Some _ as r -> r
+        | None -> (
+            match Hashtbl.find_opt t.old k with
+            | Some v ->
+                (* promote so a steadily-hit entry never ages out *)
+                flip_if_full t;
+                Hashtbl.replace t.young k v;
+                Some v
+            | None -> None))
+
+let length t =
+  locked t (fun () ->
+      Hashtbl.length t.young
+      + Hashtbl.fold
+          (fun k _ acc ->
+            if Hashtbl.mem t.young k then acc else acc + 1)
+          t.old 0)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.young;
+      Hashtbl.reset t.old)

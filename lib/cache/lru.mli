@@ -1,0 +1,26 @@
+(** A mutex-guarded, capacity-bounded map from string keys to values.
+
+    Eviction is generational ("flip" LRU): entries live in a young and
+    an old table; additions go to young, a hit in old promotes, and
+    when young fills, old is dropped wholesale and young becomes old.
+    Recently-used entries therefore survive at least one full
+    generation, the resident size is bounded by [2·cap], and every
+    operation is O(1) — no linked-list bookkeeping on the hot path.
+
+    All operations take the internal mutex, so one instance can back a
+    cache shared by every domain of a {!Fhe_par.Pool}. *)
+
+type 'a t
+
+val create : ?cap:int -> unit -> 'a t
+(** [cap] (default 256) is the per-generation capacity; [cap <= 0]
+    disables storage entirely (every [find] misses). *)
+
+val find : 'a t -> string -> 'a option
+
+val add : 'a t -> string -> 'a -> unit
+
+val length : 'a t -> int
+(** Distinct keys currently resident (both generations). *)
+
+val clear : 'a t -> unit

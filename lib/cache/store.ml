@@ -1,0 +1,136 @@
+open Fhe_ir
+
+type stats = {
+  hits : int;
+  misses : int;
+  disk_hits : int;
+  stores : int;
+  poisoned : int;
+}
+
+(* configuration: read on every lookup, written only from the driver
+   setup path — atomics keep cross-domain reads well-defined *)
+let enabled_f = Atomic.make true
+
+let dir_f = Atomic.make (None : string option)
+
+let memo : Managed.t Lru.t Atomic.t = Atomic.make (Lru.create ())
+
+let hits = Atomic.make 0
+
+let misses = Atomic.make 0
+
+let disk_hits = Atomic.make 0
+
+let stores = Atomic.make 0
+
+let poisoned = Atomic.make 0
+
+let set_enabled v = Atomic.set enabled_f v
+
+let enabled () = Atomic.get enabled_f
+
+let set_dir d = Atomic.set dir_f d
+
+let dir () = Atomic.get dir_f
+
+let set_capacity cap = Atomic.set memo (Lru.create ~cap ())
+
+(* per-domain bypass: a pool task forcing a cold compile must not blind
+   the store for its sibling domains *)
+let bypass_key = Domain.DLS.new_key (fun () -> ref false)
+
+let bypassed () = !(Domain.DLS.get bypass_key)
+
+let bypass f =
+  let r = Domain.DLS.get bypass_key in
+  let saved = !r in
+  r := true;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let active () = Atomic.get enabled_f && not (bypassed ())
+
+let reset () =
+  Lru.clear (Atomic.get memo);
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ hits; misses; disk_hits; stores; poisoned ]
+
+let encode (m : Managed.t) = Marshal.to_string m []
+
+(* The Disk checksum has already vouched for the bytes, so Marshal is
+   safe to run; the validator re-check guards against a well-formed
+   entry that encodes an illegal program (e.g. written by a buggy or
+   hostile producer). *)
+let decode payload =
+  match (Marshal.from_string payload 0 : Managed.t) with
+  | m -> ( match Validator.check m with Ok () -> Some m | Error _ -> None)
+  | exception _ -> None
+
+let find key =
+  if not (active ()) then None
+  else
+    match Lru.find (Atomic.get memo) key with
+    | Some m ->
+        Atomic.incr hits;
+        Some m
+    | None -> (
+        match Atomic.get dir_f with
+        | None ->
+            Atomic.incr misses;
+            None
+        | Some d -> (
+            match Disk.get ~dir:d ~key with
+            | `Hit payload -> (
+                match decode payload with
+                | Some m ->
+                    Atomic.incr hits;
+                    Atomic.incr disk_hits;
+                    Lru.add (Atomic.get memo) key m;
+                    Some m
+                | None ->
+                    Atomic.incr poisoned;
+                    Disk.remove ~dir:d ~key;
+                    Atomic.incr misses;
+                    None)
+            | `Poisoned ->
+                Atomic.incr poisoned;
+                Disk.remove ~dir:d ~key;
+                Atomic.incr misses;
+                None
+            | `Miss ->
+                Atomic.incr misses;
+                None))
+
+let add key m =
+  if active () then begin
+    Atomic.incr stores;
+    Lru.add (Atomic.get memo) key m;
+    match Atomic.get dir_f with
+    | None -> ()
+    | Some d -> Disk.put ~dir:d ~key (encode m)
+  end
+
+let with_managed_hit ~key f =
+  match find key with
+  | Some m -> (m, true)
+  | None ->
+      let m = f () in
+      add key m;
+      (m, false)
+
+let with_managed ~key f = fst (with_managed_hit ~key f)
+
+let stats () =
+  {
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+    disk_hits = Atomic.get disk_hits;
+    stores = Atomic.get stores;
+    poisoned = Atomic.get poisoned;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "cache: %d hit(s) (%d from disk), %d miss(es), %d store(s), %d poisoned"
+    s.hits s.disk_hits s.misses s.stores s.poisoned

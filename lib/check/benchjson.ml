@@ -202,7 +202,9 @@ let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 (* ------------------------------------------------------------------ *)
 (* the bench-compile schema *)
 
-let schema = "fhe-bench-compile/v2"
+let schema = "fhe-bench-compile/v3"
+
+let schema_v2 = "fhe-bench-compile/v2"
 
 let schema_v1 = "fhe-bench-compile/v1"
 
@@ -210,16 +212,28 @@ type measurement = {
   app : string;
   compiler : string;
   compile_ms : float;
+  warm_compile_ms : float;
   input_level : int;
   modulus_bits : int;
   est_latency_us : float;
 }
+
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_stores : int;
+  cache_poisoned : int;
+}
+
+let no_cache_stats =
+  { cache_hits = 0; cache_misses = 0; cache_stores = 0; cache_poisoned = 0 }
 
 type run = {
   rbits : int;
   wbits : int;
   domains : int;
   wall_time_par : float;
+  cache : cache_stats;
   entries : measurement list;
 }
 
@@ -230,6 +244,12 @@ let run_to_json r =
       ("waterline", Num (float_of_int r.wbits));
       ("domains", Num (float_of_int r.domains));
       ("wall_time_par", Num r.wall_time_par);
+      ( "cache",
+        Obj
+          [ ("hits", Num (float_of_int r.cache.cache_hits));
+            ("misses", Num (float_of_int r.cache.cache_misses));
+            ("stores", Num (float_of_int r.cache.cache_stores));
+            ("poisoned", Num (float_of_int r.cache.cache_poisoned)) ] );
       ( "entries",
         Arr
           (List.map
@@ -238,6 +258,7 @@ let run_to_json r =
                  [ ("app", Str m.app);
                    ("compiler", Str m.compiler);
                    ("compile_ms", Num m.compile_ms);
+                   ("warm_compile_ms", Num m.warm_compile_ms);
                    ("input_level", Num (float_of_int m.input_level));
                    ("modulus_bits", Num (float_of_int m.modulus_bits));
                    ("est_latency_us", Num m.est_latency_us) ])
@@ -253,7 +274,7 @@ let ( let* ) = Result.bind
 
 let run_of_json j =
   let* s = get_str "schema" j in
-  if s <> schema && s <> schema_v1 then
+  if s <> schema && s <> schema_v2 && s <> schema_v1 then
     Error (Printf.sprintf "unknown schema %S" s)
   else
     let* rbits = get_num "rbits" j in
@@ -266,6 +287,18 @@ let run_of_json j =
     let wall_time_par =
       match member "wall_time_par" j with Some (Num f) -> f | _ -> 0.0
     in
+    (* v3 additions; in a v1/v2 file there was no cache, and every
+       warm_compile_ms reads as 0 ("not measured") *)
+    let cache =
+      match member "cache" j with
+      | Some c ->
+          let geti k =
+            match member k c with Some (Num f) -> int_of_float f | _ -> 0
+          in
+          { cache_hits = geti "hits"; cache_misses = geti "misses";
+            cache_stores = geti "stores"; cache_poisoned = geti "poisoned" }
+      | None -> no_cache_stats
+    in
     let* entries =
       match member "entries" j with
       | Some (Arr es) ->
@@ -275,11 +308,16 @@ let run_of_json j =
               let* app = get_str "app" e in
               let* compiler = get_str "compiler" e in
               let* compile_ms = get_num "compile_ms" e in
+              let warm_compile_ms =
+                match member "warm_compile_ms" e with
+                | Some (Num f) -> f
+                | _ -> 0.0
+              in
               let* input_level = get_num "input_level" e in
               let* modulus_bits = get_num "modulus_bits" e in
               let* est_latency_us = get_num "est_latency_us" e in
               Ok
-                ({ app; compiler; compile_ms;
+                ({ app; compiler; compile_ms; warm_compile_ms;
                    input_level = int_of_float input_level;
                    modulus_bits = int_of_float modulus_bits;
                    est_latency_us }
@@ -290,7 +328,7 @@ let run_of_json j =
     in
     Ok
       { rbits = int_of_float rbits; wbits = int_of_float wbits; domains;
-        wall_time_par; entries }
+        wall_time_par; cache; entries }
 
 let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10) ~baseline
     ~current () =
@@ -327,5 +365,22 @@ let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10) ~baseline
               (Printf.sprintf
                  "%s/%s: compile time regressed %.2f -> %.2f ms (slack %.1fx)"
                  b.app b.compiler b.compile_ms c.compile_ms time_slack)
+          else if
+            (* a warm (cache-hit) compile must not cost more than
+               recompiling cold, up to the same timing slack as the
+               cold rule — a hit still pays the digest of the whole
+               program, which on a fast compiler (EVA on LeNet) is the
+               same order as the compile itself.  0.05 ms of grace
+               absorbs timer jitter on apps that compile in
+               microseconds.  warm_compile_ms = 0 means "not measured"
+               (v1/v2 baseline or cache disabled). *)
+            c.warm_compile_ms > 0.0
+            && c.warm_compile_ms > Float.max b.compile_ms 0.05 *. time_slack
+          then
+            Some
+              (Printf.sprintf
+                 "%s/%s: warm-cache compile %.3f ms exceeds the cold \
+                  baseline %.3f ms"
+                 b.app b.compiler c.warm_compile_ms b.compile_ms)
           else None)
     baseline.entries

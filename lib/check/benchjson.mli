@@ -32,7 +32,11 @@ val member : string -> json -> json option
 (** {1 The bench-compile schema} *)
 
 val schema : string
-(** ["fhe-bench-compile/v2"]. *)
+(** ["fhe-bench-compile/v3"]. *)
+
+val schema_v2 : string
+(** ["fhe-bench-compile/v2"]: the pre-cache schema, still accepted by
+    {!run_of_json}. *)
 
 val schema_v1 : string
 (** ["fhe-bench-compile/v1"]: the pre-multicore schema, still
@@ -41,11 +45,24 @@ val schema_v1 : string
 type measurement = {
   app : string;
   compiler : string;  (** {!Differential.compiler_name} label *)
-  compile_ms : float;
+  compile_ms : float;  (** cold: measured under a bypassed cache *)
+  warm_compile_ms : float;
+      (** the same compile served from the content-addressed cache,
+          including digest/key cost (v3; 0 = not measured) *)
   input_level : int;
   modulus_bits : int;
   est_latency_us : float;
 }
+
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_stores : int;
+  cache_poisoned : int;
+}
+(** {!Fhe_cache.Store} counters over the measurement batch (v3). *)
+
+val no_cache_stats : cache_stats
 
 type run = {
   rbits : int;
@@ -54,15 +71,17 @@ type run = {
   wall_time_par : float;
       (** wall time (ms) of the whole measurement batch at that width
           (v2; v1 = 0) *)
+  cache : cache_stats;  (** v3; zeros for v1/v2 files *)
   entries : measurement list;
 }
 
 val run_to_json : run -> json
-(** Always emits the v2 schema. *)
+(** Always emits the v3 schema. *)
 
 val run_of_json : json -> (run, string) result
-(** Accepts v2 and v1 files (v1 defaults [domains] to 1 and
-    [wall_time_par] to 0); rejects unknown schemas and malformed
+(** Accepts v3, v2 and v1 files (v1 defaults [domains] to 1 and
+    [wall_time_par] to 0; pre-v3 files get zeroed cache stats and
+    [warm_compile_ms]); rejects unknown schemas and malformed
     entries. *)
 
 val compare_runs :
@@ -79,4 +98,7 @@ val compare_runs :
     - [est_latency_us] must stay within [1 + latency_slack]
       (default 0.10) of the baseline;
     - [compile_ms] must stay within [time_slack] (default 3.0, wall
-      clocks are noisy) times the baseline. *)
+      clocks are noisy) times the baseline;
+    - a measured [warm_compile_ms] (> 0) must not exceed the cold
+      baseline [compile_ms] (with 0.05 ms of grace for timer jitter):
+      the cache must never make a compile slower than compiling. *)

@@ -64,8 +64,8 @@ let failures r =
     r.entries
 
 let run ?pool ?(rbits = 60) ?(wbits = 30) ?(xmax_bits = 0)
-    ?(hecate_iterations = 60) ?noise ?(compilers = all_compilers) ~label p
-    ~inputs =
+    ?(hecate_iterations = 60) ?noise ?(compilers = all_compilers)
+    ?(verify_cache = true) ~label p ~inputs =
   let one compiler =
     let compile () =
       match compiler with
@@ -77,15 +77,44 @@ let run ?pool ?(rbits = 60) ?(wbits = 30) ?(xmax_bits = 0)
       | Reserve variant ->
           Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p
     in
-    match Fhe_util.Timer.time compile with
-    | m, compile_ms ->
+    (* all five compilers go through the content-addressed store; the
+       compute path is bypassed so a miss is a genuinely cold compile
+       (Pipeline.compile would otherwise find/add under the same key) *)
+    let cached_compile () =
+      if not (Fhe_cache.Store.active ()) then (compile (), false)
+      else
+        let key =
+          match compiler with
+          | Eva -> Reserve.Pipeline.eva_cache_key ~xmax_bits ~rbits ~wbits p
+          | Hecate ->
+              Fhe_cache.Key.make ~digest:(Intern.digest p) ~compiler:"hecate"
+                ~rbits ~wbits ~xmax_bits
+                ~extra:[ string_of_int hecate_iterations ]
+                ()
+          | Reserve variant ->
+              Reserve.Pipeline.cache_key ~variant ~xmax_bits ~rbits ~wbits p
+        in
+        Fhe_cache.Store.with_managed_hit ~key (fun () ->
+            Fhe_cache.Store.bypass compile)
+    in
+    match Fhe_util.Timer.time cached_compile with
+    | (m, from_cache), compile_ms ->
         let validator_errors =
           match Validator.check m with
           | Ok () -> []
           | Error es ->
               List.map (Format.asprintf "%a" Validator.pp_error) es
         in
-        let lemma_violations = Invariants.check m in
+        let lemma_violations =
+          let base = Invariants.check m in
+          (* cache-soundness lemma: a served plan must agree with a
+             fresh recompute op for op *)
+          if from_cache && verify_cache then
+            base
+            @ Invariants.check_cache_consistency ~cached:m
+                ~fresh:(Fhe_cache.Store.bypass compile)
+          else base
+        in
         let oracle =
           try Some (Oracle.check ?noise p m ~inputs)
           with _ -> None

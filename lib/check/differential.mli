@@ -54,11 +54,17 @@ val run :
   ?hecate_iterations:int ->
   ?noise:Fhe_sim.Noise.t ->
   ?compilers:compiler list ->
+  ?verify_cache:bool ->
   label:string ->
   Program.t ->
   inputs:(string * float array) list ->
   report
 (** Compile under each compiler (default {!all_compilers}) and check.
+    Every compiler is consulted through {!Fhe_cache.Store} (when the
+    cache is active); on a hit, [verify_cache] (default true) recompiles
+    cold and runs {!Invariants.check_cache_consistency} — any
+    disagreement surfaces as a [cache-consistency] lemma violation, so
+    [fhec check] exercises cache soundness for free.
     With [pool] the compilers run in parallel; entries always come
     back in compiler order, so the report is identical at any pool
     width (modulo the measured [compile_ms]).  Don't pass a pool that

@@ -73,7 +73,14 @@ let one_seed ~size ~rbits ~wbits ~strict seed =
       match managed with
       | Some m -> Some m
       | None -> (
-          match Fhe_eva.Eva.compile ~rbits ~wbits p with
+          let eva () = Fhe_eva.Eva.compile ~rbits ~wbits p in
+          match
+            if Fhe_cache.Store.active () then
+              Fhe_cache.Store.with_managed
+                ~key:(Reserve.Pipeline.eva_cache_key ~rbits ~wbits p)
+                eva
+            else eva ()
+          with
           | m -> Some m
           | exception _ -> None)
     in

@@ -84,3 +84,45 @@ let check (m : Managed.t) =
   List.rev !out
 
 let ok m = check m = []
+
+(* The cached program must agree with a fresh recompute op for op: same
+   structure (interned-kind equality, so float payloads compare
+   bit-exactly) and same reserve typing.  Any disagreement means the
+   cache served a stale or corrupted plan. *)
+let check_cache_consistency ~cached ~fresh =
+  let out = ref [] in
+  let fail op detail = out := { op; rule = "cache-consistency"; detail } :: !out in
+  let failf op fmt = Format.kasprintf (fail op) fmt in
+  let pc = cached.Managed.prog and pf = fresh.Managed.prog in
+  if
+    cached.Managed.rbits <> fresh.Managed.rbits
+    || cached.Managed.wbits <> fresh.Managed.wbits
+  then
+    failf 0 "params differ: cached (rbits %d, wbits %d) vs fresh (%d, %d)"
+      cached.Managed.rbits cached.Managed.wbits fresh.Managed.rbits
+      fresh.Managed.wbits;
+  if Program.n_slots pc <> Program.n_slots pf then
+    failf 0 "slot count differs: cached %d vs fresh %d" (Program.n_slots pc)
+      (Program.n_slots pf);
+  if Program.n_ops pc <> Program.n_ops pf then
+    failf 0 "op count differs: cached %d vs fresh %d" (Program.n_ops pc)
+      (Program.n_ops pf)
+  else begin
+    Program.iteri
+      (fun i k ->
+        if not (Intern.equal_kind k (Program.kind pf i)) then
+          failf i "op kind differs from recompute";
+        if cached.Managed.scale.(i) <> fresh.Managed.scale.(i) then
+          failf i "scale %d <> recomputed %d" cached.Managed.scale.(i)
+            fresh.Managed.scale.(i);
+        if cached.Managed.level.(i) <> fresh.Managed.level.(i) then
+          failf i "level %d <> recomputed %d" cached.Managed.level.(i)
+            fresh.Managed.level.(i);
+        if Managed.reserve cached i <> Managed.reserve fresh i then
+          failf i "reserve %d <> recomputed %d" (Managed.reserve cached i)
+            (Managed.reserve fresh i))
+      pc;
+    if Program.outputs pc <> Program.outputs pf then
+      failf 0 "output list differs from recompute"
+  end;
+  List.rev !out

@@ -33,4 +33,14 @@ val check : Managed.t -> violation list
 
 val ok : Managed.t -> bool
 
+val check_cache_consistency :
+  cached:Managed.t -> fresh:Managed.t -> violation list
+(** The cache-soundness lemma: a [Managed.t] served by
+    {!Fhe_cache.Store} must agree with a fresh recompute on every op —
+    identical structure (compared through {!Fhe_ir.Intern.equal_kind},
+    so float payloads are bit-exact), identical scale, level and reserve
+    ({!Reserve.Rtype} view), identical outputs and parameters.  Each
+    disagreement is reported as a [cache-consistency] violation.  Run by
+    the differential driver on every cache hit when verification is on. *)
+
 val pp_violation : Format.formatter -> violation -> unit

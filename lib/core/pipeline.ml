@@ -9,13 +9,88 @@ type stats = {
   total_ms : float;
 }
 
-let compile_with_stats ?(variant = `Full) ?(xmax_bits = 0)
-    ?eager_input_upscale ~rbits ~wbits prog =
+let zero_stats =
+  { ordering_ms = 0.0; allocation_ms = 0.0; placement_ms = 0.0;
+    total_ms = 0.0 }
+
+let variant_name = function
+  | `Ba -> "reserve-ba"
+  | `Ra -> "reserve-ra"
+  | `Full -> "reserve-full"
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed memoization.  Every pass here is a pure function
+   of (program, configuration), so results are cached in the global
+   Fhe_cache.Store keyed by the program's structural digest plus every
+   knob that can change the output.
+
+   The ordering pass does not depend on the variant switches
+   (redistribute/hoist only reach allocation and placement), so it gets
+   its own memo shared by all three variants: the differential driver,
+   which compiles the same source under `Ba/`Ra/`Full, runs it once
+   instead of three times. *)
+
+let ordering_memo : int array Fhe_cache.Lru.t = Fhe_cache.Lru.create ()
+
+let order_key ~digest ~rbits ~wbits =
+  Fhe_cache.Key.make ~digest ~compiler:"reserve-ordering" ~rbits ~wbits ()
+
+(* [digest] is [Some d] only when the store is consulted; order arrays
+   in the memo are shared — allocation only reads them *)
+let ordering_run ?digest prm prog =
+  match digest with
+  | Some digest -> (
+      let key = order_key ~digest ~rbits:prm.Rtype.rbits ~wbits:prm.Rtype.wbits in
+      match Fhe_cache.Lru.find ordering_memo key with
+      | Some order -> order
+      | None ->
+          let order = Ordering.run prm prog in
+          Fhe_cache.Lru.add ordering_memo key order;
+          order)
+  | None -> Ordering.run prm prog
+
+let ordering_run_safe ?digest prm prog =
+  match digest with
+  | Some digest -> (
+      let key = order_key ~digest ~rbits:prm.Rtype.rbits ~wbits:prm.Rtype.wbits in
+      match Fhe_cache.Lru.find ordering_memo key with
+      | Some order -> Ok order
+      | None ->
+          Result.map
+            (fun order ->
+              Fhe_cache.Lru.add ordering_memo key order;
+              order)
+            (Ordering.run_safe prm prog))
+  | None -> Ordering.run_safe prm prog
+
+let plan_key ~digest ~variant ~xmax_bits ~eager_input_upscale ~rbits ~wbits =
+  Fhe_cache.Key.make ~digest ~compiler:(variant_name variant) ~rbits ~wbits
+    ~xmax_bits
+    ~extra:
+      [ (match eager_input_upscale with
+        | None -> "-"
+        | Some b -> string_of_bool b) ]
+    ()
+
+let cache_key ?(variant = `Full) ?(xmax_bits = 0) ?eager_input_upscale ~rbits
+    ~wbits prog =
+  plan_key
+    ~digest:(Intern.digest prog)
+    ~variant ~xmax_bits ~eager_input_upscale ~rbits ~wbits
+
+let eva_key ~digest ~xmax_bits ~rbits ~wbits =
+  Fhe_cache.Key.make ~digest ~compiler:"eva" ~rbits ~wbits ~xmax_bits ()
+
+let eva_cache_key ?(xmax_bits = 0) ~rbits ~wbits prog =
+  eva_key ~digest:(Intern.digest prog) ~xmax_bits ~rbits ~wbits
+
+let compile_uncached ?digest ~variant ~xmax_bits ?eager_input_upscale ~rbits
+    ~wbits prog =
   let prm = Rtype.params ~rbits ~wbits in
   let redistribute = match variant with `Ba -> false | `Ra | `Full -> true in
   let hoist = match variant with `Ba | `Ra -> false | `Full -> true in
   let order, ordering_ms =
-    Fhe_util.Timer.time (fun () -> Ordering.run prm prog)
+    Fhe_util.Timer.time (fun () -> ordering_run ?digest prm prog)
   in
   let alloc, allocation_ms =
     Fhe_util.Timer.time (fun () -> Allocation.run prm ~redistribute ~output_reserve:xmax_bits ~order prog)
@@ -30,6 +105,27 @@ let compile_with_stats ?(variant = `Full) ?(xmax_bits = 0)
       allocation_ms;
       placement_ms;
       total_ms = ordering_ms +. allocation_ms +. placement_ms } )
+
+let compile_with_stats ?(variant = `Full) ?(xmax_bits = 0)
+    ?eager_input_upscale ~rbits ~wbits prog =
+  if not (Fhe_cache.Store.active ()) then
+    compile_uncached ~variant ~xmax_bits ?eager_input_upscale ~rbits ~wbits
+      prog
+  else begin
+    let digest = Intern.digest prog in
+    let key =
+      plan_key ~digest ~variant ~xmax_bits ~eager_input_upscale ~rbits ~wbits
+    in
+    match Fhe_cache.Store.find key with
+    | Some m -> (m, zero_stats)
+    | None ->
+        let (m, _) as r =
+          compile_uncached ~digest ~variant ~xmax_bits ?eager_input_upscale
+            ~rbits ~wbits prog
+        in
+        Fhe_cache.Store.add key m;
+        r
+  end
 
 let compile ?variant ?xmax_bits ?eager_input_upscale ~rbits ~wbits prog =
   fst
@@ -114,25 +210,65 @@ let attempt_one ~xmax_bits ?eager_input_upscale ~rbits ~oracle ~inputs ?noise
     match engine with
     | `Reserve variant -> (
         match Rtype.params ~rbits ~wbits:w with
-        | prm ->
-            let redistribute =
-              match variant with `Ba -> false | `Ra | `Full -> true
+        | prm -> (
+            let digest =
+              if Fhe_cache.Store.active () then Some (Intern.digest prog)
+              else None
             in
-            let hoist = match variant with `Ba | `Ra -> false | `Full -> true in
-            Result.bind (Ordering.run_safe prm prog) (fun order ->
-                Result.bind
-                  (Allocation.run_safe prm ~redistribute
-                     ~output_reserve:xmax_bits ~order prog)
-                  (fun alloc ->
-                    Placement.run_safe ~hoist ?eager_input_upscale prog alloc))
+            let cold () =
+              let redistribute =
+                match variant with `Ba -> false | `Ra | `Full -> true
+              in
+              let hoist =
+                match variant with `Ba | `Ra -> false | `Full -> true
+              in
+              Result.bind (ordering_run_safe ?digest prm prog) (fun order ->
+                  Result.bind
+                    (Allocation.run_safe prm ~redistribute
+                       ~output_reserve:xmax_bits ~order prog)
+                    (fun alloc ->
+                      Placement.run_safe ~hoist ?eager_input_upscale prog alloc))
+            in
+            match digest with
+            | None -> cold ()
+            | Some digest -> (
+                (* same key as the plain pipeline: compile and
+                   compile_safe share entries for identical configs *)
+                let key =
+                  plan_key ~digest ~variant ~xmax_bits ~eager_input_upscale
+                    ~rbits ~wbits:w
+                in
+                match Fhe_cache.Store.find key with
+                | Some m -> Ok m
+                | None ->
+                    Result.map
+                      (fun m ->
+                        Fhe_cache.Store.add key m;
+                        m)
+                      (cold ())))
         | exception e -> Error [ Diag.of_exn Diag.Driver e ])
     | `Eva -> (
-        match Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits:w prog with
-        | m -> (
-            match Validator.check m with
-            | Ok () -> Ok m
-            | Error es -> Error (List.map Diag.of_validator_error es))
-        | exception e -> Error [ Diag.of_exn Diag.Driver e ])
+        let cold () =
+          match Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits:w prog with
+          | m -> (
+              match Validator.check m with
+              | Ok () -> Ok m
+              | Error es -> Error (List.map Diag.of_validator_error es))
+          | exception e -> Error [ Diag.of_exn Diag.Driver e ]
+        in
+        if not (Fhe_cache.Store.active ()) then cold ()
+        else
+          let key =
+            eva_key ~digest:(Intern.digest prog) ~xmax_bits ~rbits ~wbits:w
+          in
+          match Fhe_cache.Store.find key with
+          | Some m -> Ok m
+          | None ->
+              Result.map
+                (fun m ->
+                  Fhe_cache.Store.add key m;
+                  m)
+                (cold ()))
   in
   Result.bind compiled (fun m ->
       if not oracle then Ok m

@@ -33,6 +33,19 @@ val compile_with_stats :
   rbits:int -> wbits:int -> Program.t -> Managed.t * stats
 (** Same, timing each phase (for the Table 4 reproduction). *)
 
+val cache_key :
+  ?variant:variant -> ?xmax_bits:int -> ?eager_input_upscale:bool ->
+  rbits:int -> wbits:int -> Program.t -> string
+(** The {!Fhe_cache.Store} key [compile] uses for this exact
+    configuration (defaults match [compile]'s): the program's
+    {!Fhe_ir.Intern.digest} plus every knob that can change the plan.
+    Exposed so external drivers (the differential harness) address the
+    same entries instead of inventing parallel key schemes. *)
+
+val eva_cache_key :
+  ?xmax_bits:int -> rbits:int -> wbits:int -> Program.t -> string
+(** Same for the EVA baseline, as cached by the fallback chain. *)
+
 val compile_batch :
   ?pool:Fhe_par.Pool.t ->
   ?variant:variant -> ?xmax_bits:int -> ?eager_input_upscale:bool ->

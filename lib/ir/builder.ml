@@ -1,8 +1,12 @@
 type expr = Op.id
 
+(* The dedup table keys on the intern uid (Intern.kind), not the raw
+   Op.kind: O(1) integer keying instead of re-hashing whole kinds, and
+   bit-exact float payload equality — polymorphic keying aliased
+   [Const 0.0] with [Const (-0.0)] and could miss equal NaN kinds. *)
 type t = {
   ops : Op.kind Fhe_util.Vec.t;
-  tbl : (Op.kind, Op.id) Hashtbl.t option;
+  tbl : (int, Op.id) Hashtbl.t option;
   n_slots : int;
 }
 
@@ -17,12 +21,13 @@ let emit t k =
       Fhe_util.Vec.push t.ops k;
       Fhe_util.Vec.length t.ops - 1
   | Some tbl -> (
-      match Hashtbl.find_opt tbl k with
+      let node = Intern.kind k in
+      match Hashtbl.find_opt tbl node.Intern.uid with
       | Some id -> id
       | None ->
-          Fhe_util.Vec.push t.ops k;
+          Fhe_util.Vec.push t.ops node.Intern.kind;
           let id = Fhe_util.Vec.length t.ops - 1 in
-          Hashtbl.add tbl k id;
+          Hashtbl.add tbl node.Intern.uid id;
           id)
 
 let input t ?(vt = Op.Cipher) name =

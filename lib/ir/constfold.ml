@@ -4,14 +4,22 @@ let run p =
   let out = Fhe_util.Vec.create () in
   (* New-id -> scalar constant value, for folding chains. *)
   let const_of : (int, float) Hashtbl.t = Hashtbl.create 64 in
-  let tbl : (Op.kind, int) Hashtbl.t = Hashtbl.create 256 in
+  (* dedup keyed on the intern uid (bit-exact floats, O(1) equality) *)
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let emit k =
-    match (match k with Op.Input _ -> None | _ -> Hashtbl.find_opt tbl k) with
+    let node = Intern.kind k in
+    match
+      (match k with
+      | Op.Input _ -> None
+      | _ -> Hashtbl.find_opt tbl node.Intern.uid)
+    with
     | Some j -> j
     | None ->
-        Fhe_util.Vec.push out k;
+        Fhe_util.Vec.push out node.Intern.kind;
         let j = Fhe_util.Vec.length out - 1 in
-        (match k with Op.Input _ -> () | _ -> Hashtbl.add tbl k j);
+        (match k with
+        | Op.Input _ -> ()
+        | _ -> Hashtbl.add tbl node.Intern.uid j);
         (match k with Op.Const c -> Hashtbl.replace const_of j c | _ -> ());
         j
   in

@@ -2,15 +2,18 @@ let run ?(key = fun _ -> 0) p =
   let n = Program.n_ops p in
   let remap = Array.make n (-1) in
   let out = Fhe_util.Vec.create () in
-  let tbl : (Op.kind * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* keyed on (intern uid, discriminator): deep equality of remapped
+     kinds collapses to an integer comparison, bit-exact on floats *)
+  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
   for i = 0 to n - 1 do
     let k = Op.map_operands (fun o -> remap.(o)) (Program.kind p i) in
     let mergeable = match k with Op.Input _ -> false | _ -> true in
-    let hk = (k, key i) in
+    let node = Intern.kind k in
+    let hk = (node.Intern.uid, key i) in
     match (if mergeable then Hashtbl.find_opt tbl hk else None) with
     | Some j -> remap.(i) <- j
     | None ->
-        Fhe_util.Vec.push out k;
+        Fhe_util.Vec.push out node.Intern.kind;
         let j = Fhe_util.Vec.length out - 1 in
         remap.(i) <- j;
         if mergeable then Hashtbl.add tbl hk j

@@ -1,0 +1,138 @@
+(* Hash-consing and content digests.  Float payloads are compared and
+   hashed by bit pattern with all NaNs collapsed to one canonical NaN:
+   the polymorphic [compare] used by the old dedup tables both aliased
+   0.0 with -0.0 and could miss structurally-equal NaN kinds whose
+   payload bits hashed apart. *)
+
+type t = { kind : Op.kind; hash : int; uid : int }
+
+let canonical_nan = 0x7FF8000000000000L
+
+let float_bits f =
+  if Float.is_nan f then canonical_nan else Int64.bits_of_float f
+
+let equal_kind (a : Op.kind) (b : Op.kind) =
+  match (a, b) with
+  | Op.Input { name = n1; vt = v1 }, Op.Input { name = n2; vt = v2 } ->
+      v1 = v2 && String.equal n1 n2
+  | Op.Const x, Op.Const y -> Int64.equal (float_bits x) (float_bits y)
+  | ( Op.Vconst { tag = t1; values = v1 },
+      Op.Vconst { tag = t2; values = v2 } ) ->
+      String.equal t1 t2
+      && Array.length v1 = Array.length v2
+      &&
+      let n = Array.length v1 in
+      let rec go i =
+        i >= n || (Int64.equal (float_bits v1.(i)) (float_bits v2.(i)) && go (i + 1))
+      in
+      go 0
+  | Op.Add (a1, b1), Op.Add (a2, b2)
+  | Op.Sub (a1, b1), Op.Sub (a2, b2)
+  | Op.Mul (a1, b1), Op.Mul (a2, b2) ->
+      a1 = a2 && b1 = b2
+  | Op.Neg a1, Op.Neg a2 | Op.Rescale a1, Op.Rescale a2
+  | Op.Modswitch a1, Op.Modswitch a2 ->
+      a1 = a2
+  | Op.Rotate (a1, k1), Op.Rotate (a2, k2) -> a1 = a2 && k1 = k2
+  | Op.Upscale (a1, m1), Op.Upscale (a2, m2) -> a1 = a2 && m1 = m2
+  | _ -> false
+
+(* FNV-1a over the kind's canonical fields *)
+let mix h x = (h * 0x01000193) lxor (x land max_int)
+
+let mix64 h v =
+  mix (mix h (Int64.to_int v)) (Int64.to_int (Int64.shift_right_logical v 32))
+
+let tag_of = function
+  | Op.Input _ -> 1 | Op.Const _ -> 2 | Op.Vconst _ -> 3 | Op.Add _ -> 4
+  | Op.Sub _ -> 5 | Op.Mul _ -> 6 | Op.Neg _ -> 7 | Op.Rotate _ -> 8
+  | Op.Rescale _ -> 9 | Op.Modswitch _ -> 10 | Op.Upscale _ -> 11
+
+let hash_kind (k : Op.kind) =
+  let h = mix 0x811C9DC5 (tag_of k) in
+  match k with
+  | Op.Input { name; vt } ->
+      mix (mix h (Hashtbl.hash name)) (if vt = Op.Cipher then 1 else 0)
+  | Op.Const v -> mix64 h (float_bits v)
+  | Op.Vconst { tag; values } ->
+      Array.fold_left
+        (fun h v -> mix64 h (float_bits v))
+        (mix h (Hashtbl.hash tag))
+        values
+  | Op.Add (a, b) | Op.Sub (a, b) | Op.Mul (a, b) -> mix (mix h a) b
+  | Op.Neg a | Op.Rescale a | Op.Modswitch a -> mix h a
+  | Op.Rotate (a, k) | Op.Upscale (a, k) -> mix (mix h a) k
+
+module Node = struct
+  type nonrec t = t
+
+  let equal a b = equal_kind a.kind b.kind
+
+  let hash a = a.hash
+end
+
+module W = Weak.Make (Node)
+
+(* One global table: interning must give the same physical node whoever
+   asks, including tasks on different pool domains — hence the mutex
+   (Weak tables are not domain-safe).  Entries are weak, so kinds only
+   referenced by dead programs are reclaimed with them. *)
+let table = W.create 4096
+
+let counter = ref 0
+
+let lock = Mutex.create ()
+
+let kind k =
+  let h = hash_kind k in
+  Mutex.lock lock;
+  let cand = { kind = k; hash = h; uid = !counter } in
+  let node = W.merge table cand in
+  if node == cand then incr counter;
+  Mutex.unlock lock;
+  node
+
+let table_size () =
+  Mutex.lock lock;
+  let n = W.count table in
+  Mutex.unlock lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* content digest *)
+
+let add_int b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let ser_kind b (k : Op.kind) =
+  Buffer.add_uint8 b (tag_of k);
+  match k with
+  | Op.Input { name; vt } ->
+      add_str b name;
+      Buffer.add_uint8 b (if vt = Op.Cipher then 1 else 0)
+  | Op.Const v -> Buffer.add_int64_le b (float_bits v)
+  | Op.Vconst { tag; values } ->
+      add_str b tag;
+      add_int b (Array.length values);
+      Array.iter (fun v -> Buffer.add_int64_le b (float_bits v)) values
+  | Op.Add (a, o) | Op.Sub (a, o) | Op.Mul (a, o) ->
+      add_int b a;
+      add_int b o
+  | Op.Neg a | Op.Rescale a | Op.Modswitch a -> add_int b a
+  | Op.Rotate (a, k) | Op.Upscale (a, k) ->
+      add_int b a;
+      add_int b k
+
+let digest p =
+  let b = Buffer.create (64 * Program.n_ops p) in
+  Buffer.add_string b "fhe-ir/1";
+  add_int b (Program.n_slots p);
+  add_int b (Program.n_ops p);
+  Program.iteri (fun _ k -> ser_kind b k) p;
+  let outs = Program.outputs p in
+  add_int b (Array.length outs);
+  Array.iter (fun o -> add_int b o) outs;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))

@@ -1,0 +1,52 @@
+(** Hash-consing for {!Op.kind} and content digests for {!Program.t}.
+
+    Interning maps every structurally-equal kind to one canonical,
+    physically-shared value carrying a precomputed structural hash and a
+    dense unique id.  Pass-level dedup tables ({!Builder}, {!Cse},
+    {!Constfold}) key on the [uid], which turns their deep structural
+    hashing/equality into an O(1) integer comparison, and the shared
+    nodes shrink the resident size of generated circuits (convolutions
+    repeat the same mask [Vconst] hundreds of times).
+
+    Structural equality here is {e bit-exact} on float payloads, unlike
+    the polymorphic [compare] the tables used before: [Const 0.0] and
+    [Const (-0.0)] are distinct (they differ under IEEE signed-zero
+    semantics), while every NaN payload is normalised to one canonical
+    NaN (all NaNs are arithmetically interchangeable).  The old keying
+    could both alias [0.0]/[-0.0] and miss equal NaN kinds whose
+    payloads hashed differently.
+
+    The intern table is global, weak (entries are reclaimed when the
+    last program referencing them dies) and mutex-guarded, so interning
+    is safe from any domain of a {!Fhe_par.Pool}. *)
+
+type t = private {
+  kind : Op.kind;  (** the canonical, physically shared representative *)
+  hash : int;  (** precomputed structural hash (normalised floats) *)
+  uid : int;  (** dense id: [equal_kind a b] iff equal [uid]s *)
+}
+
+val kind : Op.kind -> t
+(** Intern a kind.  Two structurally equal kinds (same constructor,
+    operand ids, and bit-normalised payloads) return the same node —
+    same [kind] (physically), same [hash], same [uid]. *)
+
+val equal_kind : Op.kind -> Op.kind -> bool
+(** Bit-normalised structural equality (no interning). *)
+
+val hash_kind : Op.kind -> int
+(** The structural hash [kind k] would carry (no interning). *)
+
+val table_size : unit -> int
+(** Live entries in the global intern table (weak: GC-dependent). *)
+
+(** {1 Program content digests}
+
+    A 128-bit (MD5, hex-encoded) digest of a program's full structural
+    content: every op with bit-normalised payloads, the output list and
+    the slot count.  Two programs with equal digests are structurally
+    equal for every purpose the compilers care about — the digest is
+    the content address of the compilation cache ({!Fhe_cache}). *)
+
+val digest : Program.t -> string
+(** Hex MD5 of the canonical serialisation; 32 characters. *)

@@ -18,7 +18,9 @@ let rebuild p ~keep ~rewrite =
             else remap.(o))
           k
       in
-      Fhe_util.Vec.push out (rewrite i k);
+      (* intern: rebuilt programs share physical nodes with their
+         sources and with each other, and downstream dedup is O(1) *)
+      Fhe_util.Vec.push out (Intern.kind (rewrite i k)).Intern.kind;
       remap.(i) <- Fhe_util.Vec.length out - 1
     end
   done;

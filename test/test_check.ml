@@ -472,12 +472,20 @@ let sample_run () =
     wbits = 30;
     domains = 4;
     wall_time_par = 12.5;
+    cache =
+      {
+        Benchjson.cache_hits = 10;
+        cache_misses = 2;
+        cache_stores = 12;
+        cache_poisoned = 0;
+      };
     entries =
       [
         {
           Benchjson.app = "SF";
           compiler = "eva";
           compile_ms = 1.5;
+          warm_compile_ms = 0.02;
           input_level = 3;
           modulus_bits = 180;
           est_latency_us = 250.0;
@@ -486,6 +494,7 @@ let sample_run () =
           Benchjson.app = "SF";
           compiler = "reserve-full";
           compile_ms = 0.8;
+          warm_compile_ms = 0.01;
           input_level = 2;
           modulus_bits = 120;
           est_latency_us = 200.0;
@@ -518,18 +527,38 @@ let test_benchjson_v1_compat () =
       Alcotest.(check int) "v1 entries survive" 1
         (List.length r.Benchjson.entries)
 
-let test_benchjson_v2_fields () =
+let test_benchjson_v3_fields () =
   let r = sample_run () in
   let s = Benchjson.to_string (Benchjson.run_to_json r) in
-  Alcotest.(check bool) "emits the v2 schema tag" true
-    (contains s "fhe-bench-compile/v2");
+  Alcotest.(check bool) "emits the v3 schema tag" true
+    (contains s "fhe-bench-compile/v3");
   match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
   | Error e -> Alcotest.fail e
   | Ok r' ->
       Alcotest.(check int) "domains round trips" r.Benchjson.domains
         r'.Benchjson.domains;
       Alcotest.(check (float 1e-9)) "wall_time_par round trips"
-        r.Benchjson.wall_time_par r'.Benchjson.wall_time_par
+        r.Benchjson.wall_time_par r'.Benchjson.wall_time_par;
+      Alcotest.(check int) "cache hits round trip"
+        r.Benchjson.cache.Benchjson.cache_hits
+        r'.Benchjson.cache.Benchjson.cache_hits;
+      Alcotest.(check (float 1e-9)) "warm_compile_ms round trips"
+        (List.hd r.Benchjson.entries).Benchjson.warm_compile_ms
+        (List.hd r'.Benchjson.entries).Benchjson.warm_compile_ms
+
+(* a v2 file (no cache block, no warm timings) must still parse *)
+let test_benchjson_v2_compat () =
+  let s =
+    {|{"schema":"fhe-bench-compile/v2","rbits":60,"waterline":30,"domains":4,"wall_time_par":12.5,"entries":[{"app":"SF","compiler":"eva","compile_ms":1.5,"input_level":3,"modulus_bits":180,"est_latency_us":250}]}|}
+  in
+  match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
+  | Error e -> Alcotest.fail ("v2 baseline rejected: " ^ e)
+  | Ok r ->
+      Alcotest.(check int) "v2 keeps its domains" 4 r.Benchjson.domains;
+      Alcotest.(check int) "v2 has no cache stats" 0
+        r.Benchjson.cache.Benchjson.cache_hits;
+      Alcotest.(check (float 0.0)) "v2 warm time reads as unmeasured" 0.0
+        (List.hd r.Benchjson.entries).Benchjson.warm_compile_ms
 
 let test_benchjson_parse_rejects () =
   List.iter
@@ -599,6 +628,24 @@ let test_benchjson_gate () =
        ~current:
          (bump (fun e ->
               { e with Benchjson.compile_ms = e.Benchjson.compile_ms *. 5.0 }))
+       ());
+  chk ~expect:true "warm 5x slower than cold baseline flagged"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:
+         (bump (fun e ->
+              { e with
+                Benchjson.warm_compile_ms = e.Benchjson.compile_ms *. 5.0 }))
+       ());
+  chk ~expect:false "warm within slack of cold passes"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:
+         (bump (fun e ->
+              { e with
+                Benchjson.warm_compile_ms = e.Benchjson.compile_ms *. 2.0 }))
+       ());
+  chk ~expect:false "unmeasured warm time passes"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:(bump (fun e -> { e with Benchjson.warm_compile_ms = 0.0 }))
        ())
 
 (* ----------------------------------------------------------------- *)
@@ -654,7 +701,8 @@ let () =
         [
           t "round trip" test_benchjson_round_trip;
           t "v1 files still parse" test_benchjson_v1_compat;
-          t "v2 fields round trip" test_benchjson_v2_fields;
+          t "v2 files still parse" test_benchjson_v2_compat;
+          t "v3 fields round trip" test_benchjson_v3_fields;
           t "parser rejects garbage" test_benchjson_parse_rejects;
           t "string escapes" test_benchjson_escapes;
           t "rejects unknown schema" test_benchjson_rejects_unknown_schema;
