@@ -481,7 +481,64 @@ let measure_run ?pool () =
       cache_poisoned = s.Fhe_cache.Store.poisoned }
   in
   { Fhe_check.Benchjson.rbits; wbits; domains; wall_time_par = wall_ms;
-    cache; entries }
+    cache; serve = None; entries }
+
+(* ------------------------------------------------------------------ *)
+(* serve: load-test a real daemon over its Unix socket.  One warm-up
+   round populates the shared compile cache, then the measured round
+   reports sustained QPS and warm-cache latency percentiles along with
+   the shed/timeout/degraded counters — the schema-v4 snapshot. *)
+
+let measure_serve () =
+  let socket = Printf.sprintf "/tmp/fhec-bench-%d.sock" (Unix.getpid ()) in
+  let cfg =
+    { (Fhe_serve.Server.default_config ~socket) with
+      Fhe_serve.Server.capacity = 16;
+      degrade_at = 12 }
+  in
+  let t = Fhe_serve.Server.start cfg in
+  Fun.protect ~finally:(fun () -> Fhe_serve.Server.stop t) @@ fun () ->
+  (* small, fast apps: the point is transport + cache service, not
+     compile heft *)
+  let names = [| "SF"; "HCD"; "MR" |] in
+  let make_request i =
+    let a = Reg.find names.(i mod Array.length names) in
+    {
+      Fhe_serve.Protocol.tenant = "";
+      compiler = "reserve-full";
+      rbits;
+      wbits = 30;
+      xmax_bits = xmax_of a;
+      iterations = 0;
+      allow_fallback = false;
+      oracle = false;
+      deadline_ms = 0;
+      program = prog_of a;
+    }
+  in
+  let warm =
+    Fhe_serve.Loadgen.run ~socket ~threads:1
+      ~per_thread:(Array.length names) ~make_request ()
+  in
+  let s = Fhe_serve.Loadgen.run ~socket ~threads:4 ~per_thread:8 ~make_request () in
+  (warm, s)
+
+let serve_stats_of (s : Fhe_serve.Loadgen.stats) =
+  {
+    Fhe_check.Benchjson.serve_requests = s.Fhe_serve.Loadgen.requests;
+    serve_qps = s.Fhe_serve.Loadgen.qps;
+    serve_p50_ms = s.Fhe_serve.Loadgen.p50_ms;
+    serve_p99_ms = s.Fhe_serve.Loadgen.p99_ms;
+    serve_shed = s.Fhe_serve.Loadgen.shed;
+    serve_timeouts = s.Fhe_serve.Loadgen.timeouts;
+    serve_degraded = s.Fhe_serve.Loadgen.degraded;
+  }
+
+let serve_section () =
+  section "serve: compile-daemon load test (warm-up round, then measured)";
+  let warm, s = measure_serve () in
+  Format.printf "  cold: %a@." Fhe_serve.Loadgen.pp warm;
+  Format.printf "  warm: %a@." Fhe_serve.Loadgen.pp s
 
 (* BENCH_JSON_DETERMINISTIC=1 zeroes the measured wall times and the
    recorded pool width so the @par harness can byte-compare a -j 1
@@ -495,6 +552,7 @@ let scrub run =
         Fhe_check.Benchjson.domains = 1;
         wall_time_par = 0.0;
         cache = Fhe_check.Benchjson.no_cache_stats;
+        serve = None;
         entries =
           List.map
             (fun m ->
@@ -505,7 +563,20 @@ let scrub run =
 
 let json () =
   section "BENCH_compile.json: per-app compile time / modulus / latency";
-  let run = scrub (with_pool (fun pool -> measure_run ?pool ())) in
+  let run = with_pool (fun pool -> measure_run ?pool ()) in
+  (* a deterministic emission skips the daemon entirely: its numbers
+     are wall-clock through and through *)
+  let run =
+    if
+      match Sys.getenv_opt "BENCH_JSON_DETERMINISTIC" with
+      | None | Some "" | Some "0" -> false
+      | Some _ -> true
+    then run
+    else
+      let _, s = measure_serve () in
+      { run with Fhe_check.Benchjson.serve = Some (serve_stats_of s) }
+  in
+  let run = scrub run in
   let text =
     Fhe_check.Benchjson.to_string (Fhe_check.Benchjson.run_to_json run)
   in
@@ -565,7 +636,8 @@ let all_sections =
 
 (* on-demand sections (not part of the default full run: `json`
    overwrites the recorded baseline and `gate` diffs against it) *)
-let extra_sections = [ ("json", json); ("gate", gate) ]
+let extra_sections =
+  [ ("json", json); ("gate", gate); ("serve", serve_section) ]
 
 let () =
   (* peel `-j N` off the section list *)

@@ -450,6 +450,266 @@ let check_cmd =
         (const run $ cache_term $ apps_arg $ gen_arg $ check_seed_arg
        $ waterline_arg $ rbits_arg $ hecate_arg $ verbose_arg $ jobs_arg))
 
+(* ------------------------------------------------------------------ *)
+(* The compile daemon and its client *)
+
+module Srv = Fhe_serve.Server
+module Cli = Fhe_serve.Client
+module Proto = Fhe_serve.Protocol
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the compile daemon.  Keep it \
+             short (under ~100 bytes): sockaddr_un caps the length." in
+  Arg.(value & opt string "/tmp/fhec.sock"
+       & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+(* CLI compiler names -> protocol (Differential) labels *)
+let protocol_compiler = function
+  | "reserve" | "reserve-full" -> Ok "reserve-full"
+  | "ba" | "reserve-ba" -> Ok "reserve-ba"
+  | "ra" | "reserve-ra" -> Ok "reserve-ra"
+  | ("eva" | "hecate") as c -> Ok c
+  | other -> Error (Printf.sprintf "unknown compiler %S" other)
+
+let build_request app_name compiler ~tenant ~rbits ~wbits ~iterations
+    ~fallback ~deadline_ms =
+  Result.bind (find_app app_name) @@ fun app ->
+  Result.bind (protocol_compiler (String.lowercase_ascii compiler))
+  @@ fun compiler ->
+  protecting @@ fun () ->
+  let p = app.Reg.build () in
+  let xmax_bits =
+    Fhe_sim.Interp.max_magnitude_bits p ~inputs:(app.Reg.inputs ~seed:42)
+  in
+  Ok
+    {
+      Proto.tenant;
+      compiler;
+      rbits;
+      wbits;
+      xmax_bits;
+      iterations;
+      allow_fallback = fallback;
+      oracle = true;
+      deadline_ms;
+      program = p;
+    }
+
+let self_test ~socket =
+  let socket =
+    if socket = "/tmp/fhec.sock" then
+      Printf.sprintf "/tmp/fhec-selftest-%d.sock" (Unix.getpid ())
+    else socket
+  in
+  let cfg = { (Srv.default_config ~socket) with capacity = 4; degrade_at = 4 } in
+  let t = Srv.start cfg in
+  Fun.protect ~finally:(fun () -> Srv.stop t) @@ fun () ->
+  Result.bind
+    (Result.bind (Cli.connect ~socket ()) (fun c ->
+         let r = Cli.ping c in
+         Cli.close c;
+         r))
+  @@ fun () ->
+  Printf.printf "self-test: ping ok\n%!";
+  let one compiler =
+    Result.bind
+      (build_request "SF" compiler ~tenant:"" ~rbits:60 ~wbits:30 ~iterations:0
+         ~fallback:false ~deadline_ms:0)
+    @@ fun req ->
+    Result.bind (Cli.compile_retry ~socket req) @@ fun (reply, _) ->
+    match reply with
+    | Proto.Compiled r | Proto.Degraded r ->
+        (* the same dispatch with no transport in between: the served
+           bytes must agree exactly *)
+        let local = Srv.compile_one Fhe_serve.Admission.Normal req in
+        let parity =
+          match local with
+          | Proto.Compiled l | Proto.Degraded l ->
+              Wire.encode_managed l.Proto.managed
+              = Wire.encode_managed r.Proto.managed
+          | _ -> false
+        in
+        if not parity then
+          Error (Printf.sprintf "%s: served result differs from local" compiler)
+        else begin
+          Printf.printf "self-test: compile SF/%s ok (engine %s, L=%d, \
+                         parity ok)\n%!"
+            compiler r.Proto.engine
+            (Managed.input_level r.Proto.managed);
+          Ok ()
+        end
+    | other ->
+        Error
+          (Printf.sprintf "%s: unexpected reply %s" compiler
+             (Proto.reply_name other))
+  in
+  Result.bind (one "reserve-full") @@ fun () ->
+  Result.bind (one "eva") @@ fun () ->
+  Result.bind
+    (Result.bind (Cli.connect ~socket ()) (fun c ->
+         let r = Cli.stats c in
+         Cli.close c;
+         r))
+  @@ fun _json ->
+  Printf.printf "self-test: stats ok\n%!";
+  Printf.printf "self-test: PASS\n%!";
+  Ok ()
+
+let serve_cmd =
+  let domains_arg =
+    let doc = "Width of the compile worker pool (at least 2)." in
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Maximum compiles in flight before requests are shed." in
+    Arg.(value & opt int 8 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let degrade_arg =
+    let doc =
+      "In-flight threshold above which admitted requests run with the \
+       fallback chain enabled (graceful degradation under load)."
+    in
+    Arg.(value & opt int 6 & info [ "degrade-at" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Default per-request compile budget in milliseconds." in
+    Arg.(value & opt int 30_000 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Per-connection receive/send timeout in milliseconds \
+               (the slow-loris guard)." in
+    Arg.(value & opt int 2_000 & info [ "read-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let self_test_arg =
+    let doc =
+      "Start a private daemon, push pings and compiles through a real \
+       socket, verify served results match local compilation \
+       byte-for-byte, and exit."
+    in
+    Arg.(value & flag & info [ "self-test" ] ~doc)
+  in
+  let run () socket domains capacity degrade_at deadline_ms read_timeout_ms
+      self_test_flag =
+    handle
+      (protecting @@ fun () ->
+       if self_test_flag then self_test ~socket
+       else begin
+         let cfg =
+           {
+             Srv.socket;
+             domains;
+             capacity;
+             degrade_at;
+             default_deadline_ms = deadline_ms;
+             read_timeout_ms;
+             max_payload = Proto.max_payload_default;
+           }
+         in
+         Printf.printf "fhec serve: listening on %s (pool %d, capacity %d)\n%!"
+           socket (max 2 domains) capacity;
+         Srv.run cfg;
+         Ok ()
+       end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resilient compile daemon: a Unix-domain-socket service \
+          with bounded admission (explicit shedding), per-request deadline \
+          budgets, graceful degradation under load, and a shared \
+          per-tenant compilation cache")
+    Term.(
+      ret
+        (const run $ cache_term $ socket_arg $ domains_arg $ capacity_arg
+       $ degrade_arg $ deadline_arg $ read_timeout_arg $ self_test_arg))
+
+let client_cmd =
+  let action_arg =
+    let doc = "One of $(b,compile), $(b,ping), $(b,stats), $(b,shutdown)." in
+    Arg.(value & pos 0 string "compile" & info [] ~docv:"ACTION" ~doc)
+  in
+  let client_app_arg =
+    let doc = "Benchmark application to compile (see $(b,fhec list))." in
+    Arg.(value & opt string "SF" & info [ "app"; "a" ] ~docv:"NAME" ~doc)
+  in
+  let tenant_arg =
+    let doc = "Cache namespace on the server; tenants never share entries." in
+    Arg.(value & opt string "" & info [ "tenant" ] ~docv:"NAME" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request compile budget in ms (0 = server default)." in
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let attempts_arg =
+    let doc = "Retry budget: attempts before giving up on shed/transport \
+               failures (exponential backoff with jitter in between)." in
+    Arg.(value & opt int 5 & info [ "attempts" ] ~docv:"N" ~doc)
+  in
+  let with_conn socket f =
+    Result.bind (Cli.connect ~socket ()) (fun c ->
+        let r = f c in
+        Cli.close c;
+        r)
+  in
+  let run () socket action app compiler wbits rbits iterations tenant
+      deadline_ms attempts fallback seed =
+    handle
+      (match action with
+      | "ping" ->
+          Result.map
+            (fun () -> print_endline "pong")
+            (with_conn socket Cli.ping)
+      | "stats" ->
+          Result.map print_endline (with_conn socket Cli.stats)
+      | "shutdown" ->
+          Result.map
+            (fun () -> print_endline "server stopping")
+            (with_conn socket Cli.shutdown_server)
+      | "compile" -> (
+          Result.bind
+            (build_request app compiler ~tenant ~rbits ~wbits ~iterations
+               ~fallback ~deadline_ms)
+          @@ fun req ->
+          Result.bind (Cli.compile_retry ~attempts ~seed ~socket req)
+          @@ fun (reply, log) ->
+          if log.Cli.attempts > 1 then
+            Printf.printf "(%d attempts: %d shed, %d transport)\n"
+              log.Cli.attempts log.Cli.sheds log.Cli.transport_errors;
+          match reply with
+          | Proto.Compiled r | Proto.Degraded r ->
+              Result.bind (find_app app) @@ fun app ->
+              List.iter print_endline r.Proto.warnings;
+              if Proto.reply_name reply = "degraded" then
+                Printf.printf "degraded: engine %s at waterline %d\n"
+                  r.Proto.engine r.Proto.wbits_used;
+              Printf.printf "served by      : %s (waterline %d)\n"
+                r.Proto.engine r.Proto.wbits_used;
+              report app r.Proto.managed req.Proto.xmax_bits;
+              Ok ()
+          | Proto.Shed { reason; _ } -> Error ("shed: " ^ reason)
+          | Proto.Timed_out msg -> Error msg
+          | Proto.Failed msgs ->
+              Error ("compilation failed:\n" ^ String.concat "\n" msgs)
+          | Proto.Bad_request msg -> Error ("bad request: " ^ msg)
+          | Proto.Pong | Proto.Stats_reply _ ->
+              Error "unexpected reply type")
+      | other ->
+          Error
+            (Printf.sprintf
+               "unknown action %S (try compile, ping, stats, shutdown)" other))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running compile daemon: submit compiles (with retry, \
+          backoff, and jitter), ping it, read its counters, or shut it \
+          down")
+    Term.(
+      ret
+        (const run $ cache_term $ socket_arg $ action_arg $ client_app_arg
+       $ compiler_arg $ waterline_arg $ rbits_arg $ iterations_arg
+       $ tenant_arg $ deadline_arg $ attempts_arg $ fallback_arg $ seed_arg))
+
 let () =
   let info =
     Cmd.info "fhec" ~version:"1.0.0"
@@ -459,4 +719,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd;
-            fuzz_cmd; check_cmd ]))
+            fuzz_cmd; check_cmd; serve_cmd; client_cmd ]))

@@ -22,6 +22,15 @@ val path : dir:string -> key:string -> string
 val get : dir:string -> key:string -> [ `Hit of string | `Miss | `Poisoned ]
 
 val put : dir:string -> key:string -> string -> unit
-(** Creates [dir] if needed. *)
+(** Creates [dir] if needed.  The entry is flushed and fsync'd before
+    the atomic rename, so a published name never points at partially
+    durable bytes even across a crash. *)
 
 val remove : dir:string -> key:string -> unit
+
+val sweep : dir:string -> int
+(** Delete orphaned temp files ([*.tmp.PID.DOMAIN]) left by writers
+    that crashed between open and rename; returns how many were
+    removed.  Run on store open ({!Store.set_dir}); racing an active
+    writer is benign (its store degrades to a no-op, which [put]
+    already tolerates).  A missing directory sweeps zero files. *)

@@ -1,8 +1,9 @@
 let version = "fhe-cache/1"
 
-let make ~digest ~compiler ~rbits ~wbits ?(xmax_bits = 0) ?(extra = []) () =
+let make ~digest ~compiler ~rbits ~wbits ?(xmax_bits = 0) ?(tenant = "")
+    ?(extra = []) () =
   let fields =
     version :: digest :: compiler :: string_of_int rbits
-    :: string_of_int wbits :: string_of_int xmax_bits :: extra
+    :: string_of_int wbits :: string_of_int xmax_bits :: tenant :: extra
   in
   Digest.to_hex (Digest.string (String.concat "\x01" fields))

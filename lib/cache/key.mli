@@ -17,9 +17,16 @@ val make :
   rbits:int ->
   wbits:int ->
   ?xmax_bits:int ->
+  ?tenant:string ->
   ?extra:string list ->
   unit ->
   string
 (** [extra] carries compiler-specific knobs (e.g. the Hecate
     exploration budget, or the placement switches of a reserve
-    variant); order matters. *)
+    variant); order matters.  [tenant] (default [""], the anonymous
+    tenant) namespaces the key for multi-tenant stores: equal
+    compilations under different tenants get distinct keys, so one
+    tenant's poisoned or evicted entries never touch another's.  The
+    serve daemon sets it per request; see also
+    {!Store.with_namespace}, which namespaces keys minted by code that
+    doesn't take a tenant parameter (the pipeline's internal keys). *)

@@ -6,6 +6,7 @@ type stats = {
   disk_hits : int;
   stores : int;
   poisoned : int;
+  swept : int;
 }
 
 (* configuration: read on every lookup, written only from the driver
@@ -26,11 +27,22 @@ let stores = Atomic.make 0
 
 let poisoned = Atomic.make 0
 
+let swept = Atomic.make 0
+
 let set_enabled v = Atomic.set enabled_f v
 
 let enabled () = Atomic.get enabled_f
 
-let set_dir d = Atomic.set dir_f d
+(* opening a disk store is the crash-recovery point: sweep temp files
+   orphaned by writers that died mid-put, before any request can race
+   new writes into the directory *)
+let set_dir d =
+  Atomic.set dir_f d;
+  match d with
+  | None -> ()
+  | Some dir ->
+      let n = Disk.sweep ~dir in
+      if n > 0 then ignore (Atomic.fetch_and_add swept n)
 
 let dir () = Atomic.get dir_f
 
@@ -50,11 +62,32 @@ let bypass f =
 
 let active () = Atomic.get enabled_f && not (bypassed ())
 
+(* per-domain tenant namespace, same DLS discipline as bypass: the
+   serve daemon wraps each request's compile in [with_namespace], so
+   the pipeline's internally-minted keys land in that tenant's
+   namespace without the pipeline knowing tenants exist.  Re-digesting
+   keeps the effective key a hex digest (a Disk filename). *)
+let ns_key = Domain.DLS.new_key (fun () -> ref "")
+
+let namespace () =
+  match !(Domain.DLS.get ns_key) with "" -> None | ns -> Some ns
+
+let with_namespace ns f =
+  let r = Domain.DLS.get ns_key in
+  let saved = !r in
+  r := ns;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let effective key =
+  match !(Domain.DLS.get ns_key) with
+  | "" -> key
+  | ns -> Digest.to_hex (Digest.string (ns ^ "\x01" ^ key))
+
 let reset () =
   Lru.clear (Atomic.get memo);
   List.iter
     (fun c -> Atomic.set c 0)
-    [ hits; misses; disk_hits; stores; poisoned ]
+    [ hits; misses; disk_hits; stores; poisoned; swept ]
 
 let encode (m : Managed.t) = Marshal.to_string m []
 
@@ -70,6 +103,7 @@ let decode payload =
 let find key =
   if not (active ()) then None
   else
+    let key = effective key in
     match Lru.find (Atomic.get memo) key with
     | Some m ->
         Atomic.incr hits;
@@ -104,6 +138,7 @@ let find key =
 
 let add key m =
   if active () then begin
+    let key = effective key in
     Atomic.incr stores;
     Lru.add (Atomic.get memo) key m;
     match Atomic.get dir_f with
@@ -128,9 +163,11 @@ let stats () =
     disk_hits = Atomic.get disk_hits;
     stores = Atomic.get stores;
     poisoned = Atomic.get poisoned;
+    swept = Atomic.get swept;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "cache: %d hit(s) (%d from disk), %d miss(es), %d store(s), %d poisoned"
-    s.hits s.disk_hits s.misses s.stores s.poisoned
+    "cache: %d hit(s) (%d from disk), %d miss(es), %d store(s), %d poisoned, \
+     %d swept"
+    s.hits s.disk_hits s.misses s.stores s.poisoned s.swept

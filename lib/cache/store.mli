@@ -30,6 +30,8 @@ type stats = {
   disk_hits : int;  (** subset of [hits] that came from disk *)
   stores : int;
   poisoned : int;  (** corrupt disk entries detected (and recomputed) *)
+  swept : int;
+      (** orphaned temp files removed by crash recovery on store open *)
 }
 
 (** {1 Configuration} *)
@@ -41,7 +43,10 @@ val enabled : unit -> bool
 
 val set_dir : string option -> unit
 (** [Some dir] also persists entries under [dir] (created on first
-    write).  Default [None]. *)
+    write).  Default [None].  Opening a directory runs crash recovery:
+    temp files orphaned by a writer killed mid-store are swept
+    ({!Disk.sweep}, counted in [stats.swept]) before any lookup can
+    race new writes into the directory. *)
 
 val dir : unit -> string option
 
@@ -59,6 +64,17 @@ val active : unit -> bool
 (** [enabled] and not bypassed on this domain — whether [find]/[add]
     will actually do anything.  Callers can test this before paying for
     a digest. *)
+
+val with_namespace : string -> (unit -> 'a) -> 'a
+(** Run [f] with every [find]/[add] on the calling domain re-keyed
+    into the given tenant namespace ([""] = the anonymous namespace,
+    i.e. no re-keying).  The serve daemon wraps each request's compile
+    in this, so keys minted deep inside the pipeline are isolated per
+    tenant without threading a tenant parameter through every pass.
+    Nests and restores like {!bypass}. *)
+
+val namespace : unit -> string option
+(** The calling domain's current namespace, if any. *)
 
 val reset : unit -> unit
 (** Drop every in-memory entry and zero the counters; configuration and

@@ -202,7 +202,9 @@ let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 (* ------------------------------------------------------------------ *)
 (* the bench-compile schema *)
 
-let schema = "fhe-bench-compile/v3"
+let schema = "fhe-bench-compile/v4"
+
+let schema_v3 = "fhe-bench-compile/v3"
 
 let schema_v2 = "fhe-bench-compile/v2"
 
@@ -228,12 +230,23 @@ type cache_stats = {
 let no_cache_stats =
   { cache_hits = 0; cache_misses = 0; cache_stores = 0; cache_poisoned = 0 }
 
+type serve_stats = {
+  serve_requests : int;
+  serve_qps : float;
+  serve_p50_ms : float;
+  serve_p99_ms : float;
+  serve_shed : int;
+  serve_timeouts : int;
+  serve_degraded : int;
+}
+
 type run = {
   rbits : int;
   wbits : int;
   domains : int;
   wall_time_par : float;
   cache : cache_stats;
+  serve : serve_stats option;
   entries : measurement list;
 }
 
@@ -250,6 +263,18 @@ let run_to_json r =
             ("misses", Num (float_of_int r.cache.cache_misses));
             ("stores", Num (float_of_int r.cache.cache_stores));
             ("poisoned", Num (float_of_int r.cache.cache_poisoned)) ] );
+      ( "serve",
+        match r.serve with
+        | None -> Null
+        | Some s ->
+            Obj
+              [ ("requests", Num (float_of_int s.serve_requests));
+                ("qps", Num s.serve_qps);
+                ("p50_ms", Num s.serve_p50_ms);
+                ("p99_ms", Num s.serve_p99_ms);
+                ("shed", Num (float_of_int s.serve_shed));
+                ("timeouts", Num (float_of_int s.serve_timeouts));
+                ("degraded", Num (float_of_int s.serve_degraded)) ] );
       ( "entries",
         Arr
           (List.map
@@ -274,7 +299,7 @@ let ( let* ) = Result.bind
 
 let run_of_json j =
   let* s = get_str "schema" j in
-  if s <> schema && s <> schema_v2 && s <> schema_v1 then
+  if s <> schema && s <> schema_v3 && s <> schema_v2 && s <> schema_v1 then
     Error (Printf.sprintf "unknown schema %S" s)
   else
     let* rbits = get_num "rbits" j in
@@ -298,6 +323,24 @@ let run_of_json j =
           { cache_hits = geti "hits"; cache_misses = geti "misses";
             cache_stores = geti "stores"; cache_poisoned = geti "poisoned" }
       | None -> no_cache_stats
+    in
+    (* v4 addition: the serve-daemon load snapshot; absent or null in
+       older files (and in runs measured without a daemon) *)
+    let serve =
+      match member "serve" j with
+      | Some (Obj _ as s) ->
+          let geti k =
+            match member k s with Some (Num f) -> int_of_float f | _ -> 0
+          in
+          let getf k =
+            match member k s with Some (Num f) -> f | _ -> 0.0
+          in
+          Some
+            { serve_requests = geti "requests"; serve_qps = getf "qps";
+              serve_p50_ms = getf "p50_ms"; serve_p99_ms = getf "p99_ms";
+              serve_shed = geti "shed"; serve_timeouts = geti "timeouts";
+              serve_degraded = geti "degraded" }
+      | _ -> None
     in
     let* entries =
       match member "entries" j with
@@ -328,7 +371,7 @@ let run_of_json j =
     in
     Ok
       { rbits = int_of_float rbits; wbits = int_of_float wbits; domains;
-        wall_time_par; cache; entries }
+        wall_time_par; cache; serve; entries }
 
 let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10) ~baseline
     ~current () =

@@ -32,7 +32,11 @@ val member : string -> json -> json option
 (** {1 The bench-compile schema} *)
 
 val schema : string
-(** ["fhe-bench-compile/v3"]. *)
+(** ["fhe-bench-compile/v4"]. *)
+
+val schema_v3 : string
+(** ["fhe-bench-compile/v3"]: the pre-serve schema, still accepted by
+    {!run_of_json}. *)
 
 val schema_v2 : string
 (** ["fhe-bench-compile/v2"]: the pre-cache schema, still accepted by
@@ -64,6 +68,17 @@ type cache_stats = {
 
 val no_cache_stats : cache_stats
 
+type serve_stats = {
+  serve_requests : int;  (** requests issued by the load generator *)
+  serve_qps : float;  (** completed (ok + degraded) per second *)
+  serve_p50_ms : float;  (** warm-cache served-compile latency *)
+  serve_p99_ms : float;
+  serve_shed : int;  (** admission-control refusals during the run *)
+  serve_timeouts : int;  (** deadline-budget expiries *)
+  serve_degraded : int;  (** fallback-chain replies *)
+}
+(** The [bench serve] load-test snapshot (v4). *)
+
 type run = {
   rbits : int;
   wbits : int;
@@ -72,17 +87,19 @@ type run = {
       (** wall time (ms) of the whole measurement batch at that width
           (v2; v1 = 0) *)
   cache : cache_stats;  (** v3; zeros for v1/v2 files *)
+  serve : serve_stats option;  (** v4; [None] in older files and in
+                                   runs measured without a daemon *)
   entries : measurement list;
 }
 
 val run_to_json : run -> json
-(** Always emits the v3 schema. *)
+(** Always emits the v4 schema. *)
 
 val run_of_json : json -> (run, string) result
-(** Accepts v3, v2 and v1 files (v1 defaults [domains] to 1 and
+(** Accepts v4, v3, v2 and v1 files (v1 defaults [domains] to 1 and
     [wall_time_par] to 0; pre-v3 files get zeroed cache stats and
-    [warm_compile_ms]); rejects unknown schemas and malformed
-    entries. *)
+    [warm_compile_ms]; pre-v4 files get [serve = None]); rejects
+    unknown schemas and malformed entries. *)
 
 val compare_runs :
   ?time_slack:float ->

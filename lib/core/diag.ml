@@ -10,6 +10,7 @@ type pass =
   | Validation
   | Oracle
   | Driver
+  | Serve
 
 type t = {
   severity : severity;
@@ -60,6 +61,7 @@ let pass_name = function
   | Validation -> "validation"
   | Oracle -> "oracle"
   | Driver -> "driver"
+  | Serve -> "serve"
 
 let severity_name = function
   | Error -> "error"

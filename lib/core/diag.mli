@@ -20,6 +20,7 @@ type pass =
   | Validation
   | Oracle  (** the differential-execution self check *)
   | Driver  (** the fallback-chain driver itself *)
+  | Serve  (** the compile daemon: admission, deadlines, transport *)
 
 type t = {
   severity : severity;

@@ -1,0 +1,487 @@
+(* The canonical IR wire format: one textual and one binary encoding of
+   programs (and managed programs), each versioned, each decoded through
+   a validator that refuses hostile bytes instead of raising or
+   allocating unboundedly.
+
+   The round-trip contract, tested over the Progen corpus, is
+   [Intern.digest (decode (encode p)) = Intern.digest p]: the digest
+   canonicalizes NaN payloads, so the textual encoding's single "nan"
+   token is lossless under the contract even though it drops payload
+   bits.  The binary encoding preserves exact float bit patterns. *)
+
+type error = { at : int; msg : string }
+
+let pp_error ppf e = Format.fprintf ppf "at %d: %s" e.at e.msg
+
+exception Fail of error
+
+let fail at fmt = Format.kasprintf (fun msg -> raise (Fail { at; msg })) fmt
+
+(* hard ceilings on decoded structures: a frame can claim at most what
+   its own byte count can justify, and never more than these *)
+let max_ops = 1 lsl 24
+
+let max_slots = 1 lsl 26
+
+let max_outputs = 1 lsl 20
+
+let max_name = 4096
+
+(* ------------------------------------------------------------------ *)
+(* binary encoding *)
+
+let magic_program = "FHEW"
+
+let magic_managed = "FHEM"
+
+let version = 1
+
+let add_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let add_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire: u32 out of range";
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let add_i32 b v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Wire: i32 out of range";
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let tag_of (k : Op.kind) =
+  match k with
+  | Op.Input _ -> 1 | Op.Const _ -> 2 | Op.Vconst _ -> 3 | Op.Add _ -> 4
+  | Op.Sub _ -> 5 | Op.Mul _ -> 6 | Op.Neg _ -> 7 | Op.Rotate _ -> 8
+  | Op.Rescale _ -> 9 | Op.Modswitch _ -> 10 | Op.Upscale _ -> 11
+
+let encode_kind b (k : Op.kind) =
+  add_u8 b (tag_of k);
+  match k with
+  | Op.Input { name; vt } ->
+      add_u8 b (match vt with Op.Cipher -> 1 | Op.Plain -> 0);
+      add_str b name
+  | Op.Const v -> add_f64 b v
+  | Op.Vconst { tag; values } ->
+      add_str b tag;
+      add_u32 b (Array.length values);
+      Array.iter (add_f64 b) values
+  | Op.Add (a, o) | Op.Sub (a, o) | Op.Mul (a, o) ->
+      add_u32 b a;
+      add_u32 b o
+  | Op.Neg a | Op.Rescale a | Op.Modswitch a -> add_u32 b a
+  | Op.Rotate (a, k) | Op.Upscale (a, k) ->
+      add_u32 b a;
+      add_i32 b k
+
+let encode_program_body b p =
+  add_u32 b (Program.n_slots p);
+  add_u32 b (Program.n_ops p);
+  Program.iteri (fun _ k -> encode_kind b k) p;
+  let outs = Program.outputs p in
+  add_u32 b (Array.length outs);
+  Array.iter (add_u32 b) outs
+
+let encode p =
+  let b = Buffer.create (64 + (16 * Program.n_ops p)) in
+  Buffer.add_string b magic_program;
+  add_u8 b version;
+  encode_program_body b p;
+  Buffer.contents b
+
+let encode_managed (m : Managed.t) =
+  let b = Buffer.create (64 + (24 * Program.n_ops m.Managed.prog)) in
+  Buffer.add_string b magic_managed;
+  add_u8 b version;
+  encode_program_body b m.Managed.prog;
+  Array.iter (add_i32 b) m.Managed.scale;
+  Array.iter (add_i32 b) m.Managed.level;
+  add_u32 b m.Managed.rbits;
+  add_u32 b m.Managed.wbits;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* binary decoding: a cursor with hard bounds checks; every length is
+   validated against the bytes actually present before any allocation
+   sized by it *)
+
+type cursor = { data : string; mutable pos : int }
+
+let remaining c = String.length c.data - c.pos
+
+let need c n what =
+  if n < 0 || remaining c < n then
+    fail c.pos "truncated: %s needs %d byte(s), %d left" what n (remaining c)
+
+let u8 c what =
+  need c 1 what;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u32 c what =
+  need c 4 what;
+  let v = Int32.to_int (String.get_int32_le c.data c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let i32 c what =
+  need c 4 what;
+  let v = Int32.to_int (String.get_int32_le c.data c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let f64 c what =
+  need c 8 what;
+  let v = Int64.float_of_bits (String.get_int64_le c.data c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let str c ~cap what =
+  let n = u32 c what in
+  if n > cap then fail c.pos "%s length %d exceeds cap %d" what n cap;
+  need c n what;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let vtype c =
+  match u8 c "input type" with
+  | 0 -> Op.Plain
+  | 1 -> Op.Cipher
+  | v -> fail (c.pos - 1) "bad input type byte %d" v
+
+let decode_kind c =
+  let at = c.pos in
+  match u8 c "op tag" with
+  | 1 ->
+      let vt = vtype c in
+      let name = str c ~cap:max_name "input name" in
+      Op.Input { name; vt }
+  | 2 -> Op.Const (f64 c "const")
+  | 3 ->
+      let tag = str c ~cap:max_name "vconst tag" in
+      let n = u32 c "vconst length" in
+      (* each value takes 8 bytes: the claimed count is bounded by the
+         bytes present before anything is allocated *)
+      need c (n * 8) "vconst values";
+      Op.Vconst { tag; values = Array.init n (fun _ -> f64 c "vconst value") }
+  | 4 -> let a = u32 c "operand" in Op.Add (a, u32 c "operand")
+  | 5 -> let a = u32 c "operand" in Op.Sub (a, u32 c "operand")
+  | 6 -> let a = u32 c "operand" in Op.Mul (a, u32 c "operand")
+  | 7 -> Op.Neg (u32 c "operand")
+  | 8 -> let a = u32 c "operand" in Op.Rotate (a, i32 c "rotate amount")
+  | 9 -> Op.Rescale (u32 c "operand")
+  | 10 -> Op.Modswitch (u32 c "operand")
+  | 11 -> let a = u32 c "operand" in Op.Upscale (a, i32 c "upscale amount")
+  | t -> fail at "unknown op tag %d" t
+
+let decode_program_body c =
+  let n_slots = u32 c "slot count" in
+  if n_slots > max_slots then fail c.pos "slot count %d exceeds cap" n_slots;
+  let n_ops = u32 c "op count" in
+  if n_ops > max_ops then fail c.pos "op count %d exceeds cap" n_ops;
+  (* every op costs at least one tag byte *)
+  need c n_ops "ops";
+  let ops = Array.init n_ops (fun _ -> decode_kind c) in
+  let n_out = u32 c "output count" in
+  if n_out > max_outputs then fail c.pos "output count %d exceeds cap" n_out;
+  need c (n_out * 4) "outputs";
+  let outputs = Array.init n_out (fun _ -> u32 c "output id") in
+  (* Program.make re-validates operand and output ranges and the
+     power-of-two slot count; its Invalid_argument becomes a decode
+     error rather than an exception *)
+  match Program.make ~ops ~outputs ~n_slots with
+  | p -> p
+  | exception Invalid_argument msg -> fail c.pos "%s" msg
+
+let header c magic what =
+  need c 5 (what ^ " header");
+  let m = String.sub c.data c.pos 4 in
+  if m <> magic then fail c.pos "bad magic %S (want %S)" m magic;
+  c.pos <- c.pos + 4;
+  let v = u8 c "version" in
+  if v <> version then fail (c.pos - 1) "unsupported %s version %d" what v
+
+let finish c v =
+  if remaining c <> 0 then
+    fail c.pos "%d trailing byte(s) after the encoded value" (remaining c);
+  v
+
+let run f data =
+  match f { data; pos = 0 } with v -> Ok v | exception Fail e -> Error e
+
+let decode data =
+  run
+    (fun c ->
+      header c magic_program "program";
+      finish c (decode_program_body c))
+    data
+
+let decode_managed data =
+  run
+    (fun c ->
+      header c magic_managed "managed program";
+      let prog = decode_program_body c in
+      let n = Program.n_ops prog in
+      need c (n * 8) "scale/level annotations";
+      let scale = Array.init n (fun _ -> i32 c "scale") in
+      let level = Array.init n (fun _ -> i32 c "level") in
+      let rbits = u32 c "rbits" in
+      let wbits = u32 c "wbits" in
+      let m =
+        match Managed.make ~prog ~scale ~level ~rbits ~wbits with
+        | m -> m
+        | exception Invalid_argument msg -> fail c.pos "%s" msg
+      in
+      finish c m)
+    data
+
+(* ------------------------------------------------------------------ *)
+(* textual encoding *)
+
+let text_header = "fhe-wire/1"
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* exact textual floats: hex-float literals round-trip every finite
+   bit pattern; nan/infinity use the tokens float_of_string accepts *)
+let float_text v =
+  if Float.is_nan v then "nan"
+  else if v = Float.infinity then "infinity"
+  else if v = Float.neg_infinity then "-infinity"
+  else Printf.sprintf "%h" v
+
+let encode_text p =
+  let b = Buffer.create (64 + (32 * Program.n_ops p)) in
+  Buffer.add_string b text_header;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "slots %d\n" (Program.n_slots p));
+  Program.iteri
+    (fun i k ->
+      Buffer.add_string b (Printf.sprintf "%%%d = " i);
+      (match k with
+      | Op.Input { name; vt } ->
+          Buffer.add_string b
+            (Printf.sprintf "input %s %s" (quote name)
+               (match vt with Op.Cipher -> "cipher" | Op.Plain -> "plain"))
+      | Op.Const v -> Buffer.add_string b ("const " ^ float_text v)
+      | Op.Vconst { tag; values } ->
+          Buffer.add_string b
+            (Printf.sprintf "vconst %s %d" (quote tag) (Array.length values));
+          Array.iter
+            (fun v ->
+              Buffer.add_char b ' ';
+              Buffer.add_string b (float_text v))
+            values
+      | Op.Add (a, o) -> Buffer.add_string b (Printf.sprintf "add %%%d %%%d" a o)
+      | Op.Sub (a, o) -> Buffer.add_string b (Printf.sprintf "sub %%%d %%%d" a o)
+      | Op.Mul (a, o) -> Buffer.add_string b (Printf.sprintf "mul %%%d %%%d" a o)
+      | Op.Neg a -> Buffer.add_string b (Printf.sprintf "neg %%%d" a)
+      | Op.Rotate (a, k) ->
+          Buffer.add_string b (Printf.sprintf "rotate %%%d %d" a k)
+      | Op.Rescale a -> Buffer.add_string b (Printf.sprintf "rescale %%%d" a)
+      | Op.Modswitch a ->
+          Buffer.add_string b (Printf.sprintf "modswitch %%%d" a)
+      | Op.Upscale (a, k) ->
+          Buffer.add_string b (Printf.sprintf "upscale %%%d %d" a k));
+      Buffer.add_char b '\n')
+    p;
+  Buffer.add_string b "ret";
+  Array.iter
+    (fun o -> Buffer.add_string b (Printf.sprintf " %%%d" o))
+    (Program.outputs p);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* textual decoding: tokens are whitespace-separated; quoted strings
+   carry their own lexer.  Errors report the 1-based line number. *)
+
+let unquote line s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
+    fail line "expected a quoted string, got %s" s;
+  let b = Buffer.create (n - 2) in
+  let i = ref 1 in
+  while !i < n - 1 do
+    (match s.[!i] with
+    | '\\' ->
+        if !i + 1 >= n - 1 then fail line "dangling escape in %s" s;
+        incr i;
+        (match s.[!i] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'x' ->
+            if !i + 2 >= n - 1 then fail line "short \\x escape in %s" s;
+            (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+            | Some code -> Buffer.add_char b (Char.chr code)
+            | None -> fail line "bad \\x escape in %s" s);
+            i := !i + 2
+        | c -> fail line "unknown escape '\\%c'" c)
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+(* split into tokens; a quoted string (with escapes) is one token *)
+let tokens line s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\t' | '\r' -> incr i
+    | '"' ->
+        let start = !i in
+        incr i;
+        let rec scan () =
+          if !i >= n then fail line "unterminated string"
+          else
+            match s.[!i] with
+            | '\\' ->
+                if !i + 1 >= n then fail line "unterminated string";
+                i := !i + 2;
+                scan ()
+            | '"' -> incr i
+            | _ ->
+                incr i;
+                scan ()
+        in
+        scan ();
+        out := String.sub s start (!i - start) :: !out
+    | _ ->
+        let start = !i in
+        while
+          !i < n
+          && (match s.[!i] with ' ' | '\t' | '\r' -> false | _ -> true)
+        do
+          incr i
+        done;
+        out := String.sub s start (!i - start) :: !out);
+    ()
+  done;
+  List.rev !out
+
+let value_id line tok =
+  if String.length tok < 2 || tok.[0] <> '%' then
+    fail line "expected a value id like %%3, got %s" tok;
+  match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+  | Some v when v >= 0 && v <= max_ops -> v
+  | _ -> fail line "malformed value id %s" tok
+
+let float_tok line tok =
+  match float_of_string_opt tok with
+  | Some f -> f
+  | None -> fail line "expected a number, got %s" tok
+
+let int_tok line tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> fail line "expected an integer, got %s" tok
+
+let decode_text text =
+  match
+    let lines = String.split_on_char '\n' text in
+    let header, rest =
+      match lines with
+      | h :: rest -> (h, rest)
+      | [] -> fail 0 "empty input"
+    in
+    if String.trim header <> text_header then
+      fail 1 "bad header %S (want %S)" (String.trim header) text_header;
+    let n_slots = ref 0 in
+    let ops = ref [] in
+    let n_ops = ref 0 in
+    let outputs = ref None in
+    List.iteri
+      (fun i raw ->
+        let line = i + 2 in
+        if !n_ops > max_ops then fail line "op count exceeds cap";
+        match tokens line raw with
+        | [] -> ()
+        | [ "slots"; n ] ->
+            if !n_slots <> 0 then fail line "duplicate slots directive";
+            let v = int_tok line n in
+            if v <= 0 || v > max_slots then
+              fail line "slot count %d out of range" v;
+            n_slots := v
+        | "ret" :: rest ->
+            if !outputs <> None then fail line "duplicate ret";
+            if rest = [] then fail line "ret needs at least one value";
+            if List.length rest > max_outputs then
+              fail line "output count exceeds cap";
+            outputs :=
+              Some (Array.of_list (List.map (value_id line) rest))
+        | lhs :: "=" :: rhs ->
+            if !outputs <> None then fail line "op after ret";
+            let id = value_id line lhs in
+            if id <> !n_ops then
+              fail line "expected id %%%d, got %%%d (ids must be dense)"
+                !n_ops id;
+            let k =
+              match rhs with
+              | [ "input"; name; vt ] ->
+                  let vt =
+                    match vt with
+                    | "cipher" -> Op.Cipher
+                    | "plain" -> Op.Plain
+                    | _ -> fail line "input type must be cipher or plain"
+                  in
+                  Op.Input { name = unquote line name; vt }
+              | [ "const"; v ] -> Op.Const (float_tok line v)
+              | "vconst" :: tag :: count :: vals ->
+                  let count = int_tok line count in
+                  if count <> List.length vals then
+                    fail line "vconst claims %d value(s), has %d" count
+                      (List.length vals);
+                  Op.Vconst
+                    { tag = unquote line tag;
+                      values =
+                        Array.of_list (List.map (float_tok line) vals) }
+              | [ "add"; a; b ] -> Op.Add (value_id line a, value_id line b)
+              | [ "sub"; a; b ] -> Op.Sub (value_id line a, value_id line b)
+              | [ "mul"; a; b ] -> Op.Mul (value_id line a, value_id line b)
+              | [ "neg"; a ] -> Op.Neg (value_id line a)
+              | [ "rotate"; a; k ] ->
+                  Op.Rotate (value_id line a, int_tok line k)
+              | [ "rescale"; a ] -> Op.Rescale (value_id line a)
+              | [ "modswitch"; a ] -> Op.Modswitch (value_id line a)
+              | [ "upscale"; a; k ] ->
+                  Op.Upscale (value_id line a, int_tok line k)
+              | op :: _ -> fail line "unknown operation %s" op
+              | [] -> fail line "missing right-hand side"
+            in
+            ops := k :: !ops;
+            incr n_ops
+        | _ -> fail line "expected 'slots N', '%%N = op ...' or 'ret ...'")
+      rest;
+    if !n_slots = 0 then fail 0 "missing slots directive";
+    match !outputs with
+    | None -> fail 0 "missing ret"
+    | Some outputs -> (
+        let ops = Array.of_list (List.rev !ops) in
+        match Program.make ~ops ~outputs ~n_slots:!n_slots with
+        | p -> p
+        | exception Invalid_argument msg -> fail 0 "%s" msg)
+  with
+  | p -> Ok p
+  | exception Fail e -> Error e

@@ -1,0 +1,56 @@
+(** The canonical IR wire format.
+
+    Two self-describing encodings of {!Program.t} (and of compiled
+    {!Managed.t}), both versioned:
+
+    - {b binary}: a [FHEW]/[FHEM] magic, a version byte, and
+      length-prefixed little-endian fields.  Exact: every float bit
+      pattern round-trips.
+    - {b textual}: a [fhe-wire/1] header followed by one op per line
+      with quoted strings and hex-float literals, diffable and
+      hand-editable.  Exact for finite floats; NaN payload bits collapse
+      to the canonical NaN (which {!Intern.digest} does anyway).
+
+    {b Round-trip contract} (tested over the Progen corpus):
+    [decode (encode p)] and [decode_text (encode_text p)] both succeed
+    and preserve {!Intern.digest}.
+
+    {b Decode validation.}  Decoders never raise and never allocate a
+    structure larger than the input bytes can justify: every claimed
+    length is checked against the bytes actually present (plus hard
+    ceilings) before any allocation, unknown tags/versions/magic are
+    typed errors, and the decoded program is re-validated through
+    {!Program.make} (dense ids, operand ordering, power-of-two slots)
+    — so arbitrary hostile input produces [Error], not an exception,
+    not an OOM.  This is the property the compile daemon's frame layer
+    relies on. *)
+
+type error = { at : int; msg : string }
+(** [at] is a byte offset for the binary decoders, a 1-based line
+    number for the textual decoder. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Binary} *)
+
+val version : int
+(** Encoding version written (and required) by this build: [1]. *)
+
+val encode : Program.t -> string
+
+val decode : string -> (Program.t, error) result
+
+val encode_managed : Managed.t -> string
+(** The program body plus the scale/level annotations and the
+    [rbits]/[wbits] parameters — what the compile daemon ships back. *)
+
+val decode_managed : string -> (Managed.t, error) result
+(** Structural validation only ({!Managed.make} length/parameter
+    checks); callers wanting full legality run {!Validator.check} on
+    the result, as {!Fhe_cache.Store} does for disk entries. *)
+
+(** {1 Textual} *)
+
+val encode_text : Program.t -> string
+
+val decode_text : string -> (Program.t, error) result

@@ -151,3 +151,72 @@ let map t f xs =
   end
 
 let iter t f xs = ignore (map t (fun x -> f x) xs : unit list)
+
+(* ------------------------------------------------------------------ *)
+(* One-shot task submission with a deadline-bounded await — the serve
+   daemon's watchdog.  A handle is a single atomic cell written once by
+   the task; await polls it against the monotonic clock, so a wedged
+   task (infinite loop, pathological compile) costs the caller exactly
+   its deadline, never forever.  The task itself is not killed —
+   domains cannot be cancelled — it is *abandoned*: it keeps its worker
+   until it finishes, and its eventual result is discarded unless
+   someone awaits the handle again. *)
+
+type 'a outcome = Pending | Value of 'a | Raised of exn
+
+type 'a handle = { cell : 'a outcome Atomic.t }
+
+let submit t job =
+  let h = { cell = Atomic.make Pending } in
+  let task () =
+    let r = match job () with v -> Value v | exception e -> Raised e in
+    Atomic.set h.cell r
+  in
+  Mutex.lock t.lock;
+  if t.shut then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Fhe_par.Pool.submit: pool is shut down"
+  end;
+  if t.workers = [] then begin
+    (* width-1 pool: no worker will ever pop the queue outside map's
+       drain, so run inline — submission-time blocking, but complete *)
+    Mutex.unlock t.lock;
+    (try run_task task with _ -> ())
+  end
+  else begin
+    Queue.add task t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.lock
+  end;
+  h
+
+let peek h =
+  match Atomic.get h.cell with
+  | Pending -> None
+  | Value v -> Some (Ok v)
+  | Raised e -> Some (Error e)
+
+(* poll interval: coarse enough to cost nothing next to a compile,
+   fine enough that a 1 ms deadline is honoured within ~2 ms *)
+let tick_s = 0.0005
+
+let await ?deadline_ms h =
+  let deadline =
+    Option.map
+      (fun ms ->
+        Int64.add (Fhe_util.Timer.now_ns ())
+          (Int64.of_float (Float.max ms 0.0 *. 1e6)))
+      deadline_ms
+  in
+  let rec loop () =
+    match Atomic.get h.cell with
+    | Value v -> Ok v
+    | Raised e -> Error (`Exn e)
+    | Pending -> (
+        match deadline with
+        | Some d when Fhe_util.Timer.now_ns () >= d -> Error `Timeout
+        | _ ->
+            Unix.sleepf tick_s;
+            loop ())
+  in
+  loop ()

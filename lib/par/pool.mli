@@ -59,3 +59,35 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down on the
     way out, exception or not. *)
+
+(** {1 One-shot submission with a deadline}
+
+    The batch API above blocks until the whole batch drains — right for
+    drivers, wrong for a service where one wedged compile must not hang
+    its caller forever.  [submit] hands one task to the pool and
+    returns immediately; [await ~deadline_ms] is the watchdog: it
+    bounds the wait and reports [`Timeout] instead of hanging (the
+    serve layer lifts that into a structured [Reserve.Diag]).  A timed
+    out task is {e abandoned}, not cancelled — domains cannot be
+    killed — so it occupies its worker until it finishes on its own;
+    size the pool for the abandonment rate you can tolerate. *)
+
+type 'a handle
+
+val submit : t -> (unit -> 'a) -> 'a handle
+(** Enqueue one task.  On a width-1 pool (no spawned workers) the task
+    runs inline before [submit] returns, preserving completeness at
+    the cost of deadline preemption — deadline-sensitive callers
+    should use a pool of width ≥ 2.
+    @raise Invalid_argument after [shutdown]. *)
+
+val await :
+  ?deadline_ms:float -> 'a handle -> ('a, [ `Timeout | `Exn of exn ]) result
+(** Wait (polling the monotonic clock) until the task finishes or the
+    deadline elapses.  Without [deadline_ms] it waits indefinitely.
+    [`Exn e] is the task's own exception.  Awaiting again after a
+    [`Timeout] is allowed: the task may have finished in the
+    meantime. *)
+
+val peek : 'a handle -> ('a, exn) result option
+(** Non-blocking: [None] while the task is still pending. *)

@@ -1,0 +1,81 @@
+(* Bounded admission: at most [capacity] compiles in flight; above
+   [degrade_at] new admissions run the degraded (fallback-permitted)
+   chain; at capacity the request is shed with an explicit reply.
+   Counters are atomics — connection handlers on many threads hit this
+   concurrently. *)
+
+type level = Normal | Pressured
+
+type t = {
+  capacity : int;
+  degrade_at : int;
+  inflight : int Atomic.t;
+  admitted : int Atomic.t;
+  shed : int Atomic.t;
+  degraded : int Atomic.t;
+  timeouts : int Atomic.t;
+  failed : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+let create ~capacity ~degrade_at =
+  if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  if degrade_at < 1 || degrade_at > capacity then
+    invalid_arg "Admission.create: degrade_at out of [1, capacity]";
+  {
+    capacity;
+    degrade_at;
+    inflight = Atomic.make 0;
+    admitted = Atomic.make 0;
+    shed = Atomic.make 0;
+    degraded = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    failed = Atomic.make 0;
+    completed = Atomic.make 0;
+  }
+
+let rec try_admit t =
+  let cur = Atomic.get t.inflight in
+  if cur >= t.capacity then begin
+    Atomic.incr t.shed;
+    `Shed
+  end
+  else if Atomic.compare_and_set t.inflight cur (cur + 1) then begin
+    Atomic.incr t.admitted;
+    `Go (if cur + 1 > t.degrade_at then Pressured else Normal)
+  end
+  else try_admit t
+
+let release t = Atomic.decr t.inflight
+
+let note_degraded t = Atomic.incr t.degraded
+let note_timeout t = Atomic.incr t.timeouts
+let note_failed t = Atomic.incr t.failed
+let note_completed t = Atomic.incr t.completed
+
+type stats = {
+  inflight : int;
+  admitted : int;
+  shed : int;
+  degraded : int;
+  timeouts : int;
+  failed : int;
+  completed : int;
+}
+
+let stats (t : t) : stats =
+  {
+    inflight = Atomic.get t.inflight;
+    admitted = Atomic.get t.admitted;
+    shed = Atomic.get t.shed;
+    degraded = Atomic.get t.degraded;
+    timeouts = Atomic.get t.timeouts;
+    failed = Atomic.get t.failed;
+    completed = Atomic.get t.completed;
+  }
+
+let stats_json (s : stats) =
+  Printf.sprintf
+    "{\"inflight\":%d,\"admitted\":%d,\"shed\":%d,\"degraded\":%d,\
+     \"timeouts\":%d,\"failed\":%d,\"completed\":%d}"
+    s.inflight s.admitted s.shed s.degraded s.timeouts s.failed s.completed

@@ -1,0 +1,50 @@
+(** Bounded admission control for the compile daemon.
+
+    At most [capacity] compiles are in flight at once.  Admission never
+    blocks and never drops silently:
+
+    - below [degrade_at] in-flight: [`Go Normal] — the request runs the
+      strict configuration it asked for;
+    - at or above [degrade_at]: [`Go Pressured] — the request is
+      admitted but runs with the fallback chain enabled, trading plan
+      quality for completion under load;
+    - at [capacity]: [`Shed] — the caller must send an explicit
+      {!Protocol.Shed} reply so the client can back off and retry.
+
+    Thread-safe: connection handlers on many threads share one [t]. *)
+
+type level = Normal | Pressured
+
+type t
+
+val create : capacity:int -> degrade_at:int -> t
+(** @raise Invalid_argument unless [1 <= degrade_at <= capacity]. *)
+
+val try_admit : t -> [ `Go of level | `Shed ]
+(** Reserve an in-flight slot (lock-free CAS).  Every [`Go] must be
+    paired with exactly one {!release}. *)
+
+val release : t -> unit
+
+val note_degraded : t -> unit
+(** Count a reply that went out as {!Protocol.Degraded}. *)
+
+val note_timeout : t -> unit
+val note_failed : t -> unit
+val note_completed : t -> unit
+
+type stats = {
+  inflight : int;
+  admitted : int;
+  shed : int;
+  degraded : int;
+  timeouts : int;
+  failed : int;
+  completed : int;
+}
+
+val stats : t -> stats
+(** A consistent-enough snapshot (each counter read atomically). *)
+
+val stats_json : stats -> string
+(** One-line JSON object, stable key order — the [Stats] reply body. *)

@@ -1,0 +1,148 @@
+(* Client side of the compile protocol: a thin connection wrapper, a
+   retrying one-shot [compile_retry] (fresh connection per attempt,
+   exponential backoff with deterministic jitter), and a raw-bytes
+   sender the fault matrix uses to deliver corrupted frames. *)
+
+type t = { fd : Unix.file_descr; max_payload : int }
+
+let connect ?(timeout_ms = 5_000) ?(max_payload = Protocol.max_payload_default)
+    ~socket () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () ->
+      let s = float_of_int timeout_ms /. 1000. in
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+       with Unix.Unix_error _ -> ());
+      Ok { fd; max_payload }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let roundtrip t request =
+  let typ, payload = Protocol.encode_request request in
+  match Protocol.write_frame t.fd ~typ payload with
+  | Error m -> Error (Printf.sprintf "write: %s" m)
+  | Ok () -> (
+      match Protocol.read_frame ~max_payload:t.max_payload t.fd with
+      | Error e -> Error (Format.asprintf "read: %a" Protocol.pp_read_error e)
+      | Ok (typ, payload) -> (
+          match Protocol.decode_reply ~typ payload with
+          | Error m -> Error (Printf.sprintf "reply: %s" m)
+          | Ok reply -> Ok reply))
+
+let ping t =
+  match roundtrip t Protocol.Ping with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok r -> Error ("unexpected reply: " ^ Protocol.reply_name r)
+  | Error _ as e -> e
+
+let stats t =
+  match roundtrip t Protocol.Stats with
+  | Ok (Protocol.Stats_reply json) -> Ok json
+  | Ok r -> Error ("unexpected reply: " ^ Protocol.reply_name r)
+  | Error _ as e -> e
+
+let compile t req = roundtrip t (Protocol.Compile req)
+
+let shutdown_server t =
+  match roundtrip t Protocol.Shutdown with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok r -> Error ("unexpected reply: " ^ Protocol.reply_name r)
+  | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Retrying one-shot. *)
+
+type attempt_log = { attempts : int; sheds : int; transport_errors : int }
+
+let compile_retry ?(attempts = 5) ?(base_delay_ms = 25.) ?(max_delay_ms = 2_000.)
+    ?(seed = 0) ~socket (req : Protocol.compile_request) =
+  let rng = Fhe_util.Prng.create (0x5e12e + seed) in
+  let log = ref { attempts = 0; sheds = 0; transport_errors = 0 } in
+  (* full jitter: delay in [d/2, d), doubling each retry, capped *)
+  let backoff i extra_ms =
+    let d = min max_delay_ms (base_delay_ms *. (2. ** float_of_int i)) in
+    let jittered = d *. (0.5 +. (0.5 *. Fhe_util.Prng.uniform rng ~lo:0. ~hi:1.)) in
+    Unix.sleepf ((max jittered (float_of_int extra_ms)) /. 1000.)
+  in
+  let rec go i last_err =
+    if i >= attempts then
+      Error
+        (Printf.sprintf "gave up after %d attempts: %s" attempts
+           (Option.value last_err ~default:"shed"))
+    else begin
+      log := { !log with attempts = !log.attempts + 1 };
+      match connect ~socket () with
+      | Error m ->
+          log := { !log with transport_errors = !log.transport_errors + 1 };
+          backoff i 0;
+          go (i + 1) (Some m)
+      | Ok t -> (
+          let r = compile t req in
+          close t;
+          match r with
+          | Ok (Protocol.Shed { retry_after_ms; reason }) ->
+              log := { !log with sheds = !log.sheds + 1 };
+              backoff i retry_after_ms;
+              go (i + 1) (Some ("shed: " ^ reason))
+          | Ok reply -> Ok (reply, !log)
+          | Error m ->
+              (* transport or framing failure: the server may have
+                 restarted mid-flight; a fresh connection may succeed *)
+              log := { !log with transport_errors = !log.transport_errors + 1 };
+              backoff i 0;
+              go (i + 1) (Some m))
+    end
+  in
+  go 0 None
+
+(* ------------------------------------------------------------------ *)
+(* Raw sender for the fault matrix. *)
+
+type raw_conduct =
+  [ `Read_reply  (** then read one frame like a well-behaved client *)
+  | `Close  (** then close abruptly (mid-response disconnect) *)
+  | `Stall of int  (** then hold the socket silent for [ms], then close *)
+  ]
+
+let send_all fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let rec go pos =
+    if pos >= Bytes.length buf then Ok ()
+    else
+      match Unix.single_write fd buf pos (Bytes.length buf - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let raw ?(max_payload = Protocol.max_payload_default) ~socket ~bytes conduct =
+  match connect ~max_payload ~socket () with
+  | Error m -> Error m
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () ->
+          match send_all t.fd bytes with
+          | Error m -> Ok (`Send_failed m)
+          | Ok () -> (
+              match conduct with
+              | `Close -> Ok `Closed
+              | `Stall ms ->
+                  Unix.sleepf (float_of_int ms /. 1000.);
+                  Ok `Closed
+              | `Read_reply -> (
+                  match Protocol.read_frame ~max_payload t.fd with
+                  | Error e ->
+                      Ok
+                        (`No_reply
+                           (Format.asprintf "%a" Protocol.pp_read_error e))
+                  | Ok (typ, payload) -> (
+                      match Protocol.decode_reply ~typ payload with
+                      | Ok reply -> Ok (`Reply reply)
+                      | Error m -> Ok (`No_reply ("undecodable reply: " ^ m))))))

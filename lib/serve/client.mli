@@ -1,0 +1,76 @@
+(** Client side of the compile protocol.
+
+    [connect]/[compile] are the plain one-request primitives;
+    {!compile_retry} is the resilient path — a fresh connection per
+    attempt, honouring {!Protocol.Shed} backpressure with exponential
+    backoff and deterministic jitter; {!raw} delivers arbitrary (e.g.
+    fault-corrupted) bytes for the robustness matrix. *)
+
+type t
+
+val connect :
+  ?timeout_ms:int ->
+  ?max_payload:int ->
+  socket:string ->
+  unit ->
+  (t, string) result
+(** Connect to a daemon's Unix socket.  [timeout_ms] (default 5 s)
+    bounds every subsequent read and write on the connection. *)
+
+val close : t -> unit
+
+val ping : t -> (unit, string) result
+
+val stats : t -> (string, string) result
+(** The server's counters as a JSON object. *)
+
+val compile : t -> Protocol.compile_request -> (Protocol.reply, string) result
+(** One request, no retry; [Error] is a transport or framing failure
+    (a structured refusal like [Shed] comes back as [Ok (Shed _)]). *)
+
+val shutdown_server : t -> (unit, string) result
+
+type attempt_log = { attempts : int; sheds : int; transport_errors : int }
+
+val compile_retry :
+  ?attempts:int ->
+  ?base_delay_ms:float ->
+  ?max_delay_ms:float ->
+  ?seed:int ->
+  socket:string ->
+  Protocol.compile_request ->
+  (Protocol.reply * attempt_log, string) result
+(** Retry until a non-[Shed] reply or the attempt budget (default 5)
+    runs out.  Between attempts: exponential backoff from
+    [base_delay_ms] (default 25 ms, doubling, capped at
+    [max_delay_ms]) with full jitter drawn from a PRNG seeded by
+    [seed] — deterministic for tests, decorrelated across clients.  A
+    [Shed] reply's [retry_after_ms] acts as a floor on the next delay.
+    Transport failures (connection refused, mid-response disconnect)
+    also retry; structured failures ([Failed], [Timed_out],
+    [Bad_request]) return immediately as [Ok]. *)
+
+(** {1 Fault delivery} *)
+
+type raw_conduct =
+  [ `Read_reply  (** then read one frame like a well-behaved client *)
+  | `Close  (** then close abruptly (mid-response disconnect) *)
+  | `Stall of int  (** then hold the socket silent for [ms], then close *)
+  ]
+
+val raw :
+  ?max_payload:int ->
+  socket:string ->
+  bytes:string ->
+  raw_conduct ->
+  ( [ `Reply of Protocol.reply
+    | `No_reply of string
+    | `Closed
+    | `Send_failed of string ],
+    string )
+  result
+(** Deliver [bytes] verbatim — typically a {!Protocol.frame} run
+    through {!Fhe_sim.Faults.wire_apply} — then behave per [conduct].
+    The outer [Error] is a connect failure only; everything the server
+    does in response (reply, silence, slammed door) comes back as
+    [Ok _] for the matrix to assert on. *)

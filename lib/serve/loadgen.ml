@@ -1,0 +1,134 @@
+(* Closed-loop load generator: N client threads, each holding one
+   connection and issuing its requests back-to-back.  Shared by the
+   [bench serve] emitter and the serve test tier, so the numbers in
+   BENCH_compile.json come from the same harness the tests gate on. *)
+
+type stats = {
+  requests : int;
+  ok : int;
+  degraded : int;
+  shed : int;
+  timeouts : int;
+  failed : int;
+  transport : int;  (** connect/read/write failures *)
+  wall_ms : float;
+  qps : float;  (** completed (ok + degraded) per second *)
+  p50_ms : float;  (** over completed request latencies *)
+  p99_ms : float;
+}
+
+type cell = {
+  mutable ok : int;
+  mutable degraded : int;
+  mutable shed : int;
+  mutable timeouts : int;
+  mutable failed : int;
+  mutable transport : int;
+  mutable latencies : float list;  (** completed requests only, ms *)
+}
+
+let fresh_cell () =
+  {
+    ok = 0;
+    degraded = 0;
+    shed = 0;
+    timeouts = 0;
+    failed = 0;
+    transport = 0;
+    latencies = [];
+  }
+
+let worker ~socket ~per_thread ~make_request ~first cell =
+  let conn = ref None in
+  let get_conn () =
+    match !conn with
+    | Some c -> Ok c
+    | None -> (
+        match Client.connect ~socket () with
+        | Ok c ->
+            conn := Some c;
+            Ok c
+        | Error _ as e -> e)
+  in
+  for i = 0 to per_thread - 1 do
+    let req = make_request (first + i) in
+    match get_conn () with
+    | Error _ -> cell.transport <- cell.transport + 1
+    | Ok c -> (
+        let t0 = Fhe_util.Timer.now_ns () in
+        match Client.compile c req with
+        | Ok reply -> (
+            let ms =
+              Int64.to_float (Int64.sub (Fhe_util.Timer.now_ns ()) t0) /. 1e6
+            in
+            match reply with
+            | Protocol.Compiled _ ->
+                cell.ok <- cell.ok + 1;
+                cell.latencies <- ms :: cell.latencies
+            | Protocol.Degraded _ ->
+                cell.degraded <- cell.degraded + 1;
+                cell.latencies <- ms :: cell.latencies
+            | Protocol.Shed _ -> cell.shed <- cell.shed + 1
+            | Protocol.Timed_out _ -> cell.timeouts <- cell.timeouts + 1
+            | Protocol.Failed _ | Protocol.Bad_request _ ->
+                cell.failed <- cell.failed + 1
+            | Protocol.Pong | Protocol.Stats_reply _ ->
+                cell.failed <- cell.failed + 1)
+        | Error _ ->
+            (* connection poisoned; reconnect for the next request *)
+            cell.transport <- cell.transport + 1;
+            Option.iter Client.close !conn;
+            conn := None)
+  done;
+  Option.iter Client.close !conn
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let run ~socket ?(threads = 4) ?(per_thread = 8) ~make_request () =
+  let cells = Array.init threads (fun _ -> fresh_cell ()) in
+  let t0 = Fhe_util.Timer.now_ns () in
+  let ths =
+    List.init threads (fun t ->
+        Thread.create
+          (fun () ->
+            worker ~socket ~per_thread ~make_request ~first:(t * per_thread)
+              cells.(t))
+          ())
+  in
+  List.iter Thread.join ths;
+  let wall_ms =
+    Int64.to_float (Int64.sub (Fhe_util.Timer.now_ns ()) t0) /. 1e6
+  in
+  let sum f = Array.fold_left (fun a c -> a + f c) 0 cells in
+  let ok = sum (fun c -> c.ok) and degraded = sum (fun c -> c.degraded) in
+  let lats =
+    Array.of_list (Array.fold_left (fun a c -> c.latencies @ a) [] cells)
+  in
+  Array.sort compare lats;
+  {
+    requests = threads * per_thread;
+    ok;
+    degraded;
+    shed = sum (fun c -> c.shed);
+    timeouts = sum (fun c -> c.timeouts);
+    failed = sum (fun c -> c.failed);
+    transport = sum (fun c -> c.transport);
+    wall_ms;
+    qps =
+      (if wall_ms <= 0. then 0.
+       else float_of_int (ok + degraded) /. (wall_ms /. 1000.));
+    p50_ms = percentile lats 0.50;
+    p99_ms = percentile lats 0.99;
+  }
+
+let pp ppf (s : stats) =
+  Format.fprintf ppf
+    "%d requests in %.1f ms: %d ok, %d degraded, %d shed, %d timeout, %d \
+     failed, %d transport; %.1f qps, p50 %.2f ms, p99 %.2f ms"
+    s.requests s.wall_ms s.ok s.degraded s.shed s.timeouts s.failed s.transport
+    s.qps s.p50_ms s.p99_ms

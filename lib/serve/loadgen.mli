@@ -1,0 +1,35 @@
+(** Closed-loop load generator for a running compile daemon.
+
+    [threads] client threads, each holding one connection and issuing
+    [per_thread] requests back-to-back (reconnecting after a transport
+    failure).  Shared by the [bench serve] emitter and the serve test
+    tier, so published load numbers come from the same harness the
+    tests exercise. *)
+
+type stats = {
+  requests : int;
+  ok : int;
+  degraded : int;
+  shed : int;
+  timeouts : int;
+  failed : int;
+  transport : int;  (** connect/read/write failures *)
+  wall_ms : float;
+  qps : float;  (** completed (ok + degraded) per wall-clock second *)
+  p50_ms : float;  (** over completed request latencies *)
+  p99_ms : float;
+}
+
+val run :
+  socket:string ->
+  ?threads:int ->
+  ?per_thread:int ->
+  make_request:(int -> Protocol.compile_request) ->
+  unit ->
+  stats
+(** [make_request i] builds the [i]-th request (global index across
+    threads), so a workload can mix programs, compilers, and tenants
+    deterministically. *)
+
+val pp : Format.formatter -> stats -> unit
+(** One human-readable summary line. *)

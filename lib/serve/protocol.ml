@@ -1,0 +1,350 @@
+open Fhe_ir
+
+(* The compile daemon's frame and message layer.  Same defensive posture
+   as Fhe_ir.Wire: every claimed length is checked against the bytes
+   actually present (plus a hard cap) before any allocation, and hostile
+   input becomes a typed [Error], never an exception or an OOM. *)
+
+let magic = "FHES"
+let version = 1
+let header_len = 10 (* magic + version + type + u32 payload length *)
+(* Lenet-scale programs encode to ~17 MiB, so the cap must clear them
+   with room; it exists to bound a hostile peer, not to ration honest
+   ones. *)
+let max_payload_default = 32 * 1024 * 1024
+
+(* Message-type bytes.  Requests live below 64, replies at 64 and up, so
+   a peer that answers a request with a request is caught immediately. *)
+let t_compile = 1
+let t_ping = 2
+let t_shutdown = 3
+let t_stats = 4
+let t_ok = 64
+let t_degraded = 65
+let t_shed = 66
+let t_timeout = 67
+let t_failed = 68
+let t_bad_request = 69
+let t_pong = 70
+let t_stats_reply = 71
+
+type compile_request = {
+  tenant : string;
+  compiler : string;
+  rbits : int;
+  wbits : int;
+  xmax_bits : int;
+  iterations : int;
+  allow_fallback : bool;
+  oracle : bool;
+  deadline_ms : int;
+  program : Program.t;
+}
+
+type request = Compile of compile_request | Ping | Shutdown | Stats
+
+type compile_reply = {
+  engine : string;
+  wbits_used : int;
+  warnings : string list;
+  managed : Managed.t;
+}
+
+type reply =
+  | Compiled of compile_reply
+  | Degraded of compile_reply
+  | Shed of { retry_after_ms : int; reason : string }
+  | Timed_out of string
+  | Failed of string list
+  | Bad_request of string
+  | Pong
+  | Stats_reply of string
+
+let reply_name = function
+  | Compiled _ -> "ok"
+  | Degraded _ -> "degraded"
+  | Shed _ -> "shed"
+  | Timed_out _ -> "timeout"
+  | Failed _ -> "failed"
+  | Bad_request _ -> "bad-request"
+  | Pong -> "pong"
+  | Stats_reply _ -> "stats"
+
+(* ------------------------------------------------------------------ *)
+(* Field caps: absolute ceilings on hostile claims, enforced before the
+   corresponding allocation. *)
+
+let max_name = 4096
+let max_message = 65536
+let max_list = 1024
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding. *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode_compile_request (r : compile_request) =
+  let b = Buffer.create 256 in
+  add_str b r.tenant;
+  add_str b r.compiler;
+  add_u32 b r.rbits;
+  add_u32 b r.wbits;
+  add_u32 b r.xmax_bits;
+  add_u32 b r.iterations;
+  add_u8 b ((if r.allow_fallback then 1 else 0) lor (if r.oracle then 2 else 0));
+  add_u32 b r.deadline_ms;
+  add_str b (Wire.encode r.program);
+  Buffer.contents b
+
+let encode_compile_reply (r : compile_reply) =
+  let b = Buffer.create 256 in
+  add_str b r.engine;
+  add_u32 b r.wbits_used;
+  add_u32 b (List.length r.warnings);
+  List.iter (add_str b) r.warnings;
+  add_str b (Wire.encode_managed r.managed);
+  Buffer.contents b
+
+let encode_request = function
+  | Compile r -> (t_compile, encode_compile_request r)
+  | Ping -> (t_ping, "")
+  | Shutdown -> (t_shutdown, "")
+  | Stats -> (t_stats, "")
+
+let encode_reply = function
+  | Compiled r -> (t_ok, encode_compile_reply r)
+  | Degraded r -> (t_degraded, encode_compile_reply r)
+  | Shed { retry_after_ms; reason } ->
+      let b = Buffer.create 32 in
+      add_u32 b retry_after_ms;
+      add_str b reason;
+      (t_shed, Buffer.contents b)
+  | Timed_out msg ->
+      let b = Buffer.create 32 in
+      add_str b msg;
+      (t_timeout, Buffer.contents b)
+  | Failed msgs ->
+      let b = Buffer.create 64 in
+      add_u32 b (List.length msgs);
+      List.iter (add_str b) msgs;
+      (t_failed, Buffer.contents b)
+  | Bad_request msg ->
+      let b = Buffer.create 32 in
+      add_str b msg;
+      (t_bad_request, Buffer.contents b)
+  | Pong -> (t_pong, "")
+  | Stats_reply json -> (t_stats_reply, json)
+
+(* ------------------------------------------------------------------ *)
+(* Payload decoding: a bounds-checked cursor; [Fail] never escapes. *)
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n what =
+  if n < 0 || c.pos + n > String.length c.s then
+    fail "truncated %s at byte %d" what c.pos
+
+let u8 c what =
+  need c 1 what;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u32 c what =
+  need c 4 what;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let str c ~cap what =
+  let n = u32 c what in
+  if n > cap then fail "%s length %d exceeds cap %d" what n cap;
+  need c n what;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let finish c v =
+  if c.pos <> String.length c.s then
+    fail "%d trailing bytes after message" (String.length c.s - c.pos);
+  v
+
+let str_list c ~count_what ~what =
+  let n = u32 c count_what in
+  if n > max_list then fail "%s %d exceeds cap %d" count_what n max_list;
+  List.init n (fun _ -> str c ~cap:max_message what)
+
+let wire_sub ~what decode c =
+  (* a Wire-encoded blob, length-prefixed; its own decoder revalidates *)
+  let blob = str c ~cap:(String.length c.s) what in
+  match decode blob with
+  | Ok v -> v
+  | Error e -> fail "%s: %s" what (Format.asprintf "%a" Wire.pp_error e)
+
+let decode_compile_request c =
+  let tenant = str c ~cap:max_name "tenant" in
+  let compiler = str c ~cap:max_name "compiler" in
+  let rbits = u32 c "rbits" in
+  let wbits = u32 c "wbits" in
+  let xmax_bits = u32 c "xmax-bits" in
+  let iterations = u32 c "iterations" in
+  let flags = u8 c "flags" in
+  let deadline_ms = u32 c "deadline-ms" in
+  let program = wire_sub ~what:"program" Wire.decode c in
+  if rbits < 1 || rbits > 120 then fail "rbits %d out of range" rbits;
+  if wbits < 1 || wbits > rbits then fail "wbits %d out of range" wbits;
+  if xmax_bits > 120 then fail "xmax-bits %d out of range" xmax_bits;
+  {
+    tenant;
+    compiler;
+    rbits;
+    wbits;
+    xmax_bits;
+    iterations;
+    allow_fallback = flags land 1 <> 0;
+    oracle = flags land 2 <> 0;
+    deadline_ms;
+    program;
+  }
+
+let decode_compile_reply c =
+  let engine = str c ~cap:max_name "engine" in
+  let wbits_used = u32 c "wbits-used" in
+  let warnings = str_list c ~count_what:"warning count" ~what:"warning" in
+  let managed = wire_sub ~what:"managed" Wire.decode_managed c in
+  { engine; wbits_used; warnings; managed }
+
+let empty c v = finish c v
+
+let guard f payload =
+  let c = { s = payload; pos = 0 } in
+  match f c with v -> Ok (finish c v) | exception Fail m -> Error m
+
+let decode_request ~typ payload =
+  if typ = t_compile then guard (fun c -> Compile (decode_compile_request c)) payload
+  else if typ = t_ping then guard (fun c -> empty c Ping) payload
+  else if typ = t_shutdown then guard (fun c -> empty c Shutdown) payload
+  else if typ = t_stats then guard (fun c -> empty c Stats) payload
+  else Error (Printf.sprintf "unknown request type %d" typ)
+
+let decode_reply ~typ payload =
+  if typ = t_ok then guard (fun c -> Compiled (decode_compile_reply c)) payload
+  else if typ = t_degraded then
+    guard (fun c -> Degraded (decode_compile_reply c)) payload
+  else if typ = t_shed then
+    guard
+      (fun c ->
+        let retry_after_ms = u32 c "retry-after-ms" in
+        let reason = str c ~cap:max_message "reason" in
+        Shed { retry_after_ms; reason })
+      payload
+  else if typ = t_timeout then
+    guard (fun c -> Timed_out (str c ~cap:max_message "message")) payload
+  else if typ = t_failed then
+    guard
+      (fun c -> Failed (str_list c ~count_what:"error count" ~what:"error"))
+      payload
+  else if typ = t_bad_request then
+    guard (fun c -> Bad_request (str c ~cap:max_message "message")) payload
+  else if typ = t_pong then guard (fun c -> empty c Pong) payload
+  else if typ = t_stats_reply then
+    if String.length payload > max_payload_default then Error "stats too large"
+    else Ok (Stats_reply payload)
+  else Error (Printf.sprintf "unknown reply type %d" typ)
+
+(* ------------------------------------------------------------------ *)
+(* Framing. *)
+
+let frame ~typ payload =
+  let b = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string b magic;
+  add_u8 b version;
+  add_u8 b typ;
+  add_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type read_error =
+  [ `Closed  (** clean EOF at a frame boundary *)
+  | `Timeout  (** the peer stalled past the socket's receive timeout *)
+  | `Malformed of string  (** bad magic/version/length, or mid-frame EOF *)
+  ]
+
+let pp_read_error ppf = function
+  | `Closed -> Format.pp_print_string ppf "connection closed"
+  | `Timeout -> Format.pp_print_string ppf "read timeout"
+  | `Malformed m -> Format.fprintf ppf "malformed frame: %s" m
+
+(* Read exactly [len] bytes, tolerating partial reads and EINTR.  A
+   receive timeout set on the socket surfaces as EAGAIN/EWOULDBLOCK. *)
+let read_exact fd buf off len =
+  let rec go pos =
+    if pos >= len then Ok ()
+    else
+      match Unix.read fd buf (off + pos) (len - pos) with
+      | 0 -> Error (`Eof_after pos)
+      | n -> go (pos + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error `Timeout
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (`Sys (Unix.error_message e))
+  in
+  go 0
+
+let read_frame ?(max_payload = max_payload_default) fd :
+    (int * string, read_error) result =
+  let hd = Bytes.create header_len in
+  match read_exact fd hd 0 header_len with
+  | Error (`Eof_after 0) -> Error `Closed
+  | Error (`Eof_after n) ->
+      Error (`Malformed (Printf.sprintf "eof after %d header bytes" n))
+  | Error `Timeout -> Error `Timeout
+  | Error (`Sys m) -> Error (`Malformed m)
+  | Ok () ->
+      if Bytes.sub_string hd 0 4 <> magic then Error (`Malformed "bad magic")
+      else if Char.code (Bytes.get hd 4) <> version then
+        Error
+          (`Malformed
+             (Printf.sprintf "unsupported protocol version %d"
+                (Char.code (Bytes.get hd 4))))
+      else
+        let typ = Char.code (Bytes.get hd 5) in
+        let len = Int32.to_int (Bytes.get_int32_le hd 6) land 0xffffffff in
+        if len > max_payload then
+          Error
+            (`Malformed
+               (Printf.sprintf "payload length %d exceeds cap %d" len
+                  max_payload))
+        else
+          let payload = Bytes.create len in
+          match read_exact fd payload 0 len with
+          | Ok () -> Ok (typ, Bytes.unsafe_to_string payload)
+          | Error `Timeout -> Error `Timeout
+          | Error (`Eof_after n) ->
+              Error
+                (`Malformed
+                   (Printf.sprintf "eof after %d of %d payload bytes" n len))
+          | Error (`Sys m) -> Error (`Malformed m)
+
+let write_frame fd ~typ payload =
+  let s = frame ~typ payload in
+  let buf = Bytes.unsafe_of_string s in
+  let rec go pos =
+    if pos >= Bytes.length buf then Ok ()
+    else
+      match Unix.single_write fd buf pos (Bytes.length buf - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0

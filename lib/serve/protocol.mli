@@ -1,0 +1,99 @@
+open Fhe_ir
+
+(** The compile daemon's wire protocol.
+
+    Frames are ["FHES"] + version byte + message-type byte + a
+    little-endian u32 payload length + payload; payloads are the
+    length-prefixed field encodings below, with programs and compiled
+    results carried as {!Fhe_ir.Wire} blobs.
+
+    Decoding follows the same defensive contract as {!Fhe_ir.Wire}:
+    every claimed length is validated against the bytes present (plus a
+    hard cap) before allocation, unknown types/versions are typed
+    errors, and nothing hostile can raise past [decode_*] — the fault
+    matrix in the serve test tier holds the daemon to exactly this. *)
+
+val magic : string
+val version : int
+
+val header_len : int
+(** Bytes in a frame header (magic + version + type + length). *)
+
+val max_payload_default : int
+(** Default per-frame payload cap (32 MiB — the largest registry
+    program, Lenet-C, encodes to ~17 MiB). *)
+
+(** {1 Messages} *)
+
+type compile_request = {
+  tenant : string;  (** cache namespace; [""] = the shared namespace *)
+  compiler : string;  (** {!Fhe_check.Differential.compiler_name} label *)
+  rbits : int;
+  wbits : int;
+  xmax_bits : int;
+  iterations : int;  (** Hecate search budget; [0] = the default *)
+  allow_fallback : bool;
+      (** permit the degraded-waterline fallback chain even when the
+          server is not under pressure *)
+  oracle : bool;  (** run the differential self-check server-side *)
+  deadline_ms : int;  (** per-request compile budget; [0] = server default *)
+  program : Program.t;
+}
+
+type request = Compile of compile_request | Ping | Shutdown | Stats
+
+type compile_reply = {
+  engine : string;  (** engine that actually produced the plan *)
+  wbits_used : int;  (** waterline it ran at (may be degraded) *)
+  warnings : string list;  (** rendered degradation diagnostics *)
+  managed : Managed.t;
+}
+
+type reply =
+  | Compiled of compile_reply  (** the requested configuration, exactly *)
+  | Degraded of compile_reply  (** a fallback engine or waterline *)
+  | Shed of { retry_after_ms : int; reason : string }
+      (** admission control refused the request; retry later *)
+  | Timed_out of string  (** the compile exceeded its deadline budget *)
+  | Failed of string list  (** every attempted engine failed; rendered diags *)
+  | Bad_request of string  (** malformed or out-of-range request *)
+  | Pong
+  | Stats_reply of string  (** server counters as a JSON object *)
+
+val reply_name : reply -> string
+(** Stable label: ["ok"], ["degraded"], ["shed"], ["timeout"],
+    ["failed"], ["bad-request"], ["pong"], ["stats"]. *)
+
+val encode_request : request -> int * string
+(** Message-type byte and payload. *)
+
+val encode_reply : reply -> int * string
+
+val decode_request : typ:int -> string -> (request, string) result
+(** Never raises; hostile payloads produce [Error]. *)
+
+val decode_reply : typ:int -> string -> (reply, string) result
+
+(** {1 Framing} *)
+
+val frame : typ:int -> string -> string
+(** The full frame bytes for a payload — what [write_frame] sends;
+    exposed so the fault harness can corrupt real frames. *)
+
+type read_error =
+  [ `Closed  (** clean EOF at a frame boundary *)
+  | `Timeout  (** the peer stalled past the socket's receive timeout *)
+  | `Malformed of string  (** bad magic/version/length, or mid-frame EOF *)
+  ]
+
+val pp_read_error : Format.formatter -> read_error -> unit
+
+val read_frame :
+  ?max_payload:int -> Unix.file_descr -> (int * string, read_error) result
+(** Read one frame (type byte and payload).  Handles partial reads and
+    EINTR; a receive timeout configured on the socket surfaces as
+    [`Timeout].  Never raises. *)
+
+val write_frame : Unix.file_descr -> typ:int -> string -> (unit, string) result
+(** Write one frame, tolerating partial writes.  [EPIPE] (peer gone)
+    comes back as [Error], not a signal — servers ignore [SIGPIPE]. *)

@@ -1,0 +1,77 @@
+(** The resilient compile daemon.
+
+    A Unix-domain-socket server speaking {!Protocol}: one system thread
+    per connection, compiles scheduled on a shared {!Fhe_par.Pool} of
+    worker domains, and one process-wide {!Fhe_cache.Store} shared by
+    every request with per-tenant namespacing.
+
+    The robustness contract, tested by the serve tier's fault matrix:
+
+    - {b Admission.}  At most [capacity] compiles in flight; excess
+      requests get an explicit {!Protocol.Shed} reply with a
+      [retry_after_ms], never a silent drop or an unbounded queue.
+    - {b Deadlines.}  Every compile runs under a budget (the request's
+      [deadline_ms] or the server default).  A compile that exceeds it
+      is abandoned on its worker and answered with a structured
+      {!Protocol.Timed_out} carrying a [Reserve.Diag] serve-pass
+      diagnostic.
+    - {b Degradation.}  Above [degrade_at] in-flight, reserve-family
+      requests run with the fallback chain enabled (reserve → EVA →
+      degraded waterlines); a fallback result goes out as
+      {!Protocol.Degraded} with rendered warnings, not an error.
+    - {b Hostile input.}  Malformed frames and payloads produce
+      {!Protocol.Bad_request}; a peer that stalls mid-frame trips the
+      receive timeout and loses its connection (slow-loris guard); a
+      peer that disconnects mid-response costs one [EPIPE]-as-[Error]
+      write ([SIGPIPE] is ignored).  No request, however corrupt, can
+      raise past the handler.
+
+    Served compiles dispatch to the same engines with the same knobs
+    and cache keys as the [fhec compile] CLI path, so a served result
+    is byte-identical to a local one. *)
+
+type config = {
+  socket : string;  (** path to bind; unlinked on stop.  Keep it short:
+                        [sockaddr_un] caps paths around 104 bytes *)
+  domains : int;  (** compile pool width; clamped to at least 2 so a
+                      worker domain always exists to run compiles while
+                      connection threads await deadlines *)
+  capacity : int;  (** max compiles in flight before shedding *)
+  degrade_at : int;  (** in-flight threshold where admissions switch to
+                         the fallback-permitted chain *)
+  default_deadline_ms : int;  (** compile budget when a request says 0 *)
+  read_timeout_ms : int;  (** per-socket receive/send timeout *)
+  max_payload : int;  (** per-frame payload cap *)
+}
+
+val default_config : socket:string -> config
+(** domains 2, capacity 8, degrade_at 6, deadline 30 s, read timeout
+    2 s, 32 MiB frames. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, and spawn the accept loop; returns immediately.
+    Replaces a stale socket file from a previous crash.
+    @raise Invalid_argument on a config that cannot work (socket path
+    over the [sockaddr_un] limit, [capacity < 1]).
+    @raise Unix.Unix_error when the bind itself fails. *)
+
+val stop : t -> unit
+(** Stop accepting, give in-flight connections a bounded drain window,
+    shut the pool down, and unlink the socket.  Idempotent. *)
+
+val running : t -> bool
+(** False once a stop was requested (including by a client's
+    [Shutdown] request). *)
+
+val run : config -> unit
+(** Foreground mode: [start], then block until a [Shutdown] request
+    arrives, then [stop].  What [fhec serve] calls. *)
+
+val stats : t -> Admission.stats
+
+val compile_one : Admission.level -> Protocol.compile_request -> Protocol.reply
+(** The compile dispatch itself (engine selection, tenant namespace,
+    fallback policy) with no transport — exposed for the parity tests
+    and for [fhec serve --self-test]. *)

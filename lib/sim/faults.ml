@@ -166,3 +166,68 @@ let inject cls ~seed m =
   | Dropped_rescale -> drop_rescale rng m
   | Level_overflow -> bump_level rng m
   | Dangling_operand -> rewire_operand rng m
+
+(* ------------------------------------------------------------------ *)
+(* Wire faults: what a hostile or failing peer does to the compile
+   daemon's byte stream.  Each seed deterministically picks a concrete
+   plan for a payload of a given length, so a whole failure matrix
+   replays bit-identically in tests.  Byte-level plans (truncate, flip)
+   are pure string transforms via [wire_apply]; behavioural plans
+   (stall, disconnect) describe what the transport harness should do
+   mid-stream. *)
+
+type wire_cls =
+  | Truncated_frame
+  | Bit_flipped_payload
+  | Slow_loris
+  | Mid_response_disconnect
+
+let wire_all =
+  [ Truncated_frame; Bit_flipped_payload; Slow_loris;
+    Mid_response_disconnect ]
+
+let wire_name = function
+  | Truncated_frame -> "truncated-frame"
+  | Bit_flipped_payload -> "bit-flipped-payload"
+  | Slow_loris -> "slow-loris"
+  | Mid_response_disconnect -> "mid-response-disconnect"
+
+let pp_wire ppf c = Format.pp_print_string ppf (wire_name c)
+
+let wire_tag = function
+  | Truncated_frame -> 1
+  | Bit_flipped_payload -> 2
+  | Slow_loris -> 3
+  | Mid_response_disconnect -> 4
+
+type wire_plan =
+  | Truncate of int
+  | Flip_bit of int
+  | Stall of { prefix : int; delay_ms : int }
+  | Disconnect of int
+
+let wire_plan cls ~seed ~len =
+  let rng = Fhe_util.Prng.create ((seed * 16) + wire_tag cls) in
+  let cut () = if len = 0 then 0 else Fhe_util.Prng.int rng len in
+  match cls with
+  | Truncated_frame -> Truncate (cut ())
+  | Bit_flipped_payload ->
+      if len = 0 then Truncate 0
+      else Flip_bit (Fhe_util.Prng.int rng (len * 8))
+  | Slow_loris ->
+      Stall { prefix = cut (); delay_ms = 50 + Fhe_util.Prng.int rng 200 }
+  | Mid_response_disconnect -> Disconnect (cut ())
+
+let wire_apply plan payload =
+  match plan with
+  | Truncate n | Disconnect n | Stall { prefix = n; _ } ->
+      String.sub payload 0 (min n (String.length payload))
+  | Flip_bit b ->
+      let i = b / 8 in
+      if i >= String.length payload then payload
+      else begin
+        let by = Bytes.of_string payload in
+        Bytes.set by i
+          (Char.chr (Char.code (Bytes.get by i) lxor (1 lsl (b mod 8))));
+        Bytes.to_string by
+      end

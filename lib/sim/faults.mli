@@ -31,3 +31,41 @@ val inject : cls -> seed:int -> Managed.t -> Managed.t option
 (** [inject cls ~seed m] returns a corrupted copy of [m], or [None] when
     [m] has no injection site for this class (e.g. no rescale op to
     drop).  Equal seeds pick equal sites; [m] itself is never mutated. *)
+
+(** {1 Wire faults}
+
+    The transport-level failure modes of the compile daemon's protocol,
+    driven from seeds exactly like the annotation faults above so the
+    whole failure matrix is replayable: a given (class, seed, length)
+    always yields the same concrete plan. *)
+
+type wire_cls =
+  | Truncated_frame  (** the frame ends mid-header or mid-payload *)
+  | Bit_flipped_payload  (** one bit of the framed bytes is flipped *)
+  | Slow_loris
+      (** the peer sends a prefix, then stalls holding the connection *)
+  | Mid_response_disconnect
+      (** the peer vanishes partway through a message *)
+
+val wire_all : wire_cls list
+
+val wire_name : wire_cls -> string
+(** Stable kebab-case label, e.g. ["slow-loris"]. *)
+
+val pp_wire : Format.formatter -> wire_cls -> unit
+
+type wire_plan =
+  | Truncate of int  (** deliver only the first [n] bytes *)
+  | Flip_bit of int  (** flip bit [i] of the delivered bytes *)
+  | Stall of { prefix : int; delay_ms : int }
+      (** deliver [prefix] bytes, then hold the connection silent *)
+  | Disconnect of int  (** deliver [n] bytes, then close abruptly *)
+
+val wire_plan : wire_cls -> seed:int -> len:int -> wire_plan
+(** Pick this class's concrete plan for a payload of [len] bytes.
+    Deterministic in (class, seed, len). *)
+
+val wire_apply : wire_plan -> string -> string
+(** The bytes the peer actually delivers under the plan ([Stall] and
+    [Disconnect] deliver their prefix; the behavioural part — holding
+    or closing the socket — is the transport harness's job). *)

@@ -479,6 +479,17 @@ let sample_run () =
         cache_stores = 12;
         cache_poisoned = 0;
       };
+    serve =
+      Some
+        {
+          Benchjson.serve_requests = 32;
+          serve_qps = 180.0;
+          serve_p50_ms = 4.5;
+          serve_p99_ms = 11.0;
+          serve_shed = 3;
+          serve_timeouts = 0;
+          serve_degraded = 1;
+        };
     entries =
       [
         {
@@ -530,8 +541,8 @@ let test_benchjson_v1_compat () =
 let test_benchjson_v3_fields () =
   let r = sample_run () in
   let s = Benchjson.to_string (Benchjson.run_to_json r) in
-  Alcotest.(check bool) "emits the v3 schema tag" true
-    (contains s "fhe-bench-compile/v3");
+  Alcotest.(check bool) "emits the v4 schema tag" true
+    (contains s "fhe-bench-compile/v4");
   match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
   | Error e -> Alcotest.fail e
   | Ok r' ->
@@ -544,7 +555,31 @@ let test_benchjson_v3_fields () =
         r'.Benchjson.cache.Benchjson.cache_hits;
       Alcotest.(check (float 1e-9)) "warm_compile_ms round trips"
         (List.hd r.Benchjson.entries).Benchjson.warm_compile_ms
-        (List.hd r'.Benchjson.entries).Benchjson.warm_compile_ms
+        (List.hd r'.Benchjson.entries).Benchjson.warm_compile_ms;
+      let serve r =
+        match r.Benchjson.serve with
+        | Some s -> s
+        | None -> Alcotest.fail "serve block lost in round trip"
+      in
+      Alcotest.(check int) "serve requests round trip"
+        (serve r).Benchjson.serve_requests (serve r').Benchjson.serve_requests;
+      Alcotest.(check (float 1e-9)) "serve qps round trips"
+        (serve r).Benchjson.serve_qps (serve r').Benchjson.serve_qps;
+      Alcotest.(check int) "serve shed round trips"
+        (serve r).Benchjson.serve_shed (serve r').Benchjson.serve_shed
+
+(* a v3 file (no serve block) must still parse, with serve unmeasured *)
+let test_benchjson_v3_compat () =
+  let s =
+    {|{"schema":"fhe-bench-compile/v3","rbits":60,"waterline":30,"domains":4,"wall_time_par":12.5,"cache":{"hits":10,"misses":2,"stores":12,"poisoned":0},"entries":[{"app":"SF","compiler":"eva","compile_ms":1.5,"warm_compile_ms":0.02,"input_level":3,"modulus_bits":180,"est_latency_us":250}]}|}
+  in
+  match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
+  | Error e -> Alcotest.fail ("v3 baseline rejected: " ^ e)
+  | Ok r ->
+      Alcotest.(check int) "v3 keeps its cache stats" 10
+        r.Benchjson.cache.Benchjson.cache_hits;
+      Alcotest.(check bool) "v3 has no serve block" true
+        (r.Benchjson.serve = None)
 
 (* a v2 file (no cache block, no warm timings) must still parse *)
 let test_benchjson_v2_compat () =
@@ -702,7 +737,8 @@ let () =
           t "round trip" test_benchjson_round_trip;
           t "v1 files still parse" test_benchjson_v1_compat;
           t "v2 files still parse" test_benchjson_v2_compat;
-          t "v3 fields round trip" test_benchjson_v3_fields;
+          t "v3 files still parse" test_benchjson_v3_compat;
+          t "v4 fields round trip" test_benchjson_v3_fields;
           t "parser rejects garbage" test_benchjson_parse_rejects;
           t "string escapes" test_benchjson_escapes;
           t "rejects unknown schema" test_benchjson_rejects_unknown_schema;
