@@ -462,6 +462,7 @@ let measure_run ?pool () =
       input_level = Managed.input_level m;
       modulus_bits = Managed.input_level m * rbits;
       est_latency_us = Fhe_cost.Model.estimate m;
+      exec = None;
     }
   in
   let entries, wall_ms =
@@ -602,33 +603,264 @@ let json () =
   Printf.printf "wrote %s (%d entries)\n" out
     (List.length run.Fhe_check.Benchjson.entries)
 
+(* ------------------------------------------------------------------ *)
+(* bench exec: real encrypt/eval/decrypt wall time per (app, compiler)
+   on the from-scratch RNS-CKKS backend.  The exec-scale app variants
+   (Registry.exec_build) keep every circuit structure at data sizes a
+   real encrypted run finishes in CI budget; 28-bit primes are the
+   backend's ceiling, waterline 22 leaves headroom under them. *)
+
+let exec_rbits = 28
+
+let exec_wbits = 22
+
+let exec_out () =
+  try Sys.getenv "BENCH_EXEC_OUT" with Not_found -> "BENCH_exec.json"
+
+(* BENCH_EXEC_APPS=SF,MLP restricts the batch (the test tree's
+   determinism rule runs a small subset twice) *)
+let exec_apps () =
+  match Sys.getenv_opt "BENCH_EXEC_APPS" with
+  | None | Some "" -> Reg.all
+  | Some names ->
+      let names = String.split_on_char ',' names in
+      List.map (fun n -> Reg.find (String.trim n)) names
+
+let exec_progs :
+    (string, Program.t * (string * float array) list * int) Hashtbl.t =
+  Hashtbl.create 8
+
+let exec_prog_of (a : Reg.app) =
+  match Hashtbl.find_opt exec_progs a.Reg.name with
+  | Some r -> r
+  | None ->
+      let p = a.Reg.exec_build () in
+      let inputs = a.Reg.exec_inputs ~seed:42 in
+      let xmax = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+      let r = (p, inputs, xmax) in
+      Hashtbl.replace exec_progs a.Reg.name r;
+      r
+
+let exec_compile (a : Reg.app) c =
+  let p, _, xmax_bits = exec_prog_of a in
+  let rbits = exec_rbits and wbits = exec_wbits in
+  let m, ms =
+    Fhe_util.Timer.time (fun () ->
+        Fhe_cache.Store.bypass (fun () ->
+            match c with
+            | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
+            | Hecate ->
+                (Fhe_hecate.Hecate.compile ~xmax_bits
+                   ~iterations:(min 60 (hecate_budget a.Reg.name))
+                   ~rbits ~wbits p)
+                  .Fhe_hecate.Hecate.managed
+            | Rsv variant ->
+                Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p))
+  in
+  Validator.check_exn m;
+  (m, ms)
+
+(* one real run: compile cold, keygen/encrypt/evaluate/decrypt on the
+   CKKS backend (the pool parallelises RNS rows *inside* the run, so
+   the batch itself stays sequential and deterministically ordered),
+   and diff the decryption against the plaintext reference *)
+let measure_exec ?pool () =
+  let apps = exec_apps () in
+  let pairs =
+    List.concat_map
+      (fun (a : Reg.app) ->
+        List.map (fun (c, label) -> (a, c, label)) bench_compilers)
+      apps
+  in
+  let measure (a, c, label) =
+    let p, inputs, _ = exec_prog_of a in
+    let m, compile_ms = exec_compile a c in
+    let outs, st = Ckks.Backend.run_timed ?pool m ~inputs in
+    let refs = Fhe_sim.Interp.run_reference p ~inputs in
+    let max_err = ref 0.0 in
+    Array.iteri
+      (fun o out ->
+        Array.iteri
+          (fun j x ->
+            let d = Float.abs (x -. refs.(o).(j)) in
+            if d > !max_err then max_err := d)
+          out)
+      outs;
+    {
+      Fhe_check.Benchjson.app = a.Reg.name;
+      compiler = label;
+      compile_ms;
+      warm_compile_ms = 0.0;
+      input_level = Managed.input_level m;
+      modulus_bits = Managed.input_level m * exec_rbits;
+      est_latency_us = Fhe_cost.Model.estimate m;
+      exec =
+        Some
+          {
+            Fhe_check.Benchjson.exec_ms =
+              st.Ckks.Backend.encrypt_ms +. st.Ckks.Backend.eval_ms
+              +. st.Ckks.Backend.decrypt_ms;
+            encrypt_ms = st.Ckks.Backend.encrypt_ms;
+            eval_ms = st.Ckks.Backend.eval_ms;
+            decrypt_ms = st.Ckks.Backend.decrypt_ms;
+            keygen_ms = st.Ckks.Backend.keygen_ms;
+            max_err = !max_err;
+          };
+    }
+  in
+  let entries, wall_ms =
+    Fhe_util.Timer.time (fun () -> List.map measure pairs)
+  in
+  let domains =
+    match pool with None -> 1 | Some p -> Fhe_par.Pool.domains p
+  in
+  { Fhe_check.Benchjson.rbits = exec_rbits; wbits = exec_wbits; domains;
+    wall_time_par = wall_ms; cache = Fhe_check.Benchjson.no_cache_stats;
+    serve = None; entries }
+
+(* BENCH_EXEC_DETERMINISTIC=1 zeroes wall times and the pool width but
+   keeps max_err (bit-identical decrypts at every width): the @exec
+   harness byte-compares a -j 1 emission against a -j 4 one *)
+let scrub_exec run =
+  match Sys.getenv_opt "BENCH_EXEC_DETERMINISTIC" with
+  | None | Some "" | Some "0" -> run
+  | Some _ ->
+      { run with
+        Fhe_check.Benchjson.domains = 1;
+        wall_time_par = 0.0;
+        entries =
+          List.map
+            (fun m ->
+              { m with
+                Fhe_check.Benchjson.compile_ms = 0.0;
+                exec =
+                  Option.map
+                    (fun e ->
+                      { e with
+                        Fhe_check.Benchjson.exec_ms = 0.0;
+                        encrypt_ms = 0.0;
+                        eval_ms = 0.0;
+                        decrypt_ms = 0.0;
+                        keygen_ms = 0.0 })
+                    m.Fhe_check.Benchjson.exec })
+            run.Fhe_check.Benchjson.entries }
+
+(* the kernel-level before/after: the retained scalar NTT vs the
+   optimized Rvec/Shoup/Barrett one, same plan, n = 2^12 *)
+let ntt_microbench () =
+  let n = 4096 in
+  let p = List.hd (Ckks.Primes.ntt_prime_chain ~n ~bits:28 ~count:1) in
+  let plan = Ckks.Ntt.make_plan ~n ~p in
+  let g = Fhe_util.Prng.create 5 in
+  let a = Array.init n (fun _ -> Fhe_util.Prng.int g p) in
+  let reps = 100 in
+  let time f =
+    ignore (f ());
+    let _, ms =
+      Fhe_util.Timer.time (fun () ->
+          for _ = 1 to reps do
+            f ()
+          done)
+    in
+    ms /. float_of_int reps
+  in
+  (* both transforms map canonical residues to canonical residues, so
+     iterating them in place times the pure kernels *)
+  let scratch = Array.copy a in
+  let t_ref = time (fun () -> Ckks.Ntt.Reference.forward plan scratch) in
+  let v = Ckks.Rvec.of_array a in
+  let t_opt = time (fun () -> Ckks.Ntt.forward plan v) in
+  Printf.printf
+    "NTT forward n=%d: reference %.3f ms, optimized %.3f ms (%.1fx)\n" n t_ref
+    t_opt (t_ref /. t_opt)
+
+let exec_section () =
+  section "BENCH_exec.json: real CKKS runtime per app x compiler";
+  ntt_microbench ();
+  let run = with_pool (fun pool -> measure_exec ?pool ()) in
+  let run = scrub_exec run in
+  let text =
+    Fhe_check.Benchjson.to_string (Fhe_check.Benchjson.run_to_json run)
+  in
+  (match Fhe_check.Benchjson.parse text with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench exec: emitted malformed JSON: " ^ e));
+  let out = exec_out () in
+  let oc = open_out out in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (m : Fhe_check.Benchjson.measurement) ->
+      match m.Fhe_check.Benchjson.exec with
+      | None -> ()
+      | Some e ->
+          Printf.printf
+            "  %-8s %-12s L=%2d  run %8.2f ms (enc %6.2f + eval %8.2f + dec \
+             %5.2f)  keygen %7.2f  max|err| %.3e\n"
+            m.Fhe_check.Benchjson.app m.Fhe_check.Benchjson.compiler
+            m.Fhe_check.Benchjson.input_level e.Fhe_check.Benchjson.exec_ms
+            e.Fhe_check.Benchjson.encrypt_ms e.Fhe_check.Benchjson.eval_ms
+            e.Fhe_check.Benchjson.decrypt_ms e.Fhe_check.Benchjson.keygen_ms
+            e.Fhe_check.Benchjson.max_err)
+    run.Fhe_check.Benchjson.entries;
+  Printf.printf "wrote %s (%d entries)\n" out
+    (List.length run.Fhe_check.Benchjson.entries)
+
+(* ------------------------------------------------------------------ *)
+
+let load_baseline path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match
+    Result.bind (Fhe_check.Benchjson.parse text) Fhe_check.Benchjson.run_of_json
+  with
+  | Ok r -> r
+  | Error e -> failwith (path ^ ": " ^ e)
+
 let gate () =
   section "perf gate: current measurements vs recorded BENCH_compile.json";
+  let failures = ref 0 in
+  let diff ~what ~path ?exec_slack baseline current =
+    match Fhe_check.Benchjson.compare_runs ?exec_slack ~baseline ~current () with
+    | [] ->
+        Printf.printf "%s gate passed: %d entries within bounds of %s\n" what
+          (List.length baseline.Fhe_check.Benchjson.entries)
+          path
+    | regressions ->
+        List.iter (fun r -> Printf.printf "  REGRESSION %s\n" r) regressions;
+        Printf.eprintf "%s gate failed: %d regression(s) vs %s\n" what
+          (List.length regressions) path;
+        failures := !failures + List.length regressions
+  in
   let path =
     try Sys.getenv "BENCH_JSON_BASELINE" with Not_found -> json_out ()
   in
-  let baseline =
-    let ic = open_in_bin path in
-    let text = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    match
-      Result.bind (Fhe_check.Benchjson.parse text)
-        Fhe_check.Benchjson.run_of_json
-    with
-    | Ok r -> r
-    | Error e -> failwith (path ^ ": " ^ e)
-  in
+  let baseline = load_baseline path in
   let current = with_pool (fun pool -> measure_run ?pool ()) in
-  match Fhe_check.Benchjson.compare_runs ~baseline ~current () with
-  | [] ->
-      Printf.printf "gate passed: %d entries within bounds of %s\n"
-        (List.length baseline.Fhe_check.Benchjson.entries)
-        path
-  | regressions ->
-      List.iter (fun r -> Printf.printf "  REGRESSION %s\n" r) regressions;
-      Printf.eprintf "perf gate failed: %d regression(s) vs %s\n"
-        (List.length regressions) path;
-      exit 1
+  diff ~what:"compile" ~path baseline current;
+  (* the runtime side: re-run the exec batch and hold it to the
+     committed BENCH_exec.json.  Skipped (with a note) when no exec
+     baseline exists, so compile-only checkouts still gate. *)
+  let epath =
+    try Sys.getenv "BENCH_EXEC_BASELINE" with Not_found -> exec_out ()
+  in
+  if not (Sys.file_exists epath) then
+    Printf.printf "exec gate skipped: no baseline at %s\n" epath
+  else begin
+    let exec_slack =
+      match
+        Option.bind (Sys.getenv_opt "BENCH_EXEC_SLACK") float_of_string_opt
+      with
+      | Some s when s > 1.0 -> s
+      | _ -> 3.0
+    in
+    let baseline = load_baseline epath in
+    let current = with_pool (fun pool -> measure_exec ?pool ()) in
+    diff ~what:"exec" ~path:epath ~exec_slack baseline current
+  end;
+  if !failures > 0 then exit 1
 
 let all_sections =
   [ ("table3", table3); ("fig2", figure2); ("table4", table4);
@@ -637,7 +869,8 @@ let all_sections =
 (* on-demand sections (not part of the default full run: `json`
    overwrites the recorded baseline and `gate` diffs against it) *)
 let extra_sections =
-  [ ("json", json); ("gate", gate); ("serve", serve_section) ]
+  [ ("json", json); ("exec", exec_section); ("gate", gate);
+    ("serve", serve_section) ]
 
 let () =
   (* peel `-j N` off the section list *)

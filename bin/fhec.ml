@@ -450,6 +450,88 @@ let check_cmd =
         (const run $ cache_term $ apps_arg $ gen_arg $ check_seed_arg
        $ waterline_arg $ rbits_arg $ hecate_arg $ verbose_arg $ jobs_arg))
 
+let exec_cmd =
+  (* exec-scale defaults: 28-bit primes (the Ckks backend's ceiling)
+     and a waterline that leaves headroom under them *)
+  let exec_waterline_arg =
+    let doc = "Waterline in bits (the minimum ciphertext scale)." in
+    Arg.(value & opt int 22 & info [ "waterline"; "w" ] ~docv:"BITS" ~doc)
+  in
+  let exec_rbits_arg =
+    let doc = "Rescaling factor in bits (must be at most 28: chain \
+               primes live below 2^30)." in
+    Arg.(value & opt int 28 & info [ "rbits" ] ~docv:"BITS" ~doc)
+  in
+  let run () app compiler wbits rbits iterations seed jobs =
+    handle
+      (Result.bind (find_app app) (fun app ->
+           protecting @@ fun () ->
+           let p = app.Reg.exec_build () in
+           let inputs = app.Reg.exec_inputs ~seed in
+           let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+           let iterations = if iterations <= 0 then None else Some iterations in
+           let m =
+             match String.lowercase_ascii compiler with
+             | "eva" -> Ok (Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p)
+             | "hecate" ->
+                 Ok
+                   (Fhe_hecate.Hecate.compile ?iterations ~xmax_bits ~rbits
+                      ~wbits p)
+                     .Fhe_hecate.Hecate.managed
+             | ("reserve" | "ba" | "ra") as c ->
+                 let variant =
+                   match c with "ba" -> `Ba | "ra" -> `Ra | _ -> `Full
+                 in
+                 Ok (Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p)
+             | other -> Error (Printf.sprintf "unknown compiler %S" other)
+           in
+           Result.bind m (fun m ->
+           Result.bind (validated m) (fun m ->
+               with_pool jobs (fun pool ->
+                   let outs, st = Ckks.Backend.run_timed ?pool m ~inputs in
+                   let refs = Fhe_sim.Interp.run_reference p ~inputs in
+                   (* results on stdout — deterministic at every pool
+                      width and across runs (seeded samplers), so the
+                      test tree can byte-compare -j 1 against -j 4;
+                      wall times go to stderr *)
+                   Printf.printf "app %s compiler %s  L=%d  slots=%d\n"
+                     app.Reg.name
+                     (String.lowercase_ascii compiler)
+                     (Managed.input_level m)
+                     (Program.n_slots p);
+                   Array.iteri
+                     (fun o out ->
+                       let err = ref 0.0 in
+                       Array.iteri
+                         (fun j x ->
+                           let d = Float.abs (x -. refs.(o).(j)) in
+                           if d > !err then err := d)
+                         out;
+                       Printf.printf
+                         "output %d: slots [%.4f %.4f %.4f]  max|err| %.3e  \
+                          level %d\n"
+                         o out.(0) out.(1) out.(2) !err
+                         st.Ckks.Backend.output_levels.(o))
+                     outs;
+                   Printf.eprintf
+                     "keygen %.2f ms | encrypt %.2f ms | eval %.2f ms | \
+                      decrypt %.2f ms\n"
+                     st.Ckks.Backend.keygen_ms st.Ckks.Backend.encrypt_ms
+                     st.Ckks.Backend.eval_ms st.Ckks.Backend.decrypt_ms;
+                   Ok ())))))
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Compile the exec-scale variant of an application and run it \
+          end-to-end on the real RNS-CKKS backend (keygen, encrypt, \
+          evaluate, decrypt), reporting decrypted slots, the error \
+          against the plaintext reference, and wall times")
+    Term.(
+      ret
+        (const run $ cache_term $ app_arg $ compiler_arg $ exec_waterline_arg
+       $ exec_rbits_arg $ iterations_arg $ seed_arg $ jobs_arg))
+
 (* ------------------------------------------------------------------ *)
 (* The compile daemon and its client *)
 
@@ -719,4 +801,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd;
-            fuzz_cmd; check_cmd; serve_cmd; client_cmd ]))
+            exec_cmd; fuzz_cmd; check_cmd; serve_cmd; client_cmd ]))

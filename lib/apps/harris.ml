@@ -4,7 +4,7 @@ let width = 64
 
 let box3 = Array.make_matrix 3 3 1.0
 
-let build ?(n_slots = 16384) () =
+let build ?(n_slots = 16384) ?(width = width) () =
   let b = Builder.create ~n_slots () in
   let img = Builder.input b "img" in
   let conv w = Kernels.conv2d b img ~width ~height:width ~weights:w in
@@ -21,4 +21,5 @@ let build ?(n_slots = 16384) () =
   let resp = Builder.sub b det (Builder.mul b (Builder.square b trace) k) in
   Builder.finish b ~outputs:[ resp ]
 
-let inputs ~seed = [ ("img", Data.image ~seed (width * width)) ]
+let inputs ?(width = width) ~seed () =
+  [ ("img", Data.image ~seed (width * width)) ]

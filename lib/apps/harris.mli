@@ -4,7 +4,8 @@ open Fhe_ir
     Sobel gradients, 3×3 box-summed second-moment matrix, response
     [det(M) − k·trace(M)²] (~110 ops, multiplicative depth 3). *)
 
-val build : ?n_slots:int -> unit -> Program.t
-(** Input: ["img"]. *)
+val build : ?n_slots:int -> ?width:int -> unit -> Program.t
+(** Input: ["img"] (default 64×64; [width] shrinks the image for the
+    real-runtime exec tier). *)
 
-val inputs : seed:int -> (string * float array) list
+val inputs : ?width:int -> seed:int -> unit -> (string * float array) list

@@ -124,3 +124,52 @@ let inputs ~seed variant =
   let width, in_channels = geometry variant in
   List.init in_channels (fun c ->
       (Printf.sprintf "ch%d" c, Data.image ~seed:(seed + c) (width * width)))
+
+(* The exec-tier miniature: identical layer structure (conv → x² → pool,
+   twice, then flatten and a square-activated dense head) on an 8×8
+   image with 2 channels per conv stage, so a real encrypted run
+   finishes in milliseconds while still exercising every op kind the
+   full network uses (strided rotations, masked flatten, BSGS dense). *)
+let small_width = 8
+
+let build_small ?(n_slots = 512) ?(seed = 11) variant =
+  let width = small_width in
+  let _, in_channels = geometry variant in
+  let b = Builder.create ~n_slots () in
+  let chans =
+    List.init in_channels (fun c -> Builder.input b (Printf.sprintf "ch%d" c))
+  in
+  let conv_w layer =
+    let g = Fhe_util.Prng.create (seed + layer) in
+    let tbl = Hashtbl.create 64 in
+    fun oc ic dy dx ->
+      let key = (oc, ic, dy, dx) in
+      match Hashtbl.find_opt tbl key with
+      | Some w -> w
+      | None ->
+          let w = Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0 /. 25.0 in
+          Hashtbl.replace tbl key w;
+          w
+  in
+  let c1 = conv_layer b ~width ~stride:1 ~out_channels:2 ~weights:(conv_w 1) chans in
+  let p1 = pool_layer b ~width ~stride:1 (square_layer b c1) in
+  let c2 = conv_layer b ~width ~stride:2 ~out_channels:2 ~weights:(conv_w 2) p1 in
+  let p2 = pool_layer b ~width ~stride:2 (square_layer b c2) in
+  let flat, feat = flatten b ~width ~stride:4 p2 in
+  let d1 = next_pow2 feat in
+  let fc1 =
+    Kernels.matvec_bsgs b flat ~dim:d1
+      ~mat:(dense_matrix ~seed:(seed + 10) ~dim:d1 ~rows:d1)
+  in
+  let a1 = Builder.square b fc1 in
+  let fc2 =
+    Kernels.matvec_bsgs b a1 ~dim:d1
+      ~mat:(dense_matrix ~seed:(seed + 11) ~dim:d1 ~rows:4)
+  in
+  Builder.finish b ~outputs:[ fc2 ]
+
+let inputs_small ~seed variant =
+  let _, in_channels = geometry variant in
+  List.init in_channels (fun c ->
+      (Printf.sprintf "ch%d" c,
+       Data.image ~seed:(seed + c) (small_width * small_width)))

@@ -17,3 +17,14 @@ val build : ?n_slots:int -> ?seed:int -> variant -> Program.t
 (** Inputs: ["ch0"] (and ["ch1"], ["ch2"] for [Cifar]). *)
 
 val inputs : seed:int -> variant -> (string * float array) list
+
+val small_width : int
+(** Image width of the exec-tier miniature (8). *)
+
+val build_small : ?n_slots:int -> ?seed:int -> variant -> Program.t
+(** Exec-tier miniature: the same conv → x² → pool → conv → x² → pool →
+    flatten → dense structure on an 8×8 image with 2 channels per conv
+    stage, sized so a real encrypted run (Ckks.Backend) completes in
+    milliseconds.  Inputs as {!build}. *)
+
+val inputs_small : seed:int -> variant -> (string * float array) list

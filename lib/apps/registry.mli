@@ -8,6 +8,14 @@ type app = {
   description : string;
   build : unit -> Program.t;
   inputs : seed:int -> (string * float array) list;
+  exec_build : unit -> Program.t;
+      (** the exec-scale variant: same circuit structure, shrunk data
+          (16×16 images, 256 regression samples, miniature LeNet) so a
+          real encrypted run on {!Ckks.Backend} stays in CI budget *)
+  exec_inputs : seed:int -> (string * float array) list;
+  exec_tol : float;
+      (** pinned max|err| bound for the exec variant compiled at
+          rbits 28 / waterline 22 (measured error with ~8× headroom) *)
 }
 
 val all : app list

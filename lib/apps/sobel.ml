@@ -8,12 +8,13 @@ let sobel_x =
 let sobel_y =
   [| [| -1.0; -2.0; -1.0 |]; [| 0.0; 0.0; 0.0 |]; [| 1.0; 2.0; 1.0 |] |]
 
-let build ?(n_slots = 16384) () =
+let build ?(n_slots = 16384) ?(width = image_width) () =
   let b = Builder.create ~n_slots () in
   let img = Builder.input b "img" in
-  let gx = Kernels.conv2d b img ~width:image_width ~height:image_width ~weights:sobel_x in
-  let gy = Kernels.conv2d b img ~width:image_width ~height:image_width ~weights:sobel_y in
+  let gx = Kernels.conv2d b img ~width ~height:width ~weights:sobel_x in
+  let gy = Kernels.conv2d b img ~width ~height:width ~weights:sobel_y in
   let out = Builder.add b (Builder.square b gx) (Builder.square b gy) in
   Builder.finish b ~outputs:[ out ]
 
-let inputs ~seed = [ ("img", Data.image ~seed (image_width * image_width)) ]
+let inputs ?(width = image_width) ~seed () =
+  [ ("img", Data.image ~seed (width * width)) ]

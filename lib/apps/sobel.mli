@@ -6,10 +6,11 @@ open Fhe_ir
 
 val image_width : int
 
-val build : ?n_slots:int -> unit -> Program.t
-(** Input: ["img"] (the 64×64 image in the first 4096 slots). *)
+val build : ?n_slots:int -> ?width:int -> unit -> Program.t
+(** Input: ["img"] (the [width]×[width] image, default 64×64, in the
+    first [width²] slots). *)
 
-val inputs : seed:int -> (string * float array) list
+val inputs : ?width:int -> seed:int -> unit -> (string * float array) list
 (** A matching synthetic input image. *)
 
 val sobel_x : float array array

@@ -202,13 +202,24 @@ let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 (* ------------------------------------------------------------------ *)
 (* the bench-compile schema *)
 
-let schema = "fhe-bench-compile/v4"
+let schema = "fhe-bench-compile/v5"
+
+let schema_v4 = "fhe-bench-compile/v4"
 
 let schema_v3 = "fhe-bench-compile/v3"
 
 let schema_v2 = "fhe-bench-compile/v2"
 
 let schema_v1 = "fhe-bench-compile/v1"
+
+type exec_stats = {
+  exec_ms : float;
+  encrypt_ms : float;
+  eval_ms : float;
+  decrypt_ms : float;
+  keygen_ms : float;
+  max_err : float;
+}
 
 type measurement = {
   app : string;
@@ -218,6 +229,7 @@ type measurement = {
   input_level : int;
   modulus_bits : int;
   est_latency_us : float;
+  exec : exec_stats option;
 }
 
 type cache_stats = {
@@ -286,7 +298,18 @@ let run_to_json r =
                    ("warm_compile_ms", Num m.warm_compile_ms);
                    ("input_level", Num (float_of_int m.input_level));
                    ("modulus_bits", Num (float_of_int m.modulus_bits));
-                   ("est_latency_us", Num m.est_latency_us) ])
+                   ("est_latency_us", Num m.est_latency_us);
+                   ( "exec",
+                     match m.exec with
+                     | None -> Null
+                     | Some e ->
+                         Obj
+                           [ ("exec_ms", Num e.exec_ms);
+                             ("encrypt_ms", Num e.encrypt_ms);
+                             ("eval_ms", Num e.eval_ms);
+                             ("decrypt_ms", Num e.decrypt_ms);
+                             ("keygen_ms", Num e.keygen_ms);
+                             ("max_err", Num e.max_err) ] ) ])
              r.entries) ) ]
 
 let get_str k j =
@@ -299,8 +322,10 @@ let ( let* ) = Result.bind
 
 let run_of_json j =
   let* s = get_str "schema" j in
-  if s <> schema && s <> schema_v3 && s <> schema_v2 && s <> schema_v1 then
-    Error (Printf.sprintf "unknown schema %S" s)
+  if
+    s <> schema && s <> schema_v4 && s <> schema_v3 && s <> schema_v2
+    && s <> schema_v1
+  then Error (Printf.sprintf "unknown schema %S" s)
   else
     let* rbits = get_num "rbits" j in
     let* wbits = get_num "waterline" j in
@@ -359,11 +384,28 @@ let run_of_json j =
               let* input_level = get_num "input_level" e in
               let* modulus_bits = get_num "modulus_bits" e in
               let* est_latency_us = get_num "est_latency_us" e in
+              (* v5 addition: measured execution stats; absent or null
+                 in older files and in compile-only runs *)
+              let exec =
+                match member "exec" e with
+                | Some (Obj _ as x) ->
+                    let getf k =
+                      match member k x with Some (Num f) -> f | _ -> 0.0
+                    in
+                    Some
+                      { exec_ms = getf "exec_ms";
+                        encrypt_ms = getf "encrypt_ms";
+                        eval_ms = getf "eval_ms";
+                        decrypt_ms = getf "decrypt_ms";
+                        keygen_ms = getf "keygen_ms";
+                        max_err = getf "max_err" }
+                | _ -> None
+              in
               Ok
                 ({ app; compiler; compile_ms; warm_compile_ms;
                    input_level = int_of_float input_level;
                    modulus_bits = int_of_float modulus_bits;
-                   est_latency_us }
+                   est_latency_us; exec }
                 :: acc))
             (Ok []) es
           |> Result.map List.rev
@@ -373,12 +415,40 @@ let run_of_json j =
       { rbits = int_of_float rbits; wbits = int_of_float wbits; domains;
         wall_time_par; cache; serve; entries }
 
-let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10) ~baseline
-    ~current () =
+let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10)
+    ?(exec_slack = 1.75) ?(err_slack = 4.0) ~baseline ~current () =
   let find app compiler =
     List.find_opt
       (fun m -> m.app = app && m.compiler = compiler)
       current.entries
+  in
+  (* the measured-runtime rules (v5): baselines without exec stats gate
+     nothing; a baseline with them demands a current measurement that
+     is present, no slower than [exec_slack]x, and no less precise than
+     [err_slack]x (plus an absolute floor so ~0 baselines don't make
+     the gate hair-triggered) *)
+  let exec_rule b c =
+    match b.exec with
+    | None -> None
+    | Some be -> (
+        match c.exec with
+        | None ->
+            Some
+              (Printf.sprintf "%s/%s: exec stats missing from current run"
+                 b.app b.compiler)
+        | Some ce ->
+            if be.exec_ms > 0.0 && ce.exec_ms > be.exec_ms *. exec_slack then
+              Some
+                (Printf.sprintf
+                   "%s/%s: measured runtime regressed %.2f -> %.2f ms \
+                    (slack %.2fx)"
+                   b.app b.compiler be.exec_ms ce.exec_ms exec_slack)
+            else if ce.max_err > Float.max (be.max_err *. err_slack) 1e-9 then
+              Some
+                (Printf.sprintf
+                   "%s/%s: decrypt precision regressed %g -> %g max |err|"
+                   b.app b.compiler be.max_err ce.max_err)
+            else None)
   in
   List.filter_map
     (fun b ->
@@ -425,5 +495,5 @@ let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10) ~baseline
                  "%s/%s: warm-cache compile %.3f ms exceeds the cold \
                   baseline %.3f ms"
                  b.app b.compiler c.warm_compile_ms b.compile_ms)
-          else None)
+          else exec_rule b c)
     baseline.entries

@@ -32,7 +32,11 @@ val member : string -> json -> json option
 (** {1 The bench-compile schema} *)
 
 val schema : string
-(** ["fhe-bench-compile/v4"]. *)
+(** ["fhe-bench-compile/v5"]. *)
+
+val schema_v4 : string
+(** ["fhe-bench-compile/v4"]: the pre-exec schema, still accepted by
+    {!run_of_json}. *)
 
 val schema_v3 : string
 (** ["fhe-bench-compile/v3"]: the pre-serve schema, still accepted by
@@ -46,6 +50,21 @@ val schema_v1 : string
 (** ["fhe-bench-compile/v1"]: the pre-multicore schema, still
     accepted by {!run_of_json}. *)
 
+type exec_stats = {
+  exec_ms : float;
+      (** measured encrypt + eval + decrypt wall time on the real CKKS
+          backend (keygen excluded: it is per-context, not per-run) *)
+  encrypt_ms : float;
+  eval_ms : float;
+  decrypt_ms : float;
+  keygen_ms : float;
+  max_err : float;
+      (** max |decrypted - reference| over all output slots, against
+          the plaintext interpreter on the same seeded inputs *)
+}
+(** The [bench exec] measured-runtime snapshot (v5), taken on the
+    exec-scale variant of each app. *)
+
 type measurement = {
   app : string;
   compiler : string;  (** {!Differential.compiler_name} label *)
@@ -56,6 +75,7 @@ type measurement = {
   input_level : int;
   modulus_bits : int;
   est_latency_us : float;
+  exec : exec_stats option;  (** v5; [None] in compile-only runs *)
 }
 
 type cache_stats = {
@@ -93,17 +113,20 @@ type run = {
 }
 
 val run_to_json : run -> json
-(** Always emits the v4 schema. *)
+(** Always emits the v5 schema. *)
 
 val run_of_json : json -> (run, string) result
-(** Accepts v4, v3, v2 and v1 files (v1 defaults [domains] to 1 and
+(** Accepts v5 through v1 files (v1 defaults [domains] to 1 and
     [wall_time_par] to 0; pre-v3 files get zeroed cache stats and
-    [warm_compile_ms]; pre-v4 files get [serve = None]); rejects
-    unknown schemas and malformed entries. *)
+    [warm_compile_ms]; pre-v4 files get [serve = None]; pre-v5 files
+    get [exec = None] on every entry); rejects unknown schemas and
+    malformed entries. *)
 
 val compare_runs :
   ?time_slack:float ->
   ?latency_slack:float ->
+  ?exec_slack:float ->
+  ?err_slack:float ->
   baseline:run ->
   current:run ->
   unit ->
@@ -118,4 +141,9 @@ val compare_runs :
       clocks are noisy) times the baseline;
     - a measured [warm_compile_ms] (> 0) must not exceed the cold
       baseline [compile_ms] (with 0.05 ms of grace for timer jitter):
-      the cache must never make a compile slower than compiling. *)
+      the cache must never make a compile slower than compiling;
+    - when the baseline entry carries [exec] stats, the current entry
+      must too, its [exec_ms] must stay within [exec_slack] (default
+      1.75) times the baseline, and its [max_err] within [err_slack]
+      (default 4.0) times the baseline (floored at 1e-9 absolute so
+      exact baselines don't gate on noise). *)

@@ -4,6 +4,14 @@ type value =
   | C of Evaluator.ct
   | P of float array  (* true (unscaled) plaintext payload *)
 
+type stats = {
+  keygen_ms : float;
+  encrypt_ms : float;
+  eval_ms : float;
+  decrypt_ms : float;
+  output_levels : int array;
+}
+
 let pad n a =
   let out = Array.make n 0.0 in
   Array.blit a 0 out 0 (min n (Array.length a));
@@ -13,7 +21,38 @@ let rotl a k =
   let n = Array.length a in
   Array.init n (fun i -> a.((i + k) mod n))
 
-let run_with_keys (keys : Keys.t) (m : Managed.t) ~inputs =
+(* Fusion plan for the Modswitch∘Rescale peephole: a Rescale consumed
+   exactly once, by a Modswitch, and not itself an output, is deferred —
+   its consumer executes the fused [Evaluator.rescale_modswitch] on the
+   pre-rescale ciphertext and the intermediate basis never exists. *)
+let deferred_rescales (p : Program.t) =
+  let n = Program.n_ops p in
+  let uses = Array.make n 0 in
+  let bump o = uses.(o) <- uses.(o) + 1 in
+  Program.iteri
+    (fun _ k ->
+      match k with
+      | Op.Add (a, b) | Op.Sub (a, b) | Op.Mul (a, b) -> bump a; bump b
+      | Op.Neg a | Op.Rotate (a, _) | Op.Rescale a | Op.Modswitch a
+      | Op.Upscale (a, _) -> bump a
+      | Op.Input _ | Op.Const _ | Op.Vconst _ -> ())
+    p;
+  Array.iter bump (Program.outputs p);
+  let is_rescale = Array.make n false in
+  Program.iteri
+    (fun i k -> match k with Op.Rescale _ -> is_rescale.(i) <- true | _ -> ())
+    p;
+  let deferred = Array.make n false in
+  Program.iteri
+    (fun _ k ->
+      match k with
+      | Op.Modswitch a when is_rescale.(a) && uses.(a) = 1 ->
+          deferred.(a) <- true
+      | _ -> ())
+    p;
+  deferred
+
+let exec (keys : Keys.t) (m : Managed.t) ~inputs =
   let ctx = keys.Keys.ctx in
   let p = m.Managed.prog in
   let nh = Context.slot_count ctx in
@@ -22,6 +61,7 @@ let run_with_keys (keys : Keys.t) (m : Managed.t) ~inputs =
   if m.Managed.rbits <> ctx.Context.level_bits then
     invalid_arg "Backend.run: program rbits must match context level_bits";
   let n = Program.n_ops p in
+  let deferred = deferred_rescales p in
   let vals : value array = Array.make n (P [||]) in
   let cipher i =
     match vals.(i) with C ct -> ct | P _ -> invalid_arg "Backend: not cipher"
@@ -35,16 +75,22 @@ let run_with_keys (keys : Keys.t) (m : Managed.t) ~inputs =
     | None -> invalid_arg (Printf.sprintf "Backend: missing input %S" name)
   in
   let pow2 b = Fhe_util.Bits.pow2f b in
+  let encrypt_ms = ref 0.0 in
+  let t_eval0 = Fhe_util.Timer.now_ns () in
   Program.iteri
     (fun i k ->
       let is_c o = Program.vtype p o = Op.Cipher in
       vals.(i) <-
         (match k with
         | Op.Input { name; vt = Op.Cipher } ->
-            C
-              (Evaluator.encrypt keys ~level:m.Managed.level.(i)
-                 ~scale:(pow2 m.Managed.scale.(i))
-                 (find name))
+            let ct, ms =
+              Fhe_util.Timer.time (fun () ->
+                  Evaluator.encrypt keys ~level:m.Managed.level.(i)
+                    ~scale:(pow2 m.Managed.scale.(i))
+                    (find name))
+            in
+            encrypt_ms := !encrypt_ms +. ms;
+            C ct
         | Op.Input { name; vt = Op.Plain } -> P (find name)
         | Op.Const c -> P (Array.make nh c)
         | Op.Vconst { values; _ } -> P (pad nh values)
@@ -87,25 +133,61 @@ let run_with_keys (keys : Keys.t) (m : Managed.t) ~inputs =
             if is_c a then C (Evaluator.rotate keys (cipher a) k)
             else P (rotl (plain a) k)
         | Op.Rescale a ->
-            if is_c a then C (Evaluator.rescale keys (cipher a))
+            if is_c a then
+              if deferred.(i) then vals.(a) (* fused into the Modswitch *)
+              else C (Evaluator.rescale keys (cipher a))
             else vals.(a) (* plaintext bookkeeping only *)
         | Op.Modswitch a ->
-            if is_c a then C (Evaluator.modswitch keys (cipher a))
+            if is_c a then
+              if deferred.(a) then begin
+                let ct = cipher a in
+                if ct.Evaluator.level > 2 then
+                  C (Evaluator.rescale_modswitch keys ct)
+                else
+                  C (Evaluator.modswitch keys (Evaluator.rescale keys ct))
+              end
+              else C (Evaluator.modswitch keys (cipher a))
             else vals.(a)
         | Op.Upscale (a, bits) ->
             if is_c a then C (Evaluator.upscale keys (cipher a) bits)
             else vals.(a)))
     p;
-  Array.map
-    (fun o ->
-      match vals.(o) with
-      | C ct -> Evaluator.decrypt keys ct
-      | P v -> v)
-    (Program.outputs p)
+  let eval_ms =
+    (Int64.to_float (Int64.sub (Fhe_util.Timer.now_ns ()) t_eval0) /. 1e6)
+    -. !encrypt_ms
+  in
+  let outputs = Program.outputs p in
+  let output_levels =
+    Array.map
+      (fun o -> match vals.(o) with C ct -> ct.Evaluator.level | P _ -> -1)
+      outputs
+  in
+  let decrypted, decrypt_ms =
+    Fhe_util.Timer.time (fun () ->
+        Array.map
+          (fun o ->
+            match vals.(o) with
+            | C ct -> Evaluator.decrypt keys ct
+            | P v -> v)
+          outputs)
+  in
+  (decrypted, !encrypt_ms, eval_ms, decrypt_ms, output_levels)
 
-let run ?(seed = 0xC0FFEE) (m : Managed.t) ~inputs =
+let run_with_keys (keys : Keys.t) (m : Managed.t) ~inputs =
+  let out, _, _, _, _ = exec keys m ~inputs in
+  out
+
+let run_timed ?(seed = 0xC0FFEE) ?pool (m : Managed.t) ~inputs =
   let nh = Program.n_slots m.Managed.prog in
   let levels = max 1 (Managed.max_level m) in
   let ctx = Context.make ~n:(2 * nh) ~levels ~level_bits:m.Managed.rbits () in
-  let keys = Keys.keygen ~seed ctx in
-  run_with_keys keys m ~inputs
+  Context.set_pool ctx pool;
+  let keys, keygen_ms = Fhe_util.Timer.time (fun () -> Keys.keygen ~seed ctx) in
+  let out, encrypt_ms, eval_ms, decrypt_ms, output_levels =
+    exec keys m ~inputs
+  in
+  (out, { keygen_ms; encrypt_ms; eval_ms; decrypt_ms; output_levels })
+
+let run ?(seed = 0xC0FFEE) ?pool (m : Managed.t) ~inputs =
+  let out, _ = run_timed ~seed ?pool m ~inputs in
+  out

@@ -7,10 +7,26 @@ open Fhe_ir
     one homomorphic operation; outputs are decrypted and decoded.  The
     program must have been compiled with [rbits] equal to this context's
     [level_bits] (28-bit chains — see DESIGN.md on the 60→28-bit
-    substitution) and with [n_slots = n/2]. *)
+    substitution) and with [n_slots = n/2].
+
+    A [Rescale] whose only consumer is a [Modswitch] executes as the
+    fused {!Evaluator.rescale_modswitch} (same results, one RNS
+    division pass).  Passing [?pool] fans per-prime limb work across
+    the domains; outputs are bit-identical at every width. *)
+
+type stats = {
+  keygen_ms : float;
+  encrypt_ms : float;
+  eval_ms : float;  (** homomorphic ops only (excludes encrypt/decrypt) *)
+  decrypt_ms : float;
+  output_levels : int array;
+      (** ciphertext level of each program output; [-1] for plaintext
+          outputs *)
+}
 
 val run :
   ?seed:int ->
+  ?pool:Fhe_par.Pool.t ->
   Managed.t ->
   inputs:(string * float array) list ->
   float array array
@@ -19,6 +35,14 @@ val run :
     @raise Invalid_argument if [rbits] exceeds the backend's 28-bit
     prime budget, the slot count is no power of two ≥ 2, or an input is
     missing. *)
+
+val run_timed :
+  ?seed:int ->
+  ?pool:Fhe_par.Pool.t ->
+  Managed.t ->
+  inputs:(string * float array) list ->
+  float array array * stats
+(** [run] plus wall-clock phase timings and output levels. *)
 
 val run_with_keys :
   Keys.t -> Managed.t -> inputs:(string * float array) list ->

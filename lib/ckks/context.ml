@@ -7,6 +7,7 @@ type t = {
   plans : Ntt.plan array;
   special_plan : Ntt.plan;
   fft : Fftc.plan;
+  mutable pool : Fhe_par.Pool.t option;
 }
 
 let make ~n ~levels ?(level_bits = 28) () =
@@ -29,10 +30,22 @@ let make ~n ~levels ?(level_bits = 28) () =
     special;
     plans = Array.map (fun p -> Ntt.make_plan ~n ~p) primes;
     special_plan = Ntt.make_plan ~n ~p:special;
-    fft = Fftc.make_plan ~n }
+    fft = Fftc.make_plan ~n;
+    pool = None }
 
 let plan t i = if i = t.levels then t.special_plan else t.plans.(i)
 
 let prime t i = if i = t.levels then t.special else t.primes.(i)
 
 let slot_count t = t.n / 2
+
+let set_pool t pool = t.pool <- pool
+
+(* Fan per-prime row work across the pool when one is attached.  Each
+   task writes only its own row, and rows are dense 0..nrows-1, so the
+   result is identical to the sequential loop regardless of width. *)
+let par_rows t nrows f =
+  match t.pool with
+  | Some pool when nrows > 1 && Fhe_par.Pool.domains pool > 1 ->
+      Fhe_par.Pool.iter pool f (List.init nrows (fun r -> r))
+  | _ -> for r = 0 to nrows - 1 do f r done

@@ -15,6 +15,8 @@ type t = {
   plans : Ntt.plan array;  (** NTT plans for [q_1 … q_L] *)
   special_plan : Ntt.plan;
   fft : Fftc.plan;
+  mutable pool : Fhe_par.Pool.t option;
+      (** when set, per-prime limb work fans out across these domains *)
 }
 
 val make : n:int -> levels:int -> ?level_bits:int -> unit -> t
@@ -30,3 +32,14 @@ val prime : t -> int -> int
 (** Prime for chain index [i]; index [levels] is the special prime. *)
 
 val slot_count : t -> int
+
+val set_pool : t -> Fhe_par.Pool.t option -> unit
+(** Attach (or detach) a domain pool.  Subsequent RNS limb work —
+    per-row NTTs, rescale rows, key-switch accumulation rows — runs on
+    the pool.  Results are bit-identical to the sequential path: every
+    task owns a distinct row index. *)
+
+val par_rows : t -> int -> (int -> unit) -> unit
+(** [par_rows t nrows f] runs [f 0 .. f (nrows-1)], on the attached
+    pool when there is one (each call must write only row-private
+    state).  Must not be nested inside another [par_rows] task. *)

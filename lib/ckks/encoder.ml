@@ -24,7 +24,7 @@ let encode (ctx : Context.t) ~level ~scale values =
     for j = 0 to n - 1 do
       let v = Float.rem coeff.(j) qf in
       let v = if v < 0.0 then v +. qf else v in
-      row.(j) <- int_of_float v
+      Rvec.set row j (int_of_float v)
     done
   done;
   Poly.to_ntt ctx out
@@ -56,7 +56,7 @@ let decode (ctx : Context.t) ~scale p =
     let acc =
       List.fold_left
         (fun acc (i, q, hat, hat_inv) ->
-          let a = Modarith.mul p.Poly.data.(i).(j) hat_inv ~m:q in
+          let a = Modarith.mul (Rvec.get p.Poly.data.(i) j) hat_inv ~m:q in
           Bigint.add acc (Bigint.mul_small hat a))
         Bigint.zero q_hats
     in

@@ -7,32 +7,28 @@ type ct = {
 
 let scale_mismatch_tolerance = 1e-3
 
-let fresh_sampler =
-  (* encryption randomness: distinct stream from keygen, deterministic
-     per process for reproducibility *)
-  Sampler.create ~seed:0x5EED5
-
 let encode_at (k : Keys.t) ~level ~scale values =
   Encoder.encode k.Keys.ctx ~level ~scale values
 
 let encrypt (k : Keys.t) ~level ~scale values =
   let ctx = k.Keys.ctx in
   let n = ctx.Context.n in
+  let fresh = k.Keys.enc_sampler in
   let m = encode_at k ~level ~scale values in
   let u =
     Poly.to_ntt ctx
       (Poly.of_coeff_array ctx ~level ~special:false
-         (Sampler.ternary fresh_sampler ~n))
+         (Sampler.ternary fresh ~n))
   in
   let e0 =
     Poly.to_ntt ctx
       (Poly.of_coeff_array ctx ~level ~special:false
-         (Sampler.gaussian fresh_sampler ~n ()))
+         (Sampler.gaussian fresh ~n ()))
   in
   let e1 =
     Poly.to_ntt ctx
       (Poly.of_coeff_array ctx ~level ~special:false
-         (Sampler.gaussian fresh_sampler ~n ()))
+         (Sampler.gaussian fresh ~n ()))
   in
   let pb = Poly.restrict ctx k.Keys.pb ~level ~special:false in
   let pa = Poly.restrict ctx k.Keys.pa ~level ~special:false in
@@ -44,12 +40,13 @@ let encrypt (k : Keys.t) ~level ~scale values =
 let encrypt_sym (k : Keys.t) ~level ~scale values =
   let ctx = k.Keys.ctx in
   let n = ctx.Context.n in
+  let fresh = k.Keys.enc_sampler in
   let m = encode_at k ~level ~scale values in
-  let a = Sampler.uniform_ntt fresh_sampler ctx ~level ~special:false in
+  let a = Sampler.uniform_ntt fresh ctx ~level ~special:false in
   let e =
     Poly.to_ntt ctx
       (Poly.of_coeff_array ctx ~level ~special:false
-         (Sampler.gaussian fresh_sampler ~n ()))
+         (Sampler.gaussian fresh ~n ()))
   in
   let s = Poly.restrict ctx k.Keys.s ~level ~special:false in
   { c0 = Poly.add ctx (Poly.add ctx (Poly.neg ctx (Poly.mul ctx a s)) e) m;
@@ -100,25 +97,61 @@ let sub_plain (k : Keys.t) a values =
   { a with c0 = Poly.sub k.Keys.ctx a.c0 m }
 
 (* Σ_j [x]_{q_j} · ksk_j, then divide by the special prime: returns the
-   (b, a) pair adding [x·target] under the secret key. *)
+   (b, a) pair adding [x·target] under the secret key.
+
+   Two phases, both fanned across the pool when one is attached:
+   phase 1 brings each digit row to coefficient form (one inverse NTT
+   per digit); phase 2 owns one output row each — for every digit it
+   base-extends the coefficients into that row's prime (a blit when the
+   primes coincide), forward-transforms once, and multiply-accumulates
+   against {e both} key polynomials, so the lifted transform is shared
+   between the b and a accumulators.  Digits accumulate in fixed order
+   with exact modular adds, so the result is width-independent. *)
 let key_switch (k : Keys.t) x (sk : Keys.switch_key) =
   let ctx = k.Keys.ctx in
+  let n = ctx.Context.n in
   let level = x.Poly.level in
-  let acc_b = ref (Poly.zero ctx ~level ~special:true ~ntt:true) in
-  let acc_a = ref (Poly.zero ctx ~level ~special:true ~ntt:true) in
-  for j = 0 to level - 1 do
-    let row = Array.copy x.Poly.data.(j) in
-    Ntt.inverse (Context.plan ctx j) row;
-    let d =
-      Poly.extend_row ctx ~level ~special:true
-        ~row_prime:(Context.prime ctx j) row
-    in
-    let kb = Poly.restrict ctx sk.Keys.kb.(j) ~level ~special:true in
-    let ka = Poly.restrict ctx sk.Keys.ka.(j) ~level ~special:true in
-    acc_b := Poly.add ctx !acc_b (Poly.mul ctx d kb);
-    acc_a := Poly.add ctx !acc_a (Poly.mul ctx d ka)
-  done;
-  (Poly.drop_last ctx !acc_b, Poly.drop_last ctx !acc_a)
+  let digits = Array.init level (fun j -> Rvec.copy x.Poly.data.(j)) in
+  Context.par_rows ctx level (fun j ->
+      Ntt.inverse (Context.plan ctx j) digits.(j));
+  let acc_b = Poly.zero ctx ~level ~special:true ~ntt:true in
+  let acc_a = Poly.zero ctx ~level ~special:true ~ntt:true in
+  let nrows = level + 1 in
+  Context.par_rows ctx nrows (fun r ->
+      let pi = if r < level then r else ctx.Context.levels in
+      let q = Context.prime ctx pi in
+      let plan = Context.plan ctx pi in
+      let br = Ntt.barrett plan in
+      let rb = acc_b.Poly.data.(r) and ra = acc_a.Poly.data.(r) in
+      let tmp = Rvec.create n in
+      for j = 0 to level - 1 do
+        let qj = Context.prime ctx j in
+        let dj = digits.(j) in
+        if qj = q then Rvec.blit dj tmp
+        else begin
+          let half = qj / 2 in
+          for i = 0 to n - 1 do
+            let c = Rvec.get dj i in
+            let c = if c > half then c - qj else c in
+            Rvec.set tmp i (Fhe_util.Bits.pos_rem c q)
+          done
+        end;
+        Ntt.forward plan tmp;
+        (* key rows: keys live in the full (levels, special) basis, so
+           chain row r aligns with key row r and the special row with
+           the key's last row *)
+        let kb_j = sk.Keys.kb.(j) and ka_j = sk.Keys.ka.(j) in
+        let key_row p = p.Poly.data.(if r < level then r else Poly.rows p - 1) in
+        let kb = key_row kb_j and ka = key_row ka_j in
+        for i = 0 to n - 1 do
+          let d = Rvec.get tmp i in
+          let b' = Rvec.get rb i + Modarith.Barrett.mul br d (Rvec.get kb i) in
+          Rvec.set rb i (if b' >= q then b' - q else b');
+          let a' = Rvec.get ra i + Modarith.Barrett.mul br d (Rvec.get ka i) in
+          Rvec.set ra i (if a' >= q then a' - q else a')
+        done
+      done);
+  (Poly.drop_last ctx acc_b, Poly.drop_last ctx acc_a)
 
 let mul (k : Keys.t) a b =
   if a.level <> b.level then invalid_arg "Evaluator.mul: level mismatch";
@@ -161,6 +194,16 @@ let modswitch (k : Keys.t) a =
     c0 = Poly.restrict ctx a.c0 ~level:(a.level - 1) ~special:false;
     c1 = Poly.restrict ctx a.c1 ~level:(a.level - 1) ~special:false;
     level = a.level - 1 }
+
+let rescale_modswitch (k : Keys.t) a =
+  if a.level <= 2 then invalid_arg "Evaluator.rescale_modswitch: bottom level";
+  let ctx = k.Keys.ctx in
+  let keep = a.level - 2 in
+  let q = float_of_int ctx.Context.primes.(a.level - 1) in
+  { c0 = Poly.drop_last ~keep ctx a.c0;
+    c1 = Poly.drop_last ~keep ctx a.c1;
+    level = keep;
+    scale = a.scale /. q }
 
 let upscale (k : Keys.t) a bits =
   if bits <= 0 then invalid_arg "Evaluator.upscale: non-positive bits";

@@ -50,6 +50,12 @@ val rescale : Keys.t -> ct -> ct
 val modswitch : Keys.t -> ct -> ct
 (** Drop the top chain prime without touching the scale. *)
 
+val rescale_modswitch : Keys.t -> ct -> ct
+(** [rescale] followed by [modswitch], fused: one pass of the RNS
+    division computes only the surviving [level - 2] rows, so the row
+    that the modswitch would immediately drop is never materialized.
+    Requires [level > 2]. *)
+
 val upscale : Keys.t -> ct -> int -> ct
 (** Multiply by the exact constant [2^bits] (noise-free). *)
 

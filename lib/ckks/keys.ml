@@ -11,6 +11,7 @@ type t = {
   relin : switch_key;
   galois : (int, switch_key) Hashtbl.t;
   sampler : Sampler.t;
+  enc_sampler : Sampler.t;
 }
 
 let galois_element (ctx : Context.t) k =
@@ -73,7 +74,8 @@ let keygen ?(seed = 0xC0FFEE) ?(rotations = []) ctx =
   let s2 = Poly.mul ctx s s in
   let relin = make_switch_key ctx sampler ~s ~target:s2 in
   let t =
-    { ctx; s; pb; pa = pa_full; relin; galois = Hashtbl.create 16; sampler }
+    { ctx; s; pb; pa = pa_full; relin; galois = Hashtbl.create 16; sampler;
+      enc_sampler = Sampler.create ~seed:(seed lxor 0x5EED5) }
   in
   List.iter (add_rotation t) rotations;
   t

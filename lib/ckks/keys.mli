@@ -19,6 +19,10 @@ type t = {
   relin : switch_key;  (** switches s² → s *)
   galois : (int, switch_key) Hashtbl.t;  (** per rotation step k *)
   sampler : Sampler.t;  (** for lazily generated Galois keys *)
+  enc_sampler : Sampler.t;
+      (** encryption randomness: its own stream, derived from the keygen
+          seed, so whole runs are reproducible while successive
+          encryptions still draw fresh randomness *)
 }
 
 val keygen : ?seed:int -> ?rotations:int list -> Context.t -> t

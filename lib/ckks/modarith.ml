@@ -24,3 +24,61 @@ let inv a ~m =
   pow a (m - 2) ~m
 
 let center a ~m = if a > m / 2 then a - m else a
+
+(* --- Shoup multiplication ---------------------------------------------
+   For a multiplicand [w] reused across a whole loop (twiddle factor,
+   scalar), precompute [wp = floor (w * 2^31 / m)].  Then for any
+   [a < 2^31] a single high-multiply replaces the division:
+
+     q = (a * wp) >> 31        — q <= a*w/m, off by < 1 + a/2^31
+     r = a*w - q*m             — r in [0, 2m)
+
+   All intermediates stay below 2^62 because m < 2^30 forces both
+   [wp < 2^31] and [a*w < 2^61], so nothing overflows 63-bit ints. *)
+
+let shoup_shift = 31
+
+let shoup w ~m = (w lsl shoup_shift) / m
+
+let[@inline] mul_shoup_lazy a w wp ~m =
+  let q = (a * wp) lsr shoup_shift in
+  (a * w) - (q * m)
+
+let[@inline] mul_shoup a w wp ~m =
+  let r = mul_shoup_lazy a w wp ~m in
+  if r >= m then r - m else r
+
+(* --- Barrett reduction -------------------------------------------------
+   Division-free reduction of a full product [x = a*b < m^2] for a
+   modulus not known in advance of the loop.  With [k = bits m] and
+   [mu = floor (2^2k / m)]:
+
+     q = ((x >> (k-1)) * mu) >> (k+1)
+
+   underestimates floor (x/m) by at most 2 (HAC 14.42), so two
+   conditional subtractions canonicalize.  [x >> (k-1) < 2^(k+1)] and
+   [mu < 2^(k+1)] keep the product below 2^62 for k <= 30. *)
+
+module Barrett = struct
+  type t = { p : int; mu : int; s1 : int; s2 : int }
+
+  let bits m =
+    let rec go acc m = if m = 0 then acc else go (acc + 1) (m lsr 1) in
+    go 0 m
+
+  let make p =
+    if p < 2 || p >= 1 lsl max_modulus_bits then
+      invalid_arg "Modarith.Barrett.make: modulus out of range";
+    let k = bits p in
+    { p; mu = (1 lsl (2 * k)) / p; s1 = k - 1; s2 = k + 1 }
+
+  let modulus t = t.p
+
+  let[@inline] reduce t x =
+    let q = ((x lsr t.s1) * t.mu) lsr t.s2 in
+    let r = x - (q * t.p) in
+    let r = if r >= t.p then r - t.p else r in
+    if r >= t.p then r - t.p else r
+
+  let[@inline] mul t a b = reduce t (a * b)
+end

@@ -25,3 +25,41 @@ val inv : int -> m:int -> int
 val center : int -> m:int -> int
 (** Map a residue to its centered representative in
     [(-m/2, m/2\]]. *)
+
+(** {1 Division-free reductions}
+
+    The NTT and keyswitch inner loops cannot afford a hardware divide
+    per butterfly.  Shoup multiplication handles constants known ahead
+    of the loop (twiddles, scalars); Barrett reduction handles products
+    of two variable residues. *)
+
+val shoup_shift : int
+(** 31: the fixed-point shift used by the Shoup precomputation. *)
+
+val shoup : int -> m:int -> int
+(** [shoup w ~m] precomputes [floor (w * 2^31 / m)] for use with
+    {!mul_shoup} / {!mul_shoup_lazy}. Requires [w < m < 2^30]. *)
+
+val mul_shoup_lazy : int -> int -> int -> m:int -> int
+(** [mul_shoup_lazy a w wp ~m] = a value congruent to [a*w mod m] in
+    [[0, 2m)], for any [a < 2^31] and [wp = shoup w ~m].  One
+    high-multiply, no division; used inside the lazy NTT butterflies. *)
+
+val mul_shoup : int -> int -> int -> m:int -> int
+(** Like {!mul_shoup_lazy} but canonical: result in [[0, m)]. *)
+
+module Barrett : sig
+  type t
+  (** Precomputed constants for one modulus. *)
+
+  val make : int -> t
+  (** @raise Invalid_argument if the modulus is not in [[2, 2^30)]. *)
+
+  val modulus : t -> int
+
+  val reduce : t -> int -> int
+  (** [reduce t x] = [x mod p] for any [x < p^2], canonical. *)
+
+  val mul : t -> int -> int -> int
+  (** [mul t a b] = [a * b mod p] for residues [a, b < p]. *)
+end

@@ -5,6 +5,12 @@ type plan = {
   psi : int array;
   psi_inv : int array;
   n_inv : int;
+  (* Shoup companions: psi_sh.(i) = floor (psi.(i) * 2^31 / p), etc. —
+     one per twiddle so the butterflies never divide. *)
+  psi_sh : int array;
+  psi_inv_sh : int array;
+  n_inv_sh : int;
+  br : Modarith.Barrett.t;
 }
 
 let bit_reverse x bits =
@@ -35,57 +41,173 @@ let make_plan ~n ~p =
     done;
     a
   in
+  let psi = tab root in
+  let psi_inv = tab root_inv in
+  let n_inv = Modarith.inv n ~m:p in
   { n;
     p;
-    psi = tab root;
-    psi_inv = tab root_inv;
-    n_inv = Modarith.inv n ~m:p }
+    psi;
+    psi_inv;
+    n_inv;
+    psi_sh = Array.map (fun w -> Modarith.shoup w ~m:p) psi;
+    psi_inv_sh = Array.map (fun w -> Modarith.shoup w ~m:p) psi_inv;
+    n_inv_sh = Modarith.shoup n_inv ~m:p;
+    br = Modarith.Barrett.make p }
 
 let modulus t = t.p
 
 let size t = t.n
 
-(* Cooley–Tukey butterfly forward NTT with ψ folded in. *)
-let forward t a =
+let barrett t = t.br
+
+(* The original scalar transforms, kept verbatim as the oracle the
+   optimized kernels are pinned against (see test_exec.ml). *)
+module Reference = struct
+  (* Cooley–Tukey butterfly forward NTT with ψ folded in. *)
+  let forward t a =
+    let p = t.p in
+    let n = t.n in
+    let m = ref 1 and len = ref (n / 2) in
+    while !len >= 1 do
+      let start = ref 0 in
+      for i = 0 to !m - 1 do
+        let w = t.psi.(!m + i) in
+        for j = !start to !start + !len - 1 do
+          let u = a.(j) in
+          let v = Modarith.mul a.(j + !len) w ~m:p in
+          a.(j) <- Modarith.add u v ~m:p;
+          a.(j + !len) <- Modarith.sub u v ~m:p
+        done;
+        start := !start + (2 * !len)
+      done;
+      m := !m * 2;
+      len := !len / 2
+    done
+
+  (* Gentleman–Sande inverse with ψ^{-1} folded in. *)
+  let inverse t a =
+    let p = t.p in
+    let n = t.n in
+    let m = ref (n / 2) and len = ref 1 in
+    while !m >= 1 do
+      let start = ref 0 in
+      for i = 0 to !m - 1 do
+        let w = t.psi_inv.(!m + i) in
+        for j = !start to !start + !len - 1 do
+          let u = a.(j) in
+          let v = a.(j + !len) in
+          a.(j) <- Modarith.add u v ~m:p;
+          a.(j + !len) <- Modarith.mul (Modarith.sub u v ~m:p) w ~m:p
+        done;
+        start := !start + (2 * !len)
+      done;
+      m := !m / 2;
+      len := !len * 2
+    done;
+    for i = 0 to n - 1 do
+      a.(i) <- Modarith.mul a.(i) t.n_inv ~m:p
+    done
+end
+
+(* Optimized in-place transforms on Rvec storage.
+
+   Lazy butterflies in the Longa–Naehrig style: values stay in
+   [0, 2p) across stages — the twiddle product is a Shoup lazy
+   multiply (result < 2p for any input < 2p, since 2p < 2^31), and
+   each output takes exactly one conditional subtraction of 2p.  A
+   final canonicalization pass maps back to [0, p), which makes the
+   results bit-identical to [Reference].
+
+   The inner loops use [Bigarray.Array1.unsafe_get]/[unsafe_set]
+   directly: applied syntactically they compile to single load/store
+   instructions even without flambda, where the [Rvec.get] wrapper
+   would stay an out-of-line call.  Every index below is loop-derived
+   and bounded by [n], so the debug mode's obligation reduces to the
+   single length check in [guard]. *)
+
+module A1 = Bigarray.Array1
+
+let guard t (a : Rvec.t) =
+  if Rvec.checked && A1.dim a <> t.n then
+    invalid_arg
+      (Printf.sprintf "Ntt: vector length %d does not match plan size %d"
+         (A1.dim a) t.n)
+
+let forward t (a : Rvec.t) =
+  guard t a;
   let p = t.p in
+  let two_p = 2 * p in
   let n = t.n in
+  let psi = t.psi and psi_sh = t.psi_sh in
   let m = ref 1 and len = ref (n / 2) in
   while !len >= 1 do
+    let l = !len in
     let start = ref 0 in
     for i = 0 to !m - 1 do
-      let w = t.psi.(!m + i) in
-      for j = !start to !start + !len - 1 do
-        let u = a.(j) in
-        let v = Modarith.mul a.(j + !len) w ~m:p in
-        a.(j) <- Modarith.add u v ~m:p;
-        a.(j + !len) <- Modarith.sub u v ~m:p
+      let w = Array.unsafe_get psi (!m + i) in
+      let wp = Array.unsafe_get psi_sh (!m + i) in
+      let j0 = !start in
+      (* branchless [0, 2p) reductions: the sign mask [x asr 62] is -1
+         exactly when the tentative subtraction went negative, so the
+         conditional add-back costs an and+add, never a mispredict *)
+      for j = j0 to j0 + l - 1 do
+        let u = A1.unsafe_get a j in
+        let t0 = A1.unsafe_get a (j + l) in
+        let q = (t0 * wp) lsr 31 in
+        let v = (t0 * w) - (q * p) in
+        let x = u + v - two_p in
+        let x = x + (two_p land (x asr 62)) in
+        let y = u - v in
+        let y = y + (two_p land (y asr 62)) in
+        A1.unsafe_set a j x;
+        A1.unsafe_set a (j + l) y
       done;
-      start := !start + (2 * !len)
+      start := !start + (2 * l)
     done;
     m := !m * 2;
-    len := !len / 2
-  done
-
-(* Gentleman–Sande inverse with ψ^{-1} folded in. *)
-let inverse t a =
-  let p = t.p in
-  let n = t.n in
-  let m = ref (n / 2) and len = ref 1 in
-  while !m >= 1 do
-    let start = ref 0 in
-    for i = 0 to !m - 1 do
-      let w = t.psi_inv.(!m + i) in
-      for j = !start to !start + !len - 1 do
-        let u = a.(j) in
-        let v = a.(j + !len) in
-        a.(j) <- Modarith.add u v ~m:p;
-        a.(j + !len) <- Modarith.mul (Modarith.sub u v ~m:p) w ~m:p
-      done;
-      start := !start + (2 * !len)
-    done;
-    m := !m / 2;
-    len := !len * 2
+    len := l / 2
   done;
   for i = 0 to n - 1 do
-    a.(i) <- Modarith.mul a.(i) t.n_inv ~m:p
+    let x = A1.unsafe_get a i - p in
+    A1.unsafe_set a i (x + (p land (x asr 62)))
+  done
+
+let inverse t (a : Rvec.t) =
+  guard t a;
+  let p = t.p in
+  let two_p = 2 * p in
+  let n = t.n in
+  let psi_inv = t.psi_inv and psi_inv_sh = t.psi_inv_sh in
+  let m = ref (n / 2) and len = ref 1 in
+  while !m >= 1 do
+    let l = !len in
+    let start = ref 0 in
+    for i = 0 to !m - 1 do
+      let w = Array.unsafe_get psi_inv (!m + i) in
+      let wp = Array.unsafe_get psi_inv_sh (!m + i) in
+      let j0 = !start in
+      for j = j0 to j0 + l - 1 do
+        let u = A1.unsafe_get a j in
+        let v = A1.unsafe_get a (j + l) in
+        let x = u + v - two_p in
+        let x = x + (two_p land (x asr 62)) in
+        let d = u - v in
+        let d = d + (two_p land (d asr 62)) in
+        let q = (d * wp) lsr 31 in
+        A1.unsafe_set a j x;
+        A1.unsafe_set a (j + l) ((d * w) - (q * p))
+      done;
+      start := !start + (2 * l)
+    done;
+    m := !m / 2;
+    len := l * 2
+  done;
+  let ni = t.n_inv and nip = t.n_inv_sh in
+  for i = 0 to n - 1 do
+    (* inputs are < 2p < 2^31, so the Shoup multiply is in range and
+       its canonical variant lands directly in [0, p) *)
+    let x = A1.unsafe_get a i in
+    let q = (x * nip) lsr 31 in
+    let r = (x * ni) - (q * p) - p in
+    A1.unsafe_set a i (r + (p land (r asr 62)))
   done

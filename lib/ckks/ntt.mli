@@ -3,21 +3,43 @@
     Standard ψ-twisted radix-2 NTT (Cooley–Tukey decimation-in-time
     forward, Gentleman–Sande inverse) with ψ a primitive 2n-th root of
     unity, so pointwise products in the transform domain implement
-    negacyclic convolution directly. *)
+    negacyclic convolution directly.
+
+    Two implementations share one plan: the optimized in-place kernels
+    on {!Rvec.t} storage (Shoup twiddle multiplies, lazy [< 2p]
+    butterflies, canonical [[0, p)] outputs) and the original scalar
+    code retained as {!Reference} — the test tier pins them bit-exact
+    against each other. *)
 
 type plan
 
 val make_plan : n:int -> p:int -> plan
-(** Precompute twiddle tables for size [n] (a power of two) modulo the
-    NTT-friendly prime [p ≡ 1 (mod 2n)]. *)
+(** Precompute twiddle tables (and their Shoup/Barrett companions) for
+    size [n] (a power of two) modulo the NTT-friendly prime
+    [p ≡ 1 (mod 2n)]. *)
 
 val modulus : plan -> int
 
 val size : plan -> int
 
-val forward : plan -> int array -> unit
-(** In-place forward transform (coefficient → evaluation order). *)
+val barrett : plan -> Modarith.Barrett.t
+(** The plan's precomputed Barrett constants, for pointwise products
+    modulo the same prime. *)
 
-val inverse : plan -> int array -> unit
+val forward : plan -> Rvec.t -> unit
+(** In-place forward transform (coefficient → evaluation order).
+    Inputs must be canonical residues; outputs are canonical. *)
+
+val inverse : plan -> Rvec.t -> unit
 (** In-place inverse transform; [inverse plan (forward plan a)] is the
     identity. *)
+
+val bit_reverse : int -> int -> int
+
+(** The pre-optimization scalar transforms on plain [int array]s —
+    the bit-exact oracle for the optimized kernels. *)
+module Reference : sig
+  val forward : plan -> int array -> unit
+
+  val inverse : plan -> int array -> unit
+end

@@ -2,7 +2,7 @@ type t = {
   level : int;
   special : bool;
   ntt : bool;
-  data : int array array;
+  data : Rvec.t array;
 }
 
 let rows t = t.level + if t.special then 1 else 0
@@ -19,9 +19,9 @@ let prime_index (ctx : Context.t) t r =
 let zero (ctx : Context.t) ~level ~special ~ntt =
   let nrows = level + if special then 1 else 0 in
   { level; special; ntt;
-    data = Array.init nrows (fun _ -> Array.make ctx.Context.n 0) }
+    data = Array.init nrows (fun _ -> Rvec.create ctx.Context.n) }
 
-let copy t = { t with data = Array.map Array.copy t.data }
+let copy t = { t with data = Array.map Rvec.copy t.data }
 
 let of_coeff_array (ctx : Context.t) ~level ~special coeffs =
   assert (Array.length coeffs = ctx.Context.n);
@@ -30,7 +30,7 @@ let of_coeff_array (ctx : Context.t) ~level ~special coeffs =
     let q = Context.prime ctx (prime_index ctx t r) in
     let row = t.data.(r) in
     for j = 0 to ctx.Context.n - 1 do
-      row.(j) <- Fhe_util.Bits.pos_rem coeffs.(j) q
+      Rvec.set row j (Fhe_util.Bits.pos_rem coeffs.(j) q)
     done
   done;
   t
@@ -39,9 +39,8 @@ let to_ntt (ctx : Context.t) t =
   if t.ntt then t
   else begin
     let t' = copy t in
-    for r = 0 to rows t - 1 do
-      Ntt.forward (Context.plan ctx (prime_index ctx t r)) t'.data.(r)
-    done;
+    Context.par_rows ctx (rows t) (fun r ->
+        Ntt.forward (Context.plan ctx (prime_index ctx t r)) t'.data.(r));
     { t' with ntt = true }
   end
 
@@ -49,9 +48,8 @@ let of_ntt (ctx : Context.t) t =
   if not t.ntt then t
   else begin
     let t' = copy t in
-    for r = 0 to rows t - 1 do
-      Ntt.inverse (Context.plan ctx (prime_index ctx t r)) t'.data.(r)
-    done;
+    Context.par_rows ctx (rows t) (fun r ->
+        Ntt.inverse (Context.plan ctx (prime_index ctx t r)) t'.data.(r));
     { t' with ntt = false }
   end
 
@@ -59,90 +57,114 @@ let check_compat a b =
   if a.level <> b.level || a.special <> b.special || a.ntt <> b.ntt then
     invalid_arg "Poly: basis/form mismatch"
 
-let map2 (ctx : Context.t) f a b =
+let add (ctx : Context.t) a b =
   check_compat a b;
-  let out = copy a in
+  let out = zero ctx ~level:a.level ~special:a.special ~ntt:a.ntt in
+  let n = ctx.Context.n in
   for r = 0 to rows a - 1 do
     let q = Context.prime ctx (prime_index ctx a r) in
     let ra = a.data.(r) and rb = b.data.(r) and ro = out.data.(r) in
-    for j = 0 to ctx.Context.n - 1 do
-      ro.(j) <- f ra.(j) rb.(j) q
+    for j = 0 to n - 1 do
+      let s = Rvec.get ra j + Rvec.get rb j in
+      Rvec.set ro j (if s >= q then s - q else s)
     done
   done;
   out
 
-let add ctx a b = map2 ctx (fun x y q -> Modarith.add x y ~m:q) a b
-
-let sub ctx a b = map2 ctx (fun x y q -> Modarith.sub x y ~m:q) a b
-
-let mul ctx a b =
-  if not (a.ntt && b.ntt) then invalid_arg "Poly.mul: operands must be NTT";
-  map2 ctx (fun x y q -> Modarith.mul x y ~m:q) a b
-
-let neg (ctx : Context.t) a =
-  let out = copy a in
+let sub (ctx : Context.t) a b =
+  check_compat a b;
+  let out = zero ctx ~level:a.level ~special:a.special ~ntt:a.ntt in
+  let n = ctx.Context.n in
   for r = 0 to rows a - 1 do
     let q = Context.prime ctx (prime_index ctx a r) in
-    let ro = out.data.(r) in
-    for j = 0 to ctx.Context.n - 1 do
-      ro.(j) <- Modarith.neg ro.(j) ~m:q
+    let ra = a.data.(r) and rb = b.data.(r) and ro = out.data.(r) in
+    for j = 0 to n - 1 do
+      let d = Rvec.get ra j - Rvec.get rb j in
+      Rvec.set ro j (if d < 0 then d + q else d)
+    done
+  done;
+  out
+
+let mul (ctx : Context.t) a b =
+  if not (a.ntt && b.ntt) then invalid_arg "Poly.mul: operands must be NTT";
+  check_compat a b;
+  let out = zero ctx ~level:a.level ~special:a.special ~ntt:true in
+  let n = ctx.Context.n in
+  for r = 0 to rows a - 1 do
+    let br = Ntt.barrett (Context.plan ctx (prime_index ctx a r)) in
+    let ra = a.data.(r) and rb = b.data.(r) and ro = out.data.(r) in
+    for j = 0 to n - 1 do
+      Rvec.set ro j (Modarith.Barrett.mul br (Rvec.get ra j) (Rvec.get rb j))
+    done
+  done;
+  out
+
+let neg (ctx : Context.t) a =
+  let out = zero ctx ~level:a.level ~special:a.special ~ntt:a.ntt in
+  let n = ctx.Context.n in
+  for r = 0 to rows a - 1 do
+    let q = Context.prime ctx (prime_index ctx a r) in
+    let ra = a.data.(r) and ro = out.data.(r) in
+    for j = 0 to n - 1 do
+      let x = Rvec.get ra j in
+      Rvec.set ro j (if x = 0 then 0 else q - x)
     done
   done;
   out
 
 let mul_scalar_fn (ctx : Context.t) a scalar_of =
-  let out = copy a in
+  let out = zero ctx ~level:a.level ~special:a.special ~ntt:a.ntt in
+  let n = ctx.Context.n in
   for r = 0 to rows a - 1 do
     let pi = prime_index ctx a r in
     let q = Context.prime ctx pi in
     let s = Fhe_util.Bits.pos_rem (scalar_of pi) q in
-    let ro = out.data.(r) in
-    for j = 0 to ctx.Context.n - 1 do
-      ro.(j) <- Modarith.mul ro.(j) s ~m:q
+    let sp = Modarith.shoup s ~m:q in
+    let ra = a.data.(r) and ro = out.data.(r) in
+    for j = 0 to n - 1 do
+      Rvec.set ro j (Modarith.mul_shoup (Rvec.get ra j) s sp ~m:q)
     done
   done;
   out
 
-let drop_last (ctx : Context.t) t =
+let drop_last ?keep (ctx : Context.t) t =
   if not t.ntt then invalid_arg "Poly.drop_last: expected NTT form";
+  let n = ctx.Context.n in
   let last_row = rows t - 1 in
   let last_pi = prime_index ctx t last_row in
   let q_last = Context.prime ctx last_pi in
   (* bring the dropped component to coefficient form *)
-  let dropped = Array.copy t.data.(last_row) in
+  let dropped = Rvec.copy t.data.(last_row) in
   Ntt.inverse (Context.plan ctx last_pi) dropped;
-  let out =
-    if t.special then zero ctx ~level:t.level ~special:false ~ntt:true
-    else zero ctx ~level:(t.level - 1) ~special:false ~ntt:true
+  let full_level = if t.special then t.level else t.level - 1 in
+  let out_level =
+    match keep with
+    | None -> full_level
+    | Some l ->
+        if l < 1 || l > full_level then
+          invalid_arg "Poly.drop_last: keep out of range";
+        l
   in
-  for r = 0 to rows out - 1 do
-    let pi = prime_index ctx out r in
-    let q = Context.prime ctx pi in
-    let inv_last = Modarith.inv (q_last mod q) ~m:q in
-    (* centered lift of the dropped component, reduced mod q, in NTT *)
-    let lifted = Array.make ctx.Context.n 0 in
-    for j = 0 to ctx.Context.n - 1 do
-      lifted.(j) <- Fhe_util.Bits.pos_rem (Modarith.center dropped.(j) ~m:q_last) q
-    done;
-    Ntt.forward (Context.plan ctx pi) lifted;
-    let src = t.data.(r) and dst = out.data.(r) in
-    for j = 0 to ctx.Context.n - 1 do
-      dst.(j) <- Modarith.mul (Modarith.sub src.(j) lifted.(j) ~m:q) inv_last ~m:q
-    done
-  done;
+  let out = zero ctx ~level:out_level ~special:false ~ntt:true in
+  Context.par_rows ctx out_level (fun r ->
+      let pi = prime_index ctx out r in
+      let q = Context.prime ctx pi in
+      let inv_last = Modarith.inv (q_last mod q) ~m:q in
+      let il_sh = Modarith.shoup inv_last ~m:q in
+      (* centered lift of the dropped component, reduced mod q, in NTT *)
+      let lifted = Rvec.create n in
+      for j = 0 to n - 1 do
+        Rvec.set lifted j
+          (Fhe_util.Bits.pos_rem (Modarith.center (Rvec.get dropped j) ~m:q_last) q)
+      done;
+      Ntt.forward (Context.plan ctx pi) lifted;
+      let src = t.data.(r) and dst = out.data.(r) in
+      for j = 0 to n - 1 do
+        let d = Rvec.get src j - Rvec.get lifted j in
+        let d = if d < 0 then d + q else d in
+        Rvec.set dst j (Modarith.mul_shoup d inv_last il_sh ~m:q)
+      done);
   out
-
-let extend_row (ctx : Context.t) ~level ~special ~row_prime coeffs =
-  let out = zero ctx ~level ~special ~ntt:false in
-  for r = 0 to rows out - 1 do
-    let pi = prime_index ctx out r in
-    let q = Context.prime ctx pi in
-    let dst = out.data.(r) in
-    for j = 0 to ctx.Context.n - 1 do
-      dst.(j) <- Fhe_util.Bits.pos_rem (Modarith.center coeffs.(j) ~m:row_prime) q
-    done
-  done;
-  to_ntt ctx { out with ntt = false }
 
 let automorphism (ctx : Context.t) t ~g =
   let n = ctx.Context.n in
@@ -155,8 +177,9 @@ let automorphism (ctx : Context.t) t ~g =
     let src = t.data.(r) and dst = out.data.(r) in
     for j = 0 to n - 1 do
       let k = j * g mod (2 * n) in
-      if k < n then dst.(k) <- src.(j)
-      else dst.(k - n) <- Modarith.neg src.(j) ~m:q
+      let x = Rvec.get src j in
+      if k < n then Rvec.set dst k x
+      else Rvec.set dst (k - n) (if x = 0 then 0 else q - x)
     done
   done;
   if was_ntt then to_ntt ctx out else out
@@ -169,7 +192,7 @@ let restrict (ctx : Context.t) t ~level ~special =
     invalid_arg "Poly.restrict: cannot grow a basis";
   let keep =
     Array.init (level + if special then 1 else 0) (fun r ->
-        if r < level then Array.copy t.data.(r)
-        else Array.copy t.data.(rows t - 1))
+        if r < level then Rvec.copy t.data.(r)
+        else Rvec.copy t.data.(rows t - 1))
   in
   { level; special; ntt = t.ntt; data = keep }

@@ -4,14 +4,27 @@
     [0..level-1]) optionally extended by the special prime (last row).
     Ciphertext polynomials are kept in NTT (evaluation) form; the few
     operations that need coefficients (rescale, key-switch
-    decomposition, automorphism, decoding) convert transiently. *)
+    decomposition, automorphism, decoding) convert transiently.
+
+    Rows are {!Rvec.t} bigarray vectors (unboxed 64-bit cells), and the
+    per-row loops use the plan's precomputed Shoup/Barrett constants —
+    no division on any hot path.  When the context has a pool attached
+    ({!Context.set_pool}), row work fans out across it with results
+    identical to the sequential path. *)
 
 type t = {
   level : int;
   special : bool;
   ntt : bool;
-  data : int array array;  (** one row of [n] residues per basis prime *)
+  data : Rvec.t array;  (** one row of [n] residues per basis prime *)
 }
+
+val rows : t -> int
+(** [level], plus one for the special row when present. *)
+
+val prime_index : Context.t -> t -> int -> int
+(** Context prime index of row [r]: [r] itself for chain rows,
+    [ctx.levels] for the special row. *)
 
 val zero : Context.t -> level:int -> special:bool -> ntt:bool -> t
 
@@ -40,16 +53,13 @@ val mul_scalar_fn : Context.t -> t -> (int -> int) -> t
 (** Multiply row [i] by [scalar_of_prime_index i] (mod that prime);
     index [levels] means the special row. *)
 
-val drop_last : Context.t -> t -> t
+val drop_last : ?keep:int -> Context.t -> t -> t
 (** Exact RNS division by the last basis prime with centered rounding —
     the arithmetic core of [rescale] (drops the top chain prime) and of
     the key-switch mod-down (drops the special prime).  Input in NTT
-    form; output in NTT form. *)
-
-val extend_row : Context.t -> level:int -> special:bool -> row_prime:int ->
-  int array -> t
-(** Base-extend coefficients known mod [row_prime] (coeff form, centered
-    lift) into a full (level, special) basis, returned in NTT form. *)
+    form; output in NTT form.  [?keep] restricts the output to its
+    first [keep] chain rows, fusing a following modswitch into the same
+    pass (rows that would be dropped anyway are never computed). *)
 
 val automorphism : Context.t -> t -> g:int -> t
 (** Apply the Galois map [X ↦ X^g] ([g] odd, mod [2n]); any form, result

@@ -1,0 +1,33 @@
+(** Residue vectors: the coefficient storage of the CKKS hot paths.
+
+    A flat [Bigarray.Array1] of native ints in 64-bit cells — unboxed,
+    untagged loads/stores and no GC scanning, which is what the NTT and
+    key-switch inner loops are bound by.  Accesses are unchecked by
+    default; setting [FHE_CKKS_CHECKED=1] in the environment (read once
+    at startup) turns every [get]/[set] into a bounds-checked access
+    for debugging. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val checked : bool
+(** Whether the bounds-checked debug mode is active. *)
+
+val create : int -> t
+(** Zero-filled vector of the given length. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+val blit : t -> t -> unit
+(** [blit src dst]; lengths must match. *)
+
+val copy : t -> t
+
+val of_array : int array -> t
+
+val to_array : t -> int array
+
+val fill : t -> int -> unit

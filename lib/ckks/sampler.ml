@@ -16,7 +16,7 @@ let uniform_ntt g (ctx : Context.t) ~level ~special =
         Context.prime ctx (if r < level then r else ctx.Context.levels)
       in
       for j = 0 to ctx.Context.n - 1 do
-        row.(j) <- Fhe_util.Prng.int g q
+        Rvec.set row j (Fhe_util.Prng.int g q)
       done)
     p.Poly.data;
   p

@@ -25,8 +25,11 @@ let w_f64 b v =
   done
 
 let w_row b row =
-  w_u32 b (Array.length row);
-  Array.iter (fun r -> w_u32 b r) row
+  let n = Rvec.length row in
+  w_u32 b n;
+  for i = 0 to n - 1 do
+    w_u32 b (Rvec.get row i)
+  done
 
 let w_poly b (p : Poly.t) =
   w_u8 b p.Poly.level;
@@ -64,10 +67,13 @@ let r_f64 r =
 let r_row r ~n ~q =
   let len = r_u32 r in
   if len <> n then raise (Bad (Printf.sprintf "row length %d, expected %d" len n));
-  Array.init n (fun _ ->
-      let v = r_u32 r in
-      if v >= q then raise (Bad "residue out of range");
-      v)
+  let row = Rvec.create n in
+  for i = 0 to n - 1 do
+    let v = r_u32 r in
+    if v >= q then raise (Bad "residue out of range");
+    Rvec.set row i v
+  done;
+  row
 
 let r_poly r (ctx : Context.t) =
   let level = r_u8 r in
@@ -164,7 +170,8 @@ let load_evaluation_keys ctx ~secret data =
       Hashtbl.replace galois step (r_switch_key r ctx)
     done;
     { Keys.ctx; s = secret; pb; pa; relin; galois;
-      sampler = Sampler.create ~seed:0 }
+      sampler = Sampler.create ~seed:0;
+      enc_sampler = Sampler.create ~seed:(0 lxor 0x5EED5) }
   with
   | keys -> Ok keys
   | exception Bad msg -> Error msg

@@ -109,6 +109,43 @@ let test_small_sobel_encrypted () =
   check_backend ~tol:0.5 p
     (Reserve.Pipeline.compile ~xmax_bits ~rbits ~wbits p)
 
+(* All eight registry applications (exec-scale variants) end to end
+   through the reserve compiler: decrypt within the pinned per-app
+   tolerance, and every ciphertext output at exactly the level the
+   compiler placed for it — the backend must consume levels as planned,
+   not merely produce close numbers. *)
+let test_all_apps_encrypted () =
+  List.iter
+    (fun (a : Fhe_apps.Registry.app) ->
+      let module Reg = Fhe_apps.Registry in
+      let p = a.Reg.exec_build () in
+      let inputs = a.Reg.exec_inputs ~seed:42 in
+      let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+      let m = Reserve.Pipeline.compile ~xmax_bits ~rbits ~wbits p in
+      Helpers.check_valid m;
+      let expect = Fhe_sim.Interp.run_reference p ~inputs in
+      let got, st = Ckks.Backend.run_timed m ~inputs in
+      Array.iteri
+        (fun o e ->
+          Array.iteri
+            (fun j x ->
+              if Float.abs (x -. got.(o).(j)) > a.Reg.exec_tol then
+                Alcotest.failf
+                  "%s output %d slot %d: encrypted %g vs expected %g (tol %g)"
+                  a.Reg.name o j got.(o).(j) x a.Reg.exec_tol)
+            e)
+        expect;
+      let outs = Program.outputs m.Managed.prog in
+      Array.iteri
+        (fun o op ->
+          if Program.vtype m.Managed.prog op = Op.Cipher then
+            Alcotest.(check int)
+              (Printf.sprintf "%s output %d level" a.Reg.name o)
+              m.Managed.level.(op)
+              st.Ckks.Backend.output_levels.(o))
+        outs)
+    Fhe_apps.Registry.all
+
 let suite =
   [ Alcotest.test_case "paper program via EVA" `Slow test_eva_backend;
     Alcotest.test_case "paper program via reserve" `Slow test_reserve_backend;
@@ -119,4 +156,6 @@ let suite =
     Alcotest.test_case "rejects mismatched rbits" `Quick
       test_rejects_wrong_rbits;
     Alcotest.test_case "encrypted Sobel 16x16" `Slow
-      test_small_sobel_encrypted ]
+      test_small_sobel_encrypted;
+    Alcotest.test_case "all 8 apps encrypted + level pins" `Slow
+      test_all_apps_encrypted ]

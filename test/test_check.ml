@@ -500,6 +500,16 @@ let sample_run () =
           input_level = 3;
           modulus_bits = 180;
           est_latency_us = 250.0;
+          exec =
+            Some
+              {
+                Benchjson.exec_ms = 42.0;
+                encrypt_ms = 6.0;
+                eval_ms = 30.0;
+                decrypt_ms = 6.0;
+                keygen_ms = 55.0;
+                max_err = 3.5e-3;
+              };
         };
         {
           Benchjson.app = "SF";
@@ -509,6 +519,7 @@ let sample_run () =
           input_level = 2;
           modulus_bits = 120;
           est_latency_us = 200.0;
+          exec = None;
         };
       ];
   }
@@ -541,8 +552,8 @@ let test_benchjson_v1_compat () =
 let test_benchjson_v3_fields () =
   let r = sample_run () in
   let s = Benchjson.to_string (Benchjson.run_to_json r) in
-  Alcotest.(check bool) "emits the v4 schema tag" true
-    (contains s "fhe-bench-compile/v4");
+  Alcotest.(check bool) "emits the v5 schema tag" true
+    (contains s "fhe-bench-compile/v5");
   match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
   | Error e -> Alcotest.fail e
   | Ok r' ->
@@ -580,6 +591,20 @@ let test_benchjson_v3_compat () =
         r.Benchjson.cache.Benchjson.cache_hits;
       Alcotest.(check bool) "v3 has no serve block" true
         (r.Benchjson.serve = None)
+
+(* a v4 file (no per-entry exec stats) must still parse, with exec
+   unmeasured *)
+let test_benchjson_v4_compat () =
+  let s =
+    {|{"schema":"fhe-bench-compile/v4","rbits":60,"waterline":30,"domains":4,"wall_time_par":12.5,"cache":{"hits":10,"misses":2,"stores":12,"poisoned":0},"serve":{"requests":32,"qps":180,"p50_ms":4.5,"p99_ms":11,"shed":3,"timeouts":0,"degraded":1},"entries":[{"app":"SF","compiler":"eva","compile_ms":1.5,"warm_compile_ms":0.02,"input_level":3,"modulus_bits":180,"est_latency_us":250}]}|}
+  in
+  match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
+  | Error e -> Alcotest.fail ("v4 baseline rejected: " ^ e)
+  | Ok r ->
+      Alcotest.(check bool) "v4 keeps its serve block" true
+        (r.Benchjson.serve <> None);
+      Alcotest.(check bool) "v4 entries have no exec stats" true
+        ((List.hd r.Benchjson.entries).Benchjson.exec = None)
 
 (* a v2 file (no cache block, no warm timings) must still parse *)
 let test_benchjson_v2_compat () =
@@ -681,7 +706,46 @@ let test_benchjson_gate () =
   chk ~expect:false "unmeasured warm time passes"
     (Benchjson.compare_runs ~baseline:base
        ~current:(bump (fun e -> { e with Benchjson.warm_compile_ms = 0.0 }))
-       ())
+       ());
+  (* the v5 measured-runtime rules *)
+  let bump_exec f =
+    bump (fun e ->
+        { e with
+          Benchjson.exec = Option.map f e.Benchjson.exec })
+  in
+  chk ~expect:true "2x measured runtime flagged"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:
+         (bump_exec (fun x ->
+              { x with Benchjson.exec_ms = x.Benchjson.exec_ms *. 2.0 }))
+       ());
+  chk ~expect:false "1.5x measured runtime within slack"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:
+         (bump_exec (fun x ->
+              { x with Benchjson.exec_ms = x.Benchjson.exec_ms *. 1.5 }))
+       ());
+  chk ~expect:true "lost exec stats flagged"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:(bump (fun e -> { e with Benchjson.exec = None }))
+       ());
+  chk ~expect:true "precision loss flagged"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:
+         (bump_exec (fun x ->
+              { x with Benchjson.max_err = x.Benchjson.max_err *. 10.0 }))
+       ());
+  chk ~expect:false "2x max err within slack"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:
+         (bump_exec (fun x ->
+              { x with Benchjson.max_err = x.Benchjson.max_err *. 2.0 }))
+       ());
+  chk ~expect:false "baseline without exec stats gates nothing"
+    (Benchjson.compare_runs
+       ~baseline:
+         (bump (fun e -> { e with Benchjson.exec = None }))
+       ~current:base ())
 
 (* ----------------------------------------------------------------- *)
 
@@ -738,7 +802,8 @@ let () =
           t "v1 files still parse" test_benchjson_v1_compat;
           t "v2 files still parse" test_benchjson_v2_compat;
           t "v3 files still parse" test_benchjson_v3_compat;
-          t "v4 fields round trip" test_benchjson_v3_fields;
+          t "v4 files still parse" test_benchjson_v4_compat;
+          t "v5 fields round trip" test_benchjson_v3_fields;
           t "parser rejects garbage" test_benchjson_parse_rejects;
           t "string escapes" test_benchjson_escapes;
           t "rejects unknown schema" test_benchjson_rejects_unknown_schema;

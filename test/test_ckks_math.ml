@@ -60,6 +60,22 @@ let test_primitive_root () =
 let plan = lazy (Ckks.Ntt.make_plan ~n:64 ~p:7681)
 (* 7681 = 1 + 2*64*60, classic toy NTT prime *)
 
+let prop_shoup_barrett_match_naive =
+  QCheck.Test.make ~name:"Shoup/Barrett reductions match plain mod" ~count:500
+    QCheck.(pair (int_range 0 (p17 - 1)) (int_range 0 (p17 - 1)))
+    (fun (a, w) ->
+      let wp = M.shoup w ~m:p17 in
+      let br = M.Barrett.make p17 in
+      M.mul_shoup a w wp ~m:p17 = a * w mod p17
+      && M.Barrett.mul br a w = a * w mod p17
+      && M.Barrett.reduce br (a * w) = a * w mod p17
+      &&
+      (* the lazy variant is congruent and stays below 2p for lazy
+         inputs (a < 2p) *)
+      let al = a + p17 in
+      let r = M.mul_shoup_lazy al w wp ~m:p17 in
+      r >= 0 && r < 2 * p17 && r mod p17 = al * w mod p17)
+
 let prop_ntt_roundtrip =
   QCheck.Test.make ~name:"NTT inverse . forward = id" ~count:100
     QCheck.(small_int)
@@ -67,10 +83,10 @@ let prop_ntt_roundtrip =
       let plan = Lazy.force plan in
       let g = Fhe_util.Prng.create seed in
       let a = Array.init 64 (fun _ -> Fhe_util.Prng.int g 7681) in
-      let b = Array.copy a in
+      let b = Ckks.Rvec.of_array a in
       Ckks.Ntt.forward plan b;
       Ckks.Ntt.inverse plan b;
-      a = b)
+      a = Ckks.Rvec.to_array b)
 
 (* schoolbook negacyclic product for cross-checking *)
 let negacyclic_mul a b ~n ~p =
@@ -93,12 +109,16 @@ let prop_ntt_negacyclic =
       let a = Array.init 64 (fun _ -> Fhe_util.Prng.int g 7681) in
       let b = Array.init 64 (fun _ -> Fhe_util.Prng.int g 7681) in
       let expect = negacyclic_mul a b ~n:64 ~p:7681 in
-      let fa = Array.copy a and fb = Array.copy b in
+      let fa = Ckks.Rvec.of_array a and fb = Ckks.Rvec.of_array b in
       Ckks.Ntt.forward plan fa;
       Ckks.Ntt.forward plan fb;
-      let fc = Array.init 64 (fun i -> M.mul fa.(i) fb.(i) ~m:7681) in
+      let fc =
+        Ckks.Rvec.of_array
+          (Array.init 64 (fun i ->
+               M.mul (Ckks.Rvec.get fa i) (Ckks.Rvec.get fb i) ~m:7681))
+      in
       Ckks.Ntt.inverse plan fc;
-      fc = expect)
+      Ckks.Rvec.to_array fc = expect)
 
 module B = Ckks.Bigint
 
@@ -195,6 +215,7 @@ let suite =
     Alcotest.test_case "primality" `Quick test_is_prime;
     Alcotest.test_case "ntt prime chain" `Quick test_prime_chain;
     Alcotest.test_case "primitive root" `Quick test_primitive_root;
+    QCheck_alcotest.to_alcotest prop_shoup_barrett_match_naive;
     QCheck_alcotest.to_alcotest prop_ntt_roundtrip;
     QCheck_alcotest.to_alcotest prop_ntt_negacyclic;
     QCheck_alcotest.to_alcotest prop_bigint_matches_int;

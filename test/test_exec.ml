@@ -1,0 +1,215 @@
+(* The execution tier (@exec): pins on *real* encrypted runtime
+   behaviour, locking down the optimized CKKS hot paths.
+
+   - the optimized NTT kernels are bit-exact against the retained
+     scalar Reference for every chain prime (and the special prime)
+     across n = 2^4 .. 2^12, roundtrip to the identity, and implement
+     negacyclic convolution (vs the O(n^2) schoolbook product);
+   - the optimized forward transform is measurably faster than the
+     Reference at n = 2^12 (the regression guard for the speedup the
+     PR claims);
+   - all 8 registry apps x all 5 compilers execute end-to-end on
+     Ckks.Backend within their pinned decrypt-precision bounds;
+   - runs are byte-identical at pool widths 1 and 4 (deterministic
+     parallelism of the RNS limb fan-out). *)
+
+open Fhe_ir
+module Reg = Fhe_apps.Registry
+
+let rbits = 28
+
+let wbits = 22
+
+(* ------------------------------------------------------------------ *)
+(* NTT: optimized kernels vs the scalar Reference *)
+
+(* primes ≡ 1 (mod 2·4096) serve every n ≤ 4096 *)
+let chain_primes = Ckks.Primes.ntt_prime_chain ~n:4096 ~bits:28 ~count:6
+
+let special_prime =
+  let ctx = Ckks.Context.make ~n:4096 ~levels:2 () in
+  ctx.Ckks.Context.special
+
+let all_primes = chain_primes @ [ special_prime ]
+
+let test_ntt_bit_exact () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun logn ->
+          let n = 1 lsl logn in
+          let plan = Ckks.Ntt.make_plan ~n ~p in
+          let g = Fhe_util.Prng.create ((logn * 7919) + (p land 0xFFFF)) in
+          let a = Array.init n (fun _ -> Fhe_util.Prng.int g p) in
+          let r = Array.copy a in
+          let v = Ckks.Rvec.of_array a in
+          Ckks.Ntt.Reference.forward plan r;
+          Ckks.Ntt.forward plan v;
+          if Ckks.Rvec.to_array v <> r then
+            Alcotest.failf "forward differs from Reference: p=%d n=%d" p n;
+          Ckks.Ntt.Reference.inverse plan r;
+          Ckks.Ntt.inverse plan v;
+          if Ckks.Rvec.to_array v <> r then
+            Alcotest.failf "inverse differs from Reference: p=%d n=%d" p n;
+          if r <> a then
+            Alcotest.failf "roundtrip is not the identity: p=%d n=%d" p n)
+        [ 4; 5; 6; 7; 8; 9; 10; 11; 12 ])
+    all_primes
+
+(* schoolbook negacyclic product, the O(n^2) oracle *)
+let negacyclic_mul a b ~n ~p =
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      let v = Ckks.Modarith.mul a.(i) b.(j) ~m:p in
+      if k < n then out.(k) <- Ckks.Modarith.add out.(k) v ~m:p
+      else out.(k - n) <- Ckks.Modarith.sub out.(k - n) v ~m:p
+    done
+  done;
+  out
+
+let test_ntt_negacyclic () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun n ->
+          let plan = Ckks.Ntt.make_plan ~n ~p in
+          let br = Ckks.Ntt.barrett plan in
+          let g = Fhe_util.Prng.create (n + (p land 0xFFFF)) in
+          let a = Array.init n (fun _ -> Fhe_util.Prng.int g p) in
+          let b = Array.init n (fun _ -> Fhe_util.Prng.int g p) in
+          let expect = negacyclic_mul a b ~n ~p in
+          let fa = Ckks.Rvec.of_array a and fb = Ckks.Rvec.of_array b in
+          Ckks.Ntt.forward plan fa;
+          Ckks.Ntt.forward plan fb;
+          let fc =
+            Ckks.Rvec.of_array
+              (Array.init n (fun i ->
+                   Ckks.Modarith.Barrett.mul br (Ckks.Rvec.get fa i)
+                     (Ckks.Rvec.get fb i)))
+          in
+          Ckks.Ntt.inverse plan fc;
+          if Ckks.Rvec.to_array fc <> expect then
+            Alcotest.failf "negacyclic product differs: p=%d n=%d" p n)
+        [ 16; 32 ])
+    [ List.hd chain_primes; special_prime ]
+
+let test_ntt_speedup () =
+  let n = 4096 in
+  let p = List.hd chain_primes in
+  let plan = Ckks.Ntt.make_plan ~n ~p in
+  let g = Fhe_util.Prng.create 5 in
+  let a = Array.init n (fun _ -> Fhe_util.Prng.int g p) in
+  let reps = 100 in
+  let time f =
+    ignore (f ());
+    let _, ms =
+      Fhe_util.Timer.time (fun () ->
+          for _ = 1 to reps do
+            f ()
+          done)
+    in
+    ms /. float_of_int reps
+  in
+  (* both kernels map canonical residues to canonical residues *)
+  let scratch = Array.copy a in
+  let t_ref = time (fun () -> Ckks.Ntt.Reference.forward plan scratch) in
+  let v = Ckks.Rvec.of_array a in
+  let t_opt = time (fun () -> Ckks.Ntt.forward plan v) in
+  let speedup = t_ref /. t_opt in
+  if speedup < 3.0 then
+    Alcotest.failf
+      "optimized NTT only %.2fx over Reference at n=%d (want >= 3x): \
+       %.3f ms vs %.3f ms"
+      speedup n t_opt t_ref
+
+(* ------------------------------------------------------------------ *)
+(* 8 apps x 5 compilers: decrypt-precision pins on the real backend *)
+
+let compilers =
+  [ (`Eva, "eva"); (`Hecate, "hecate"); (`Rsv `Ba, "reserve-ba");
+    (`Rsv `Ra, "reserve-ra"); (`Rsv `Full, "reserve-full") ]
+
+let compile_with c p ~xmax_bits =
+  match c with
+  | `Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
+  | `Hecate ->
+      (Fhe_hecate.Hecate.compile ~iterations:60 ~xmax_bits ~rbits ~wbits p)
+        .Fhe_hecate.Hecate.managed
+  | `Rsv variant -> Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p
+
+let max_err refs got =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun o e ->
+      Array.iteri
+        (fun j x ->
+          let d = Float.abs (x -. got.(o).(j)) in
+          if d > !worst then worst := d)
+        e)
+    refs;
+  !worst
+
+let test_precision_pins () =
+  List.iter
+    (fun (a : Reg.app) ->
+      let p = a.Reg.exec_build () in
+      let inputs = a.Reg.exec_inputs ~seed:42 in
+      let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+      let refs = Fhe_sim.Interp.run_reference p ~inputs in
+      List.iter
+        (fun (c, label) ->
+          let m = compile_with c p ~xmax_bits in
+          Validator.check_exn m;
+          let got = Ckks.Backend.run m ~inputs in
+          let err = max_err refs got in
+          if err > a.Reg.exec_tol then
+            Alcotest.failf "%s/%s: max|err| %g exceeds pinned tolerance %g"
+              a.Reg.name label err a.Reg.exec_tol)
+        compilers)
+    Reg.all
+
+(* ------------------------------------------------------------------ *)
+(* deterministic parallelism: -j 1 and -j 4 decrypt bit-identically *)
+
+let test_pool_byte_identity () =
+  List.iter
+    (fun name ->
+      let a = Reg.find name in
+      let p = a.Reg.exec_build () in
+      let inputs = a.Reg.exec_inputs ~seed:42 in
+      let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+      let m = Reserve.Pipeline.compile ~xmax_bits ~rbits ~wbits p in
+      let seq = Ckks.Backend.run m ~inputs in
+      let par =
+        Fhe_par.Pool.with_pool ~domains:4 (fun pool ->
+            Ckks.Backend.run ~pool m ~inputs)
+      in
+      Array.iteri
+        (fun o s ->
+          Array.iteri
+            (fun j x ->
+              (* bit equality, not within-epsilon: the parallel fan-out
+                 must not reorder a single arithmetic operation *)
+              if not (Int64.equal (Int64.bits_of_float x)
+                        (Int64.bits_of_float par.(o).(j))) then
+                Alcotest.failf "%s output %d slot %d: -j1 %h vs -j4 %h" name o
+                  j x par.(o).(j))
+            s)
+        seq)
+    [ "MLP"; "HCD" ]
+
+let suite =
+  [ Alcotest.test_case "NTT bit-exact vs Reference (all primes, 2^4..2^12)"
+      `Slow test_ntt_bit_exact;
+    Alcotest.test_case "NTT negacyclic vs schoolbook" `Slow
+      test_ntt_negacyclic;
+    Alcotest.test_case "NTT optimized >= 3x Reference at 2^12" `Slow
+      test_ntt_speedup;
+    Alcotest.test_case "8 apps x 5 compilers precision pins" `Slow
+      test_precision_pins;
+    Alcotest.test_case "pool width 1 vs 4 bit-identical" `Slow
+      test_pool_byte_identity ]
+
+let () = Alcotest.run "fhe-exec" [ ("exec", suite) ]
