@@ -14,6 +14,8 @@
 
 open Fhe_ir
 module Reg = Fhe_apps.Registry
+module St = Fhe_strategy.Strategy
+module SReg = Fhe_strategy.Registry
 
 let rbits = 60
 
@@ -30,14 +32,17 @@ let with_pool f =
 (* ------------------------------------------------------------------ *)
 (* Shared compilation cache: (app, waterline, compiler) -> managed     *)
 
-type compiler = Eva | Hecate | Rsv of Reserve.Pipeline.variant
+(* every compiler is a registry strategy; the paper's table labels
+   ("This work", "BA", ...) are presentation strings in the printfs,
+   not a dispatch axis *)
+let strategy name =
+  match SReg.of_name name with
+  | Some s -> s
+  | None -> failwith ("bench: strategy not registered: " ^ name)
 
-let compiler_name = function
-  | Eva -> "EVA"
-  | Hecate -> "Hecate"
-  | Rsv `Full -> "This work"
-  | Rsv `Ba -> "BA"
-  | Rsv `Ra -> "RA"
+let eva = strategy "eva"
+let hecate = strategy "hecate"
+let reserve_full = strategy "reserve-full"
 
 (* Exploration budgets: paper-scale exploration on LeNet would take
    hours of wall clock here (the very pathology the paper fixes), so
@@ -86,24 +91,22 @@ let xmax_of (a : Reg.app) =
 let plan_cache : (string * int * string, Managed.t * float) Hashtbl.t =
   Hashtbl.create 64
 
+(* the strategy config this benchmark compiles (app, waterline) under:
+   the app's measured x_max headroom and its capped Hecate budget *)
+let bench_config (a : Reg.app) ~wbits =
+  St.config ~xmax_bits:(xmax_of a)
+    ~iterations:(hecate_budget a.Reg.name) ~rbits ~wbits ()
+
 (* one measured compilation; reads the prog/xmax caches but never
    writes any table, so it is safe on a pool once those are warm.  The
    content-addressed store is bypassed on this domain so the timing is
    a genuinely cold compile even when the global cache is enabled. *)
-let compile_nocache (a : Reg.app) ~wbits c =
+let compile_nocache (a : Reg.app) ~wbits s =
   let p = prog_of a in
-  let xmax_bits = xmax_of a in
+  let cfg = bench_config a ~wbits in
   let m, ms =
     Fhe_util.Timer.time (fun () ->
-        Fhe_cache.Store.bypass (fun () ->
-            match c with
-            | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
-            | Hecate ->
-                (Fhe_hecate.Hecate.compile ~xmax_bits
-                   ~iterations:(hecate_budget a.Reg.name) ~rbits ~wbits p)
-                  .Fhe_hecate.Hecate.managed
-            | Rsv variant ->
-                Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p))
+        Fhe_cache.Store.bypass (fun () -> SReg.compile_uncached s cfg p))
   in
   Validator.check_exn m;
   (m, ms)
@@ -111,26 +114,16 @@ let compile_nocache (a : Reg.app) ~wbits c =
 (* the Fhe_cache.Store key this (app, compiler, waterline) compiles
    under — the same key the drivers use, so warm timings measure real
    cache service (digest + lookup), not a bench-private shortcut *)
-let store_key (a : Reg.app) ~wbits c =
-  let p = prog_of a in
-  let xmax_bits = xmax_of a in
-  match c with
-  | Eva -> Reserve.Pipeline.eva_cache_key ~xmax_bits ~rbits ~wbits p
-  | Hecate ->
-      Fhe_cache.Key.make ~digest:(Intern.digest p) ~compiler:"hecate" ~rbits
-        ~wbits ~xmax_bits
-        ~extra:[ string_of_int (hecate_budget a.Reg.name) ]
-        ()
-  | Rsv variant ->
-      Reserve.Pipeline.cache_key ~variant ~xmax_bits ~rbits ~wbits p
+let store_key (a : Reg.app) ~wbits s =
+  St.cache_key s (bench_config a ~wbits) (prog_of a)
 
 (* compile (cached); returns the managed program and the wall time (ms) *)
-let compile (a : Reg.app) ~wbits c =
-  let key = (a.Reg.name, wbits, compiler_name c) in
+let compile (a : Reg.app) ~wbits s =
+  let key = (a.Reg.name, wbits, St.name s) in
   match Hashtbl.find_opt plan_cache key with
   | Some r -> r
   | None ->
-      let r = compile_nocache a ~wbits c in
+      let r = compile_nocache a ~wbits s in
       Hashtbl.replace plan_cache key r;
       r
 
@@ -216,11 +209,11 @@ let figure2 () =
       (Fhe_cost.Model.estimate m /. 100.0)
       paper (Managed.input_level m) (Managed.n_rescale m)
   in
-  show "EVA (Fig 2b)" "390" (Fhe_eva.Eva.compile ~rbits:60 ~wbits:20 p);
-  show "reserve, no hoist (Fig 2c)" "353"
-    (Reserve.Pipeline.compile ~variant:`Ra ~rbits:60 ~wbits:20 p);
-  show "reserve, full (Fig 2d)" "335"
-    (Reserve.Pipeline.compile ~rbits:60 ~wbits:20 p);
+  let fig_cfg = St.config ~rbits:60 ~wbits:20 () in
+  let plan name = SReg.compile_uncached (strategy name) fig_cfg p in
+  show "EVA (Fig 2b)" "390" (plan "eva");
+  show "reserve, no hoist (Fig 2c)" "353" (plan "reserve-ra");
+  show "reserve, full (Fig 2d)" "335" (plan "reserve-full");
   Printf.printf "(costs in units of 100us, as in the figure)\n"
 
 (* ------------------------------------------------------------------ *)
@@ -236,18 +229,17 @@ let table4 () =
     (fun (a : Reg.app) ->
       let p = prog_of a in
       let wbits = 30 in
-      let xmax_bits = xmax_of a in
-      let _, eva_ms = compile a ~wbits Eva in
+      let _, eva_ms = compile a ~wbits eva in
       let iters = hecate_budget a.Reg.name in
-      let _, hec_ms = compile a ~wbits Hecate in
+      let _, hec_ms = compile a ~wbits hecate in
       (* extrapolate the paper-scale exploration cost *)
       let paper_it = List.assoc a.Reg.name paper_iters in
       let hec_full = hec_ms *. float_of_int paper_it /. float_of_int iters in
-      let (_, stats), ours_ms =
+      let (_, phases), ours_ms =
         Fhe_util.Timer.time (fun () ->
-            Reserve.Pipeline.compile_with_stats ~xmax_bits ~rbits ~wbits p)
+            St.compile_with_phases reserve_full (bench_config a ~wbits) p)
       in
-      let sm_ours = stats.Reserve.Pipeline.total_ms in
+      let sm_ours = phases.St.total_ms in
       let speedup_c = hec_full /. ours_ms in
       let speedup_sm = hec_full /. sm_ours in
       gm_compile := !gm_compile +. log speedup_c;
@@ -284,12 +276,12 @@ let figure6 () =
         "This work" "speedup vs EVA";
       List.iter
         (fun w ->
-          let eva, _ = compile a ~wbits:w Eva in
-          let hec, _ = compile a ~wbits:w Hecate in
-          let rsv, _ = compile a ~wbits:w (Rsv `Full) in
-          let le = latency_s eva
-          and lh = latency_s hec
-          and lr = latency_s rsv in
+          let me, _ = compile a ~wbits:w eva in
+          let mh, _ = compile a ~wbits:w hecate in
+          let mr, _ = compile a ~wbits:w reserve_full in
+          let le = latency_s me
+          and lh = latency_s mh
+          and lr = latency_s mr in
           Printf.printf "  %-5d %10.3f %10.3f %10.3f %17.2fx\n" w le lh lr
             (le /. lr))
         waterlines)
@@ -298,9 +290,9 @@ let figure6 () =
   let acc = ref 0.0 and n = ref 0 in
   Hashtbl.iter
     (fun (name, w, c) (m, _) ->
-      if c = "This work" then begin
-        let eva, _ = compile (Reg.find name) ~wbits:w Eva in
-        acc := !acc +. log (latency_s eva /. latency_s m);
+      if c = "reserve-full" then begin
+        let me, _ = compile (Reg.find name) ~wbits:w eva in
+        acc := !acc +. log (latency_s me /. latency_s m);
         incr n
       end)
     plan_cache;
@@ -325,9 +317,9 @@ let figure7 () =
             let m, _ = compile a ~wbits:w c in
             Fhe_sim.Interp.max_log2_error m ~inputs
           in
-          Printf.printf "  %-8s %10.2f %10.2f %10.2f\n" a.Reg.name (err Eva)
-            (err Hecate)
-            (err (Rsv `Full)))
+          Printf.printf "  %-8s %10.2f %10.2f %10.2f\n" a.Reg.name (err eva)
+            (err hecate)
+            (err reserve_full))
         Reg.all)
     [ 20; 40 ]
 
@@ -346,8 +338,9 @@ let figure8 () =
       let napps = List.length Reg.all in
       List.iter
         (fun (a : Reg.app) ->
-          let l v = latency_s (fst (compile a ~wbits:w (Rsv v))) in
-          let ba = l `Ba and ra = l `Ra and full = l `Full in
+          let l v = latency_s (fst (compile a ~wbits:w (strategy v))) in
+          let ba = l "reserve-ba" and ra = l "reserve-ra"
+          and full = l "reserve-full" in
           gm_ra := !gm_ra +. log (ra /. ba);
           gm_full := !gm_full +. log (full /. ba);
           Printf.printf "  %-8s %8.3f %8.3f %10.3f\n" a.Reg.name 1.0 (ra /. ba)
@@ -420,9 +413,8 @@ let micro () =
 (* BENCH_compile.json: the machine-readable perf baseline, and the gate
    that re-measures and diffs against it (Fhe_check.Benchjson schema) *)
 
-let bench_compilers =
-  [ (Eva, "eva"); (Hecate, "hecate"); (Rsv `Ba, "reserve-ba");
-    (Rsv `Ra, "reserve-ra"); (Rsv `Full, "reserve-full") ]
+(* registry order == the committed baseline's entry order *)
+let bench_compilers = List.map (fun s -> (s, St.name s)) (SReg.all ())
 
 let json_out () =
   try Sys.getenv "BENCH_JSON_OUT" with Not_found -> "BENCH_compile.json"
@@ -482,7 +474,7 @@ let measure_run ?pool () =
       cache_poisoned = s.Fhe_cache.Store.poisoned }
   in
   { Fhe_check.Benchjson.rbits; wbits; domains; wall_time_par = wall_ms;
-    cache; serve = None; entries }
+    cache; serve = None; portfolio = None; entries }
 
 (* ------------------------------------------------------------------ *)
 (* serve: load-test a real daemon over its Unix socket.  One warm-up
@@ -507,6 +499,7 @@ let measure_serve () =
     {
       Fhe_serve.Protocol.tenant = "";
       compiler = "reserve-full";
+      strategies = [];
       rbits;
       wbits = 30;
       xmax_bits = xmax_of a;
@@ -604,6 +597,117 @@ let json () =
     (List.length run.Fhe_check.Benchjson.entries)
 
 (* ------------------------------------------------------------------ *)
+(* bench portfolio: race every registered strategy per app (legs fan
+   out on the worker pool), keep the best est-latency plan, and emit
+   the v6 snapshot.  Winner choice and leg estimates are pure cost-
+   model numbers, so BENCH_portfolio.json byte-compares across pool
+   widths; under BENCH_JSON_DETERMINISTIC the wall/cache numbers are
+   scrubbed too and the whole file is width-independent. *)
+
+let portfolio_out () =
+  try Sys.getenv "BENCH_PORTFOLIO_OUT"
+  with Not_found -> "BENCH_portfolio.json"
+
+let portfolio_section () =
+  section "BENCH_portfolio.json: strategy race, winner per app";
+  let wbits = 30 in
+  (* warm the prog/xmax caches sequentially; the legs only read them *)
+  List.iter (fun a -> ignore (xmax_of a)) Reg.all;
+  Fhe_cache.Store.reset ();
+  let (entries, domains), wall_ms =
+    Fhe_util.Timer.time (fun () ->
+        with_pool (fun pool ->
+            let domains =
+              match pool with None -> 1 | Some p -> Fhe_par.Pool.domains p
+            in
+            let entries =
+              List.map
+                (fun (a : Reg.app) ->
+                  let p = prog_of a in
+                  match
+                    Fhe_strategy.Portfolio.run ?pool (bench_config a ~wbits) p
+                  with
+                  | Error msg -> failwith (a.Reg.name ^ ": " ^ msg)
+                  | Ok r ->
+                      let legs =
+                        List.filter_map
+                          (fun (l : Fhe_strategy.Portfolio.leg) ->
+                            match l.Fhe_strategy.Portfolio.result with
+                            | Ok _ ->
+                                Some
+                                  ( St.name l.Fhe_strategy.Portfolio.strategy,
+                                    l.Fhe_strategy.Portfolio.est_latency_us )
+                            | Error _ -> None)
+                          r.Fhe_strategy.Portfolio.legs
+                      in
+                      let w = r.Fhe_strategy.Portfolio.winner in
+                      {
+                        Fhe_check.Benchjson.p_app = a.Reg.name;
+                        p_winner = St.name w.Fhe_strategy.Portfolio.strategy;
+                        p_win_est_latency_us =
+                          w.Fhe_strategy.Portfolio.est_latency_us;
+                        p_legs = legs;
+                      })
+                Reg.all
+            in
+            (entries, domains)))
+  in
+  let names = List.map snd bench_compilers in
+  let wins =
+    List.map
+      (fun name ->
+        ( name,
+          List.length
+            (List.filter
+               (fun (e : Fhe_check.Benchjson.portfolio_entry) ->
+                 e.Fhe_check.Benchjson.p_winner = name)
+               entries) ))
+      names
+  in
+  List.iter
+    (fun (e : Fhe_check.Benchjson.portfolio_entry) ->
+      Printf.printf "  %-8s winner %-12s est %8.3f s   (%s)\n"
+        e.Fhe_check.Benchjson.p_app e.Fhe_check.Benchjson.p_winner
+        (e.Fhe_check.Benchjson.p_win_est_latency_us /. 1e6)
+        (String.concat ", "
+           (List.map
+              (fun (n, est) -> Printf.sprintf "%s %.3f" n (est /. 1e6))
+              e.Fhe_check.Benchjson.p_legs)))
+    entries;
+  Printf.printf "wins: %s\n"
+    (String.concat ", "
+       (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) wins));
+  let cache =
+    let s = Fhe_cache.Store.stats () in
+    { Fhe_check.Benchjson.cache_hits = s.Fhe_cache.Store.hits;
+      cache_misses = s.Fhe_cache.Store.misses;
+      cache_stores = s.Fhe_cache.Store.stores;
+      cache_poisoned = s.Fhe_cache.Store.poisoned }
+  in
+  let run =
+    scrub
+      { Fhe_check.Benchjson.rbits; wbits; domains; wall_time_par = wall_ms;
+        cache; serve = None;
+        portfolio =
+          Some
+            { Fhe_check.Benchjson.p_strategies = names; p_wins = wins;
+              p_entries = entries };
+        entries = [] }
+  in
+  let text =
+    Fhe_check.Benchjson.to_string (Fhe_check.Benchjson.run_to_json run)
+  in
+  (match Fhe_check.Benchjson.parse text with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench portfolio: emitted malformed JSON: " ^ e));
+  let out = portfolio_out () in
+  let oc = open_out out in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d apps)\n" out (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* bench exec: real encrypt/eval/decrypt wall time per (app, compiler)
    on the from-scratch RNS-CKKS backend.  The exec-scale app variants
    (Registry.exec_build) keep every circuit structure at data sizes a
@@ -641,21 +745,16 @@ let exec_prog_of (a : Reg.app) =
       Hashtbl.replace exec_progs a.Reg.name r;
       r
 
-let exec_compile (a : Reg.app) c =
+let exec_compile (a : Reg.app) s =
   let p, _, xmax_bits = exec_prog_of a in
-  let rbits = exec_rbits and wbits = exec_wbits in
+  let cfg =
+    St.config ~xmax_bits
+      ~iterations:(min 60 (hecate_budget a.Reg.name))
+      ~rbits:exec_rbits ~wbits:exec_wbits ()
+  in
   let m, ms =
     Fhe_util.Timer.time (fun () ->
-        Fhe_cache.Store.bypass (fun () ->
-            match c with
-            | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
-            | Hecate ->
-                (Fhe_hecate.Hecate.compile ~xmax_bits
-                   ~iterations:(min 60 (hecate_budget a.Reg.name))
-                   ~rbits ~wbits p)
-                  .Fhe_hecate.Hecate.managed
-            | Rsv variant ->
-                Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p))
+        Fhe_cache.Store.bypass (fun () -> SReg.compile_uncached s cfg p))
   in
   Validator.check_exn m;
   (m, ms)
@@ -716,7 +815,7 @@ let measure_exec ?pool () =
   in
   { Fhe_check.Benchjson.rbits = exec_rbits; wbits = exec_wbits; domains;
     wall_time_par = wall_ms; cache = Fhe_check.Benchjson.no_cache_stats;
-    serve = None; entries }
+    serve = None; portfolio = None; entries }
 
 (* BENCH_EXEC_DETERMINISTIC=1 zeroes wall times and the pool width but
    keeps max_err (bit-identical decrypts at every width): the @exec
@@ -870,7 +969,7 @@ let all_sections =
    overwrites the recorded baseline and `gate` diffs against it) *)
 let extra_sections =
   [ ("json", json); ("exec", exec_section); ("gate", gate);
-    ("serve", serve_section) ]
+    ("serve", serve_section); ("portfolio", portfolio_section) ]
 
 let () =
   (* peel `-j N` off the section list *)

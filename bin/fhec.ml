@@ -9,6 +9,8 @@
 open Cmdliner
 open Fhe_ir
 module Reg = Fhe_apps.Registry
+module St = Fhe_strategy.Strategy
+module SReg = Fhe_strategy.Registry
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions *)
@@ -19,10 +21,22 @@ let app_arg =
 
 let compiler_arg =
   let doc =
-    "Scale-management compiler: $(b,reserve) (this work), $(b,eva), \
-     $(b,hecate), or the ablations $(b,ba) / $(b,ra)."
+    "Scale-management strategy: $(b,reserve) (this work), $(b,eva), \
+     $(b,hecate), the ablations $(b,ba) / $(b,ra), or $(b,portfolio) to \
+     race every registered strategy and keep the best est-latency plan \
+     (see $(b,fhec --list-strategies))."
   in
   Arg.(value & opt string "reserve" & info [ "compiler"; "c" ] ~docv:"NAME" ~doc)
+
+let strategy_arg =
+  let doc =
+    "Synonym for $(b,--compiler) that wins when both are given: any \
+     registered strategy name or alias, or $(b,portfolio)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "strategy" ] ~docv:"NAME|portfolio" ~doc)
 
 let waterline_arg =
   let doc = "Waterline in bits (the minimum ciphertext scale)." in
@@ -125,44 +139,77 @@ let render_attempts attempts =
            a.Reserve.Pipeline.diags)
        attempts)
 
-let do_compile ?(fallback = false) app compiler ~rbits ~wbits ~iterations =
+(* Per-leg portfolio report: est latencies only (wall times and cache
+   hits are nondeterministic, and this output is byte-compared across
+   pool widths). *)
+let pp_portfolio (r : Fhe_strategy.Portfolio.report) =
+  Printf.printf "portfolio      : %d strategies raced\n"
+    (List.length r.Fhe_strategy.Portfolio.legs);
+  List.iter
+    (fun (l : Fhe_strategy.Portfolio.leg) ->
+      match l.Fhe_strategy.Portfolio.result with
+      | Ok _ ->
+          Printf.printf "  %-12s est %10.3f s\n"
+            (St.name l.Fhe_strategy.Portfolio.strategy)
+            (l.Fhe_strategy.Portfolio.est_latency_us /. 1e6)
+      | Error _ ->
+          Printf.printf "  %-12s FAILED\n"
+            (St.name l.Fhe_strategy.Portfolio.strategy))
+    r.Fhe_strategy.Portfolio.legs;
+  Printf.printf "winner         : %s\n"
+    (St.name r.Fhe_strategy.Portfolio.winner.Fhe_strategy.Portfolio.strategy)
+
+let do_compile ?(fallback = false) ?pool app compiler ~rbits ~wbits
+    ~iterations =
   protecting (fun () ->
       let p = app.Reg.build () in
       let xmax_bits =
         Fhe_sim.Interp.max_magnitude_bits p ~inputs:(app.Reg.inputs ~seed:42)
       in
       let iterations = if iterations <= 0 then None else Some iterations in
-      match String.lowercase_ascii compiler with
-      | "eva" ->
-          Ok (p, Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p, xmax_bits)
-      | "hecate" ->
-          let r =
-            Fhe_hecate.Hecate.compile ?iterations ~xmax_bits ~rbits ~wbits p
-          in
-          Printf.printf "hecate: %d iterations, %d accepted\n"
-            r.Fhe_hecate.Hecate.iterations r.Fhe_hecate.Hecate.accepted;
-          Ok (p, r.Fhe_hecate.Hecate.managed, xmax_bits)
-      | ("reserve" | "ba" | "ra") as c -> (
-          let variant =
-            match c with "ba" -> `Ba | "ra" -> `Ra | _ -> `Full
-          in
-          match
-            Reserve.Pipeline.compile_safe ~variant ~strict:(not fallback)
-              ~xmax_bits ~oracle_inputs:(app.Reg.inputs ~seed:42) ~rbits ~wbits
-              p
-          with
-          | Ok o ->
-              List.iter
-                (fun d ->
-                  Printf.printf "%s\n" (Reserve.Diag.to_string d))
-                o.Reserve.Pipeline.warnings;
-              if o.Reserve.Pipeline.fallbacks <> [] then
-                Printf.printf "fallback engine : %s (waterline %d)\n"
-                  (Reserve.Pipeline.engine_name o.Reserve.Pipeline.engine)
-                  o.Reserve.Pipeline.wbits;
-              Ok (p, o.Reserve.Pipeline.managed, xmax_bits)
-          | Error attempts -> Error (render_attempts attempts))
-      | other -> Error (Printf.sprintf "unknown compiler %S" other))
+      let cfg = St.config ~xmax_bits ?iterations ~rbits ~wbits () in
+      let name = String.lowercase_ascii compiler in
+      if name = Fhe_strategy.Portfolio.mode_name then begin
+        (* portfolio is a race, not a deep search: bound the Hecate
+           leg's exploration when no budget was given *)
+        let cfg =
+          if cfg.St.iterations = None then
+            { cfg with St.iterations = Some 60 }
+          else cfg
+        in
+        match Fhe_strategy.Portfolio.run ?pool cfg p with
+        | Error msg -> Error msg
+        | Ok r -> (
+            pp_portfolio r;
+            match
+              r.Fhe_strategy.Portfolio.winner.Fhe_strategy.Portfolio.result
+            with
+            | Ok m -> Ok (p, m, xmax_bits)
+            | Error _ -> assert false (* the winner is an Ok leg *))
+      end
+      else
+        match SReg.of_name name with
+        | None -> Error (Printf.sprintf "unknown compiler %S" name)
+        | Some s -> (
+            match St.safe s with
+            | Some safe -> (
+                match
+                  safe cfg ~strict:(not fallback) ~oracle:true
+                    ~oracle_inputs:(app.Reg.inputs ~seed:42) p
+                with
+                | Ok o ->
+                    List.iter
+                      (fun d ->
+                        Printf.printf "%s\n" (Reserve.Diag.to_string d))
+                      o.Reserve.Pipeline.warnings;
+                    if o.Reserve.Pipeline.fallbacks <> [] then
+                      Printf.printf "fallback engine : %s (waterline %d)\n"
+                        (Reserve.Pipeline.engine_name
+                           o.Reserve.Pipeline.engine)
+                        o.Reserve.Pipeline.wbits;
+                    Ok (p, o.Reserve.Pipeline.managed, xmax_bits)
+                | Error attempts -> Error (render_attempts attempts))
+            | None -> Ok (p, SReg.compile s cfg p, xmax_bits)))
 
 let report app (m : Managed.t) xmax =
   Printf.printf "app            : %s (%s)\n" app.Reg.name app.Reg.description;
@@ -208,14 +255,26 @@ let strict_arg =
   Arg.(value & flag & info [ "strict" ] ~doc)
 
 let compile_cmd =
-  let run () app compiler wbits rbits iterations print_ir fallback strict =
+  let run () app strategy compiler wbits rbits iterations print_ir fallback
+      strict jobs =
+    let compiler = Option.value strategy ~default:compiler in
     handle
       (Result.bind (find_app app) (fun app ->
-           Result.bind
-             (do_compile
-                ~fallback:(fallback && not strict)
-                app compiler ~rbits ~wbits ~iterations)
-             (fun (_, m, xmax) ->
+           let compile pool =
+             do_compile
+               ~fallback:(fallback && not strict)
+               ?pool app compiler ~rbits ~wbits ~iterations
+           in
+           let compiled =
+             (* only portfolio mode races legs on a pool; named
+                strategies compile inline *)
+             if
+               String.lowercase_ascii compiler
+               = Fhe_strategy.Portfolio.mode_name
+             then with_pool jobs compile
+             else compile None
+           in
+           Result.bind compiled (fun (_, m, xmax) ->
                Result.bind (validated m) (fun m ->
                    report app m xmax;
                    if print_ir then
@@ -229,9 +288,9 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile an application and report statistics")
     Term.(
       ret
-        (const run $ cache_term $ app_arg $ compiler_arg $ waterline_arg
-       $ rbits_arg $ iterations_arg $ print_ir_arg $ fallback_arg
-       $ strict_arg))
+        (const run $ cache_term $ app_arg $ strategy_arg $ compiler_arg
+       $ waterline_arg $ rbits_arg $ iterations_arg $ print_ir_arg
+       $ fallback_arg $ strict_arg $ jobs_arg))
 
 let run_cmd =
   let run () app compiler wbits rbits iterations seed =
@@ -330,14 +389,13 @@ let compile_file_cmd =
            Error (Format.asprintf "%s: %a" file Parser.pp_error e)
        | Ok p ->
            let m =
-             match String.lowercase_ascii compiler with
-             | "eva" -> Ok (Fhe_eva.Eva.compile ~rbits ~wbits p)
-             | "hecate" ->
-                 Ok
-                   (Fhe_hecate.Hecate.compile ~rbits ~wbits p)
-                     .Fhe_hecate.Hecate.managed
-             | "reserve" -> Ok (Reserve.Pipeline.compile ~rbits ~wbits p)
-             | other -> Error (Printf.sprintf "unknown compiler %S" other)
+             match SReg.of_name compiler with
+             | Some s ->
+                 Ok (SReg.compile s (St.config ~rbits ~wbits ()) p)
+             | None ->
+                 Error
+                   (Printf.sprintf "unknown compiler %S"
+                      (String.lowercase_ascii compiler))
            in
            Result.bind m (fun m ->
            Result.bind (validated m) (fun m ->
@@ -471,19 +529,16 @@ let exec_cmd =
            let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
            let iterations = if iterations <= 0 then None else Some iterations in
            let m =
-             match String.lowercase_ascii compiler with
-             | "eva" -> Ok (Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p)
-             | "hecate" ->
+             match SReg.of_name compiler with
+             | Some s ->
                  Ok
-                   (Fhe_hecate.Hecate.compile ?iterations ~xmax_bits ~rbits
-                      ~wbits p)
-                     .Fhe_hecate.Hecate.managed
-             | ("reserve" | "ba" | "ra") as c ->
-                 let variant =
-                   match c with "ba" -> `Ba | "ra" -> `Ra | _ -> `Full
-                 in
-                 Ok (Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p)
-             | other -> Error (Printf.sprintf "unknown compiler %S" other)
+                   (SReg.compile s
+                      (St.config ~xmax_bits ?iterations ~rbits ~wbits ())
+                      p)
+             | None ->
+                 Error
+                   (Printf.sprintf "unknown compiler %S"
+                      (String.lowercase_ascii compiler))
            in
            Result.bind m (fun m ->
            Result.bind (validated m) (fun m ->
@@ -545,16 +600,16 @@ let socket_arg =
   Arg.(value & opt string "/tmp/fhec.sock"
        & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
 
-(* CLI compiler names -> protocol (Differential) labels *)
-let protocol_compiler = function
-  | "reserve" | "reserve-full" -> Ok "reserve-full"
-  | "ba" | "reserve-ba" -> Ok "reserve-ba"
-  | "ra" | "reserve-ra" -> Ok "reserve-ra"
-  | ("eva" | "hecate") as c -> Ok c
-  | other -> Error (Printf.sprintf "unknown compiler %S" other)
+(* CLI compiler names -> canonical protocol labels *)
+let protocol_compiler c =
+  if c = Fhe_strategy.Portfolio.mode_name then Ok c
+  else
+    match SReg.of_name c with
+    | Some s -> Ok (St.name s)
+    | None -> Error (Printf.sprintf "unknown compiler %S" c)
 
-let build_request app_name compiler ~tenant ~rbits ~wbits ~iterations
-    ~fallback ~deadline_ms =
+let build_request ?(strategies = []) app_name compiler ~tenant ~rbits ~wbits
+    ~iterations ~fallback ~deadline_ms =
   Result.bind (find_app app_name) @@ fun app ->
   Result.bind (protocol_compiler (String.lowercase_ascii compiler))
   @@ fun compiler ->
@@ -567,6 +622,7 @@ let build_request app_name compiler ~tenant ~rbits ~wbits ~iterations
     {
       Proto.tenant;
       compiler;
+      strategies;
       rbits;
       wbits;
       xmax_bits;
@@ -627,6 +683,15 @@ let self_test ~socket =
   in
   Result.bind (one "reserve-full") @@ fun () ->
   Result.bind (one "eva") @@ fun () ->
+  Result.bind (one "portfolio") @@ fun () ->
+  Result.bind
+    (Result.bind (Cli.connect ~socket ()) (fun c ->
+         let r = Cli.list_strategies c in
+         Cli.close c;
+         r))
+  @@ fun infos ->
+  Printf.printf "self-test: strategies ok (%d registered)\n%!"
+    (List.length infos);
   Result.bind
     (Result.bind (Cli.connect ~socket ()) (fun c ->
          let r = Cli.stats c in
@@ -707,7 +772,10 @@ let serve_cmd =
 
 let client_cmd =
   let action_arg =
-    let doc = "One of $(b,compile), $(b,ping), $(b,stats), $(b,shutdown)." in
+    let doc =
+      "One of $(b,compile), $(b,ping), $(b,stats), $(b,strategies), \
+       $(b,shutdown)."
+    in
     Arg.(value & pos 0 string "compile" & info [] ~docv:"ACTION" ~doc)
   in
   let client_app_arg =
@@ -733,8 +801,9 @@ let client_cmd =
         Cli.close c;
         r)
   in
-  let run () socket action app compiler wbits rbits iterations tenant
+  let run () socket action app strategy compiler wbits rbits iterations tenant
       deadline_ms attempts fallback seed =
+    let compiler = Option.value strategy ~default:compiler in
     handle
       (match action with
       | "ping" ->
@@ -773,12 +842,40 @@ let client_cmd =
           | Proto.Failed msgs ->
               Error ("compilation failed:\n" ^ String.concat "\n" msgs)
           | Proto.Bad_request msg -> Error ("bad request: " ^ msg)
-          | Proto.Pong | Proto.Stats_reply _ ->
+          | Proto.Pong | Proto.Stats_reply _ | Proto.Strategies_reply _ ->
               Error "unexpected reply type")
+      | "strategies" ->
+          Result.map
+            (fun infos ->
+              List.iter
+                (fun (i : Proto.strategy_info) ->
+                  let caps =
+                    let flags =
+                      List.filter_map
+                        (fun (b, n) -> if b then Some n else None)
+                        [
+                          (i.Proto.s_redistributes, "redistributes");
+                          (i.Proto.s_hoists, "hoists");
+                          (i.Proto.s_explores, "explores");
+                          (i.Proto.s_fallback, "fallback");
+                        ]
+                    in
+                    if flags = [] then "-" else String.concat "," flags
+                  in
+                  let aliases =
+                    if i.Proto.s_aliases = [] then ""
+                    else
+                      Printf.sprintf "  (aliases: %s)"
+                        (String.concat ", " i.Proto.s_aliases)
+                  in
+                  Printf.printf "%-12s  %-32s%s\n" i.Proto.s_name caps aliases)
+                infos)
+            (with_conn socket Cli.list_strategies)
       | other ->
           Error
             (Printf.sprintf
-               "unknown action %S (try compile, ping, stats, shutdown)" other))
+               "unknown action %S (try compile, ping, stats, strategies, \
+                shutdown)" other))
   in
   Cmd.v
     (Cmd.info "client"
@@ -789,8 +886,41 @@ let client_cmd =
     Term.(
       ret
         (const run $ cache_term $ socket_arg $ action_arg $ client_app_arg
-       $ compiler_arg $ waterline_arg $ rbits_arg $ iterations_arg
-       $ tenant_arg $ deadline_arg $ attempts_arg $ fallback_arg $ seed_arg))
+       $ strategy_arg $ compiler_arg $ waterline_arg $ rbits_arg
+       $ iterations_arg $ tenant_arg $ deadline_arg $ attempts_arg
+       $ fallback_arg $ seed_arg))
+
+(* The group-level default term: `fhec --list-strategies` prints the
+   registry (one row per strategy: canonical name, capability flags,
+   aliases) plus the portfolio pseudo-mode; `fhec` alone shows help. *)
+let list_strategies_term =
+  let flag =
+    let doc =
+      "List the registered scale-management strategies with their \
+       capability flags and aliases, then exit."
+    in
+    Arg.(value & flag & info [ "list-strategies" ] ~doc)
+  in
+  let run list =
+    if not list then `Help (`Pager, None)
+    else begin
+      List.iter
+        (fun s ->
+          let aliases =
+            match St.aliases s with
+            | [] -> ""
+            | l -> Printf.sprintf "  (aliases: %s)" (String.concat ", " l)
+          in
+          Printf.printf "%-12s  %-32s%s\n" (St.name s)
+            (St.caps_string (St.caps s))
+            aliases)
+        (SReg.all ());
+      Printf.printf "%-12s  %s\n" Fhe_strategy.Portfolio.mode_name
+        "race every strategy, keep the best est-latency plan";
+      `Ok ()
+    end
+  in
+  Term.(ret (const run $ flag))
 
 let () =
   let info =
@@ -799,6 +929,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group info ~default:list_strategies_term
           [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd;
             exec_cmd; fuzz_cmd; check_cmd; serve_cmd; client_cmd ]))

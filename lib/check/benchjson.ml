@@ -202,7 +202,9 @@ let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 (* ------------------------------------------------------------------ *)
 (* the bench-compile schema *)
 
-let schema = "fhe-bench-compile/v5"
+let schema = "fhe-bench-compile/v6"
+
+let schema_v5 = "fhe-bench-compile/v5"
 
 let schema_v4 = "fhe-bench-compile/v4"
 
@@ -252,6 +254,19 @@ type serve_stats = {
   serve_degraded : int;
 }
 
+type portfolio_entry = {
+  p_app : string;
+  p_winner : string;
+  p_win_est_latency_us : float;
+  p_legs : (string * float) list;
+}
+
+type portfolio_stats = {
+  p_strategies : string list;
+  p_wins : (string * int) list;
+  p_entries : portfolio_entry list;
+}
+
 type run = {
   rbits : int;
   wbits : int;
@@ -259,6 +274,7 @@ type run = {
   wall_time_par : float;
   cache : cache_stats;
   serve : serve_stats option;
+  portfolio : portfolio_stats option;
   entries : measurement list;
 }
 
@@ -287,6 +303,32 @@ let run_to_json r =
                 ("shed", Num (float_of_int s.serve_shed));
                 ("timeouts", Num (float_of_int s.serve_timeouts));
                 ("degraded", Num (float_of_int s.serve_degraded)) ] );
+      ( "portfolio",
+        match r.portfolio with
+        | None -> Null
+        | Some p ->
+            Obj
+              [ ("strategies", Arr (List.map (fun s -> Str s) p.p_strategies));
+                ( "wins",
+                  Obj
+                    (List.map
+                       (fun (s, n) -> (s, Num (float_of_int n)))
+                       p.p_wins) );
+                ( "entries",
+                  Arr
+                    (List.map
+                       (fun e ->
+                         Obj
+                           [ ("app", Str e.p_app);
+                             ("winner", Str e.p_winner);
+                             ( "win_est_latency_us",
+                               Num e.p_win_est_latency_us );
+                             ( "legs",
+                               Obj
+                                 (List.map
+                                    (fun (s, v) -> (s, Num v))
+                                    e.p_legs) ) ])
+                       p.p_entries) ) ] );
       ( "entries",
         Arr
           (List.map
@@ -323,8 +365,8 @@ let ( let* ) = Result.bind
 let run_of_json j =
   let* s = get_str "schema" j in
   if
-    s <> schema && s <> schema_v4 && s <> schema_v3 && s <> schema_v2
-    && s <> schema_v1
+    s <> schema && s <> schema_v5 && s <> schema_v4 && s <> schema_v3
+    && s <> schema_v2 && s <> schema_v1
   then Error (Printf.sprintf "unknown schema %S" s)
   else
     let* rbits = get_num "rbits" j in
@@ -365,6 +407,50 @@ let run_of_json j =
               serve_p50_ms = getf "p50_ms"; serve_p99_ms = getf "p99_ms";
               serve_shed = geti "shed"; serve_timeouts = geti "timeouts";
               serve_degraded = geti "degraded" }
+      | _ -> None
+    in
+    (* v6 addition: the portfolio-mode snapshot; absent or null in older
+       files and in runs that never raced the strategies *)
+    let portfolio =
+      match member "portfolio" j with
+      | Some (Obj _ as p) ->
+          let strs = function
+            | Some (Arr l) ->
+                List.filter_map (function Str s -> Some s | _ -> None) l
+            | _ -> []
+          in
+          let num_fields = function
+            | Some (Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) -> match v with Num f -> Some (k, f) | _ -> None)
+                  kvs
+            | _ -> []
+          in
+          let entries =
+            match member "entries" p with
+            | Some (Arr es) ->
+                List.filter_map
+                  (fun e ->
+                    match
+                      ( get_str "app" e,
+                        get_str "winner" e,
+                        get_num "win_est_latency_us" e )
+                    with
+                    | Ok a, Ok w, Ok l ->
+                        Some
+                          { p_app = a; p_winner = w; p_win_est_latency_us = l;
+                            p_legs = num_fields (member "legs" e) }
+                    | _ -> None)
+                  es
+            | _ -> []
+          in
+          Some
+            { p_strategies = strs (member "strategies" p);
+              p_wins =
+                List.map
+                  (fun (k, f) -> (k, int_of_float f))
+                  (num_fields (member "wins" p));
+              p_entries = entries }
       | _ -> None
     in
     let* entries =
@@ -413,7 +499,7 @@ let run_of_json j =
     in
     Ok
       { rbits = int_of_float rbits; wbits = int_of_float wbits; domains;
-        wall_time_par; cache; serve; entries }
+        wall_time_par; cache; serve; portfolio; entries }
 
 let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10)
     ?(exec_slack = 1.75) ?(err_slack = 4.0) ~baseline ~current () =

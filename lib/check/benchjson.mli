@@ -32,7 +32,11 @@ val member : string -> json -> json option
 (** {1 The bench-compile schema} *)
 
 val schema : string
-(** ["fhe-bench-compile/v5"]. *)
+(** ["fhe-bench-compile/v6"]. *)
+
+val schema_v5 : string
+(** ["fhe-bench-compile/v5"]: the pre-portfolio schema, still accepted
+    by {!run_of_json}. *)
 
 val schema_v4 : string
 (** ["fhe-bench-compile/v4"]: the pre-exec schema, still accepted by
@@ -99,6 +103,22 @@ type serve_stats = {
 }
 (** The [bench serve] load-test snapshot (v4). *)
 
+type portfolio_entry = {
+  p_app : string;
+  p_winner : string;  (** canonical strategy name of the best leg *)
+  p_win_est_latency_us : float;
+  p_legs : (string * float) list;
+      (** every successful leg's est latency, in registry order *)
+}
+
+type portfolio_stats = {
+  p_strategies : string list;  (** names raced, in registry order *)
+  p_wins : (string * int) list;  (** per-strategy win counts *)
+  p_entries : portfolio_entry list;
+}
+(** The [bench portfolio] snapshot (v6): deterministic cost-model
+    numbers only, so the file byte-compares across pool widths. *)
+
 type run = {
   rbits : int;
   wbits : int;
@@ -109,18 +129,22 @@ type run = {
   cache : cache_stats;  (** v3; zeros for v1/v2 files *)
   serve : serve_stats option;  (** v4; [None] in older files and in
                                    runs measured without a daemon *)
+  portfolio : portfolio_stats option;
+      (** v6; [None] in older files and in runs that never raced the
+          strategies *)
   entries : measurement list;
 }
 
 val run_to_json : run -> json
-(** Always emits the v5 schema. *)
+(** Always emits the v6 schema. *)
 
 val run_of_json : json -> (run, string) result
-(** Accepts v5 through v1 files (v1 defaults [domains] to 1 and
+(** Accepts v6 through v1 files (v1 defaults [domains] to 1 and
     [wall_time_par] to 0; pre-v3 files get zeroed cache stats and
     [warm_compile_ms]; pre-v4 files get [serve = None]; pre-v5 files
-    get [exec = None] on every entry); rejects unknown schemas and
-    malformed entries. *)
+    get [exec = None] on every entry; pre-v6 files get
+    [portfolio = None]); rejects unknown schemas and malformed
+    entries. *)
 
 val compare_runs :
   ?time_slack:float ->

@@ -52,7 +52,12 @@ let features ?(rbits = 60) ?(wbits = 30) p =
   (* scale-management pressure of the forward baseline: which corners
      of the rescale/modswitch/upscale machinery this program reaches *)
   (try
-     let m = Fhe_eva.Eva.compile ~rbits ~wbits p in
+     let m =
+       Fhe_strategy.Registry.compile_uncached
+         (Fhe_strategy.Registry.get_exn "eva")
+         (Fhe_strategy.Strategy.config ~rbits ~wbits ())
+         p
+     in
      hitf "level:%d" (Managed.input_level m);
      hitf "rescale:%d" (bucket (Managed.n_rescale m));
      hitf "modswitch:%d" (bucket (Managed.n_modswitch m));

@@ -1,24 +1,10 @@
 open Fhe_ir
 
-type compiler = Eva | Hecate | Reserve of Reserve.Pipeline.variant
+type compiler = Fhe_strategy.Strategy.t
 
-let all_compilers = [ Eva; Hecate; Reserve `Ba; Reserve `Ra; Reserve `Full ]
-
-let compiler_name = function
-  | Eva -> "eva"
-  | Hecate -> "hecate"
-  | Reserve `Ba -> "reserve-ba"
-  | Reserve `Ra -> "reserve-ra"
-  | Reserve `Full -> "reserve-full"
-
-let of_name s =
-  match String.lowercase_ascii s with
-  | "eva" -> Some Eva
-  | "hecate" -> Some Hecate
-  | "reserve-ba" | "ba" -> Some (Reserve `Ba)
-  | "reserve-ra" | "ra" -> Some (Reserve `Ra)
-  | "reserve-full" | "reserve" | "full" -> Some (Reserve `Full)
-  | _ -> None
+let all_compilers = Fhe_strategy.Registry.all ()
+let compiler_name = Fhe_strategy.Strategy.name
+let of_name = Fhe_strategy.Registry.of_name
 
 type entry = {
   compiler : compiler;
@@ -66,36 +52,20 @@ let failures r =
 let run ?pool ?(rbits = 60) ?(wbits = 30) ?(xmax_bits = 0)
     ?(hecate_iterations = 60) ?noise ?(compilers = all_compilers)
     ?(verify_cache = true) ~label p ~inputs =
+  let cfg =
+    Fhe_strategy.Strategy.config ~xmax_bits ~iterations:hecate_iterations
+      ~rbits ~wbits ()
+  in
   let one compiler =
-    let compile () =
-      match compiler with
-      | Eva -> Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits p
-      | Hecate ->
-          (Fhe_hecate.Hecate.compile ~iterations:hecate_iterations ~xmax_bits
-             ~rbits ~wbits p)
-            .Fhe_hecate.Hecate.managed
-      | Reserve variant ->
-          Reserve.Pipeline.compile ~variant ~xmax_bits ~rbits ~wbits p
-    in
-    (* all five compilers go through the content-addressed store; the
-       compute path is bypassed so a miss is a genuinely cold compile
-       (Pipeline.compile would otherwise find/add under the same key) *)
+    let compile () = Fhe_strategy.Registry.compile_uncached compiler cfg p in
+    (* every strategy goes through the content-addressed store; the
+       compute path is bypassed so a miss is a genuinely cold compile *)
     let cached_compile () =
       if not (Fhe_cache.Store.active ()) then (compile (), false)
       else
-        let key =
-          match compiler with
-          | Eva -> Reserve.Pipeline.eva_cache_key ~xmax_bits ~rbits ~wbits p
-          | Hecate ->
-              Fhe_cache.Key.make ~digest:(Intern.digest p) ~compiler:"hecate"
-                ~rbits ~wbits ~xmax_bits
-                ~extra:[ string_of_int hecate_iterations ]
-                ()
-          | Reserve variant ->
-              Reserve.Pipeline.cache_key ~variant ~xmax_bits ~rbits ~wbits p
-        in
-        Fhe_cache.Store.with_managed_hit ~key (fun () ->
-            Fhe_cache.Store.bypass compile)
+        Fhe_cache.Store.with_managed_hit
+          ~key:(Fhe_strategy.Strategy.cache_key compiler cfg p)
+          (fun () -> Fhe_cache.Store.bypass compile)
     in
     match Fhe_util.Timer.time cached_compile with
     | (m, from_cache), compile_ms ->

@@ -12,16 +12,21 @@ open Fhe_ir
     time, input level, consumed modulus bits, estimated latency) ride
     along for regression pinning and the perf baseline. *)
 
-type compiler = Eva | Hecate | Reserve of Reserve.Pipeline.variant
+type compiler = Fhe_strategy.Strategy.t
+(** A compiler is a registered scale strategy; the driver holds no
+    compiler knowledge of its own.  First-class modules — compare by
+    {!compiler_name}, never with polymorphic equality. *)
 
 val all_compilers : compiler list
-(** EVA, Hecate, Ba, Ra, Full — the paper's five columns. *)
+(** {!Fhe_strategy.Registry.all} at load time — EVA, Hecate, Ba, Ra,
+    Full, the paper's five columns, in that order. *)
 
 val compiler_name : compiler -> string
-(** Stable label: ["eva"], ["hecate"], ["reserve-ba"], ["reserve-ra"],
-    ["reserve-full"]. *)
+(** Canonical {!Fhe_strategy.Strategy.name}: ["eva"], ["hecate"],
+    ["reserve-ba"], ["reserve-ra"], ["reserve-full"]. *)
 
 val of_name : string -> compiler option
+(** {!Fhe_strategy.Registry.of_name}: canonical names or aliases. *)
 
 type entry = {
   compiler : compiler;

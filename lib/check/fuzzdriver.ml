@@ -73,14 +73,9 @@ let one_seed ~size ~rbits ~wbits ~strict seed =
       match managed with
       | Some m -> Some m
       | None -> (
-          let eva () = Fhe_eva.Eva.compile ~rbits ~wbits p in
-          match
-            if Fhe_cache.Store.active () then
-              Fhe_cache.Store.with_managed
-                ~key:(Reserve.Pipeline.eva_cache_key ~rbits ~wbits p)
-                eva
-            else eva ()
-          with
+          let eva = Fhe_strategy.Registry.get_exn "eva" in
+          let cfg = Fhe_strategy.Strategy.config ~rbits ~wbits () in
+          match Fhe_strategy.Registry.compile eva cfg p with
           | m -> Some m
           | exception _ -> None)
     in

@@ -150,9 +150,7 @@ type outcome = {
 }
 
 let engine_name = function
-  | `Reserve `Full -> "reserve"
-  | `Reserve `Ra -> "reserve-ra"
-  | `Reserve `Ba -> "reserve-ba"
+  | `Reserve v -> variant_name v
   | `Eva -> "eva"
 
 let attempt_diags atts = List.concat_map (fun a -> a.diags) atts

@@ -11,6 +11,10 @@ open Fhe_ir
 
 type variant = [ `Ba | `Ra | `Full ]
 
+val variant_name : variant -> string
+(** Canonical names: ["reserve-ba"], ["reserve-ra"], ["reserve-full"]
+    — the naming scheme shared with [Fhe_strategy] and the cache keys. *)
+
 type stats = {
   ordering_ms : float;
   allocation_ms : float;
@@ -87,6 +91,9 @@ type outcome = {
 }
 
 val engine_name : engine -> string
+(** [`Reserve v] names as {!variant_name}[ v] (so [`Reserve `Full] is
+    ["reserve-full"], not the historical ["reserve"]); [`Eva] is
+    ["eva"]. *)
 
 val attempt_diags : attempt list -> Diag.t list
 (** All diagnostics of a (failed) chain, flattened in chain order. *)

@@ -29,7 +29,7 @@ let roundtrip t request =
   | Ok () -> (
       match Protocol.read_frame ~max_payload:t.max_payload t.fd with
       | Error e -> Error (Format.asprintf "read: %a" Protocol.pp_read_error e)
-      | Ok (typ, payload) -> (
+      | Ok (_version, typ, payload) -> (
           match Protocol.decode_reply ~typ payload with
           | Error m -> Error (Printf.sprintf "reply: %s" m)
           | Ok reply -> Ok reply))
@@ -47,6 +47,12 @@ let stats t =
   | Error _ as e -> e
 
 let compile t req = roundtrip t (Protocol.Compile req)
+
+let list_strategies t =
+  match roundtrip t Protocol.List_strategies with
+  | Ok (Protocol.Strategies_reply infos) -> Ok infos
+  | Ok r -> Error ("unexpected reply: " ^ Protocol.reply_name r)
+  | Error _ as e -> e
 
 let shutdown_server t =
   match roundtrip t Protocol.Shutdown with
@@ -142,7 +148,7 @@ let raw ?(max_payload = Protocol.max_payload_default) ~socket ~bytes conduct =
                       Ok
                         (`No_reply
                            (Format.asprintf "%a" Protocol.pp_read_error e))
-                  | Ok (typ, payload) -> (
+                  | Ok (_version, typ, payload) -> (
                       match Protocol.decode_reply ~typ payload with
                       | Ok reply -> Ok (`Reply reply)
                       | Error m -> Ok (`No_reply ("undecodable reply: " ^ m))))))

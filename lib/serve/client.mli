@@ -28,6 +28,9 @@ val compile : t -> Protocol.compile_request -> (Protocol.reply, string) result
 (** One request, no retry; [Error] is a transport or framing failure
     (a structured refusal like [Shed] comes back as [Ok (Shed _)]). *)
 
+val list_strategies : t -> (Protocol.strategy_info list, string) result
+(** The server's registered strategies with capability flags. *)
+
 val shutdown_server : t -> (unit, string) result
 
 type attempt_log = { attempts : int; sheds : int; transport_errors : int }

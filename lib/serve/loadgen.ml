@@ -72,7 +72,8 @@ let worker ~socket ~per_thread ~make_request ~first cell =
             | Protocol.Timed_out _ -> cell.timeouts <- cell.timeouts + 1
             | Protocol.Failed _ | Protocol.Bad_request _ ->
                 cell.failed <- cell.failed + 1
-            | Protocol.Pong | Protocol.Stats_reply _ ->
+            | Protocol.Pong | Protocol.Stats_reply _
+            | Protocol.Strategies_reply _ ->
                 cell.failed <- cell.failed + 1)
         | Error _ ->
             (* connection poisoned; reconnect for the next request *)

@@ -6,7 +6,8 @@ open Fhe_ir
    input becomes a typed [Error], never an exception or an OOM. *)
 
 let magic = "FHES"
-let version = 1
+let version = 2
+let version_min = 1
 let header_len = 10 (* magic + version + type + u32 payload length *)
 (* Lenet-scale programs encode to ~17 MiB, so the cap must clear them
    with room; it exists to bound a hostile peer, not to ration honest
@@ -19,6 +20,7 @@ let t_compile = 1
 let t_ping = 2
 let t_shutdown = 3
 let t_stats = 4
+let t_strategies = 5
 let t_ok = 64
 let t_degraded = 65
 let t_shed = 66
@@ -27,10 +29,12 @@ let t_failed = 68
 let t_bad_request = 69
 let t_pong = 70
 let t_stats_reply = 71
+let t_strategies_reply = 72
 
 type compile_request = {
   tenant : string;
   compiler : string;
+  strategies : string list;
   rbits : int;
   wbits : int;
   xmax_bits : int;
@@ -41,7 +45,17 @@ type compile_request = {
   program : Program.t;
 }
 
+type strategy_info = {
+  s_name : string;
+  s_aliases : string list;
+  s_redistributes : bool;
+  s_hoists : bool;
+  s_explores : bool;
+  s_fallback : bool;
+}
+
 type request = Compile of compile_request | Ping | Shutdown | Stats
+             | List_strategies
 
 type compile_reply = {
   engine : string;
@@ -59,6 +73,7 @@ type reply =
   | Bad_request of string
   | Pong
   | Stats_reply of string
+  | Strategies_reply of strategy_info list
 
 let reply_name = function
   | Compiled _ -> "ok"
@@ -69,6 +84,7 @@ let reply_name = function
   | Bad_request _ -> "bad-request"
   | Pong -> "pong"
   | Stats_reply _ -> "stats"
+  | Strategies_reply _ -> "strategies"
 
 (* ------------------------------------------------------------------ *)
 (* Field caps: absolute ceilings on hostile claims, enforced before the
@@ -99,6 +115,10 @@ let encode_compile_request (r : compile_request) =
   add_u8 b ((if r.allow_fallback then 1 else 0) lor (if r.oracle then 2 else 0));
   add_u32 b r.deadline_ms;
   add_str b (Wire.encode r.program);
+  (* v2: the portfolio strategy subset, after the v1 fields so a v1
+     payload is exactly a v2 payload minus this trailer *)
+  add_u32 b (List.length r.strategies);
+  List.iter (add_str b) r.strategies;
   Buffer.contents b
 
 let encode_compile_reply (r : compile_reply) =
@@ -115,6 +135,17 @@ let encode_request = function
   | Ping -> (t_ping, "")
   | Shutdown -> (t_shutdown, "")
   | Stats -> (t_stats, "")
+  | List_strategies -> (t_strategies, "")
+
+let encode_strategy_info b (i : strategy_info) =
+  add_str b i.s_name;
+  add_u32 b (List.length i.s_aliases);
+  List.iter (add_str b) i.s_aliases;
+  add_u8 b
+    ((if i.s_redistributes then 1 else 0)
+    lor (if i.s_hoists then 2 else 0)
+    lor (if i.s_explores then 4 else 0)
+    lor if i.s_fallback then 8 else 0)
 
 let encode_reply = function
   | Compiled r -> (t_ok, encode_compile_reply r)
@@ -139,6 +170,11 @@ let encode_reply = function
       (t_bad_request, Buffer.contents b)
   | Pong -> (t_pong, "")
   | Stats_reply json -> (t_stats_reply, json)
+  | Strategies_reply infos ->
+      let b = Buffer.create 128 in
+      add_u32 b (List.length infos);
+      List.iter (encode_strategy_info b) infos;
+      (t_strategies_reply, Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
 (* Payload decoding: a bounds-checked cursor; [Fail] never escapes. *)
@@ -190,7 +226,7 @@ let wire_sub ~what decode c =
   | Ok v -> v
   | Error e -> fail "%s: %s" what (Format.asprintf "%a" Wire.pp_error e)
 
-let decode_compile_request c =
+let decode_compile_request ~version:v c =
   let tenant = str c ~cap:max_name "tenant" in
   let compiler = str c ~cap:max_name "compiler" in
   let rbits = u32 c "rbits" in
@@ -200,12 +236,21 @@ let decode_compile_request c =
   let flags = u8 c "flags" in
   let deadline_ms = u32 c "deadline-ms" in
   let program = wire_sub ~what:"program" Wire.decode c in
+  (* the v2 trailer is mandatory in v2 frames: a version byte is a
+     promise about the exact payload layout, so every truncation of a
+     v2 payload still fails to decode *)
+  let strategies =
+    if v >= 2 then
+      str_list c ~count_what:"strategy count" ~what:"strategy"
+    else []
+  in
   if rbits < 1 || rbits > 120 then fail "rbits %d out of range" rbits;
   if wbits < 1 || wbits > rbits then fail "wbits %d out of range" wbits;
   if xmax_bits > 120 then fail "xmax-bits %d out of range" xmax_bits;
   {
     tenant;
     compiler;
+    strategies;
     rbits;
     wbits;
     xmax_bits;
@@ -229,12 +274,30 @@ let guard f payload =
   let c = { s = payload; pos = 0 } in
   match f c with v -> Ok (finish c v) | exception Fail m -> Error m
 
-let decode_request ~typ payload =
-  if typ = t_compile then guard (fun c -> Compile (decode_compile_request c)) payload
+let decode_request ?version:(v = version) ~typ payload =
+  if v < version_min || v > version then
+    Error (Printf.sprintf "unsupported protocol version %d" v)
+  else if typ = t_compile then
+    guard (fun c -> Compile (decode_compile_request ~version:v c)) payload
   else if typ = t_ping then guard (fun c -> empty c Ping) payload
   else if typ = t_shutdown then guard (fun c -> empty c Shutdown) payload
   else if typ = t_stats then guard (fun c -> empty c Stats) payload
+  else if typ = t_strategies then
+    guard (fun c -> empty c List_strategies) payload
   else Error (Printf.sprintf "unknown request type %d" typ)
+
+let decode_strategy_info c =
+  let s_name = str c ~cap:max_name "strategy name" in
+  let s_aliases = str_list c ~count_what:"alias count" ~what:"alias" in
+  let flags = u8 c "capability flags" in
+  {
+    s_name;
+    s_aliases;
+    s_redistributes = flags land 1 <> 0;
+    s_hoists = flags land 2 <> 0;
+    s_explores = flags land 4 <> 0;
+    s_fallback = flags land 8 <> 0;
+  }
 
 let decode_reply ~typ payload =
   if typ = t_ok then guard (fun c -> Compiled (decode_compile_reply c)) payload
@@ -259,6 +322,13 @@ let decode_reply ~typ payload =
   else if typ = t_stats_reply then
     if String.length payload > max_payload_default then Error "stats too large"
     else Ok (Stats_reply payload)
+  else if typ = t_strategies_reply then
+    guard
+      (fun c ->
+        let n = u32 c "strategy count" in
+        if n > max_list then fail "strategy count %d exceeds cap %d" n max_list;
+        Strategies_reply (List.init n (fun _ -> decode_strategy_info c)))
+      payload
   else Error (Printf.sprintf "unknown reply type %d" typ)
 
 (* ------------------------------------------------------------------ *)
@@ -302,7 +372,7 @@ let read_exact fd buf off len =
   go 0
 
 let read_frame ?(max_payload = max_payload_default) fd :
-    (int * string, read_error) result =
+    (int * int * string, read_error) result =
   let hd = Bytes.create header_len in
   match read_exact fd hd 0 header_len with
   | Error (`Eof_after 0) -> Error `Closed
@@ -312,29 +382,29 @@ let read_frame ?(max_payload = max_payload_default) fd :
   | Error (`Sys m) -> Error (`Malformed m)
   | Ok () ->
       if Bytes.sub_string hd 0 4 <> magic then Error (`Malformed "bad magic")
-      else if Char.code (Bytes.get hd 4) <> version then
-        Error
-          (`Malformed
-             (Printf.sprintf "unsupported protocol version %d"
-                (Char.code (Bytes.get hd 4))))
       else
-        let typ = Char.code (Bytes.get hd 5) in
-        let len = Int32.to_int (Bytes.get_int32_le hd 6) land 0xffffffff in
-        if len > max_payload then
+        let v = Char.code (Bytes.get hd 4) in
+        if v < version_min || v > version then
           Error
-            (`Malformed
-               (Printf.sprintf "payload length %d exceeds cap %d" len
-                  max_payload))
+            (`Malformed (Printf.sprintf "unsupported protocol version %d" v))
         else
-          let payload = Bytes.create len in
-          match read_exact fd payload 0 len with
-          | Ok () -> Ok (typ, Bytes.unsafe_to_string payload)
-          | Error `Timeout -> Error `Timeout
-          | Error (`Eof_after n) ->
-              Error
-                (`Malformed
-                   (Printf.sprintf "eof after %d of %d payload bytes" n len))
-          | Error (`Sys m) -> Error (`Malformed m)
+          let typ = Char.code (Bytes.get hd 5) in
+          let len = Int32.to_int (Bytes.get_int32_le hd 6) land 0xffffffff in
+          if len > max_payload then
+            Error
+              (`Malformed
+                 (Printf.sprintf "payload length %d exceeds cap %d" len
+                    max_payload))
+          else
+            let payload = Bytes.create len in
+            match read_exact fd payload 0 len with
+            | Ok () -> Ok (v, typ, Bytes.unsafe_to_string payload)
+            | Error `Timeout -> Error `Timeout
+            | Error (`Eof_after n) ->
+                Error
+                  (`Malformed
+                     (Printf.sprintf "eof after %d of %d payload bytes" n len))
+            | Error (`Sys m) -> Error (`Malformed m)
 
 let write_frame fd ~typ payload =
   let s = frame ~typ payload in

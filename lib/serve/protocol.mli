@@ -14,7 +14,14 @@ open Fhe_ir
     matrix in the serve test tier holds the daemon to exactly this. *)
 
 val magic : string
+
 val version : int
+(** The version this end emits (2).  v2 appended a mandatory strategy
+    subset list to the compile payload; both versions decode (see
+    {!decode_request}), so pre-bump peers keep working. *)
+
+val version_min : int
+(** Oldest version still accepted (1). *)
 
 val header_len : int
 (** Bytes in a frame header (magic + version + type + length). *)
@@ -27,7 +34,13 @@ val max_payload_default : int
 
 type compile_request = {
   tenant : string;  (** cache namespace; [""] = the shared namespace *)
-  compiler : string;  (** {!Fhe_check.Differential.compiler_name} label *)
+  compiler : string;
+      (** canonical strategy name or alias (the server resolves it in
+          its strategy registry), or ["portfolio"] *)
+  strategies : string list;
+      (** v2: for ["portfolio"], the strategy subset to race; [[]] =
+          every registered strategy.  Ignored for named compilers; [[]]
+          in requests decoded from v1 frames. *)
   rbits : int;
   wbits : int;
   xmax_bits : int;
@@ -40,7 +53,20 @@ type compile_request = {
   program : Program.t;
 }
 
+type strategy_info = {
+  s_name : string;
+  s_aliases : string list;
+  s_redistributes : bool;
+  s_hoists : bool;
+  s_explores : bool;
+  s_fallback : bool;
+}
+(** One registered strategy with its capability flags — the wire
+    mirror of [Fhe_strategy.Strategy.caps], kept structural so the
+    protocol stays dependency-free. *)
+
 type request = Compile of compile_request | Ping | Shutdown | Stats
+             | List_strategies
 
 type compile_reply = {
   engine : string;  (** engine that actually produced the plan *)
@@ -59,18 +85,25 @@ type reply =
   | Bad_request of string  (** malformed or out-of-range request *)
   | Pong
   | Stats_reply of string  (** server counters as a JSON object *)
+  | Strategies_reply of strategy_info list  (** registry listing *)
 
 val reply_name : reply -> string
 (** Stable label: ["ok"], ["degraded"], ["shed"], ["timeout"],
-    ["failed"], ["bad-request"], ["pong"], ["stats"]. *)
+    ["failed"], ["bad-request"], ["pong"], ["stats"], ["strategies"]. *)
 
 val encode_request : request -> int * string
-(** Message-type byte and payload. *)
+(** Message-type byte and payload, always in the current {!version}'s
+    layout. *)
 
 val encode_reply : reply -> int * string
 
-val decode_request : typ:int -> string -> (request, string) result
-(** Never raises; hostile payloads produce [Error]. *)
+val decode_request :
+  ?version:int -> typ:int -> string -> (request, string) result
+(** Decode a payload in the layout of [version] (default: current) —
+    pass the version byte {!read_frame} returned.  v1 compile payloads
+    decode with [strategies = []]; in v2 payloads the strategy trailer
+    is mandatory, so every truncation still fails.  Never raises;
+    hostile payloads produce [Error]. *)
 
 val decode_reply : typ:int -> string -> (reply, string) result
 
@@ -89,10 +122,13 @@ type read_error =
 val pp_read_error : Format.formatter -> read_error -> unit
 
 val read_frame :
-  ?max_payload:int -> Unix.file_descr -> (int * string, read_error) result
-(** Read one frame (type byte and payload).  Handles partial reads and
-    EINTR; a receive timeout configured on the socket surfaces as
-    [`Timeout].  Never raises. *)
+  ?max_payload:int -> Unix.file_descr ->
+  (int * int * string, read_error) result
+(** Read one frame: [(version, type byte, payload)].  Accepts any
+    version in [[version_min, version]]; hand the version to
+    {!decode_request} so the payload is parsed in its own layout.
+    Handles partial reads and EINTR; a receive timeout configured on
+    the socket surfaces as [`Timeout].  Never raises. *)
 
 val write_frame : Unix.file_descr -> typ:int -> string -> (unit, string) result
 (** Write one frame, tolerating partial writes.  [EPIPE] (peer gone)

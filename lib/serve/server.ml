@@ -42,20 +42,31 @@ type t = {
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Compile dispatch: the same engines, knobs, and cache keys as the
-   [fhec compile] CLI path, so a served result is byte-identical to a
-   local one.  Runs inside a pool worker domain; the tenant namespace
-   is domain-local state, so it must be entered here, not in the
-   connection thread. *)
+(* Compile dispatch: the same strategy registry, knobs, and cache keys
+   as the [fhec compile] CLI path, so a served result is byte-identical
+   to a local one.  Runs inside a pool worker domain; the tenant
+   namespace is domain-local state, so it must be entered here, not in
+   the connection thread. *)
 
-let variant_of = function
-  | "reserve" | "reserve-full" -> Some `Full
-  | "reserve-ra" -> Some `Ra
-  | "reserve-ba" -> Some `Ba
-  | _ -> None
+module St = Fhe_strategy.Strategy
+module Reg = Fhe_strategy.Registry
 
 let diag_of_exn e =
   Reserve.Diag.to_string (Reserve.Diag.of_exn Reserve.Diag.Serve e)
+
+let strategy_infos () =
+  List.map
+    (fun s ->
+      let c = St.caps s in
+      {
+        Protocol.s_name = St.name s;
+        s_aliases = St.aliases s;
+        s_redistributes = c.St.redistributes;
+        s_hoists = c.St.hoists;
+        s_explores = c.St.explores;
+        s_fallback = c.St.fallback_chain;
+      })
+    (Reg.all ())
 
 let compile_one level (req : Protocol.compile_request) : Protocol.reply =
   let in_ns f =
@@ -63,52 +74,75 @@ let compile_one level (req : Protocol.compile_request) : Protocol.reply =
     else Fhe_cache.Store.with_namespace req.tenant f
   in
   in_ns @@ fun () ->
-  let xmax_bits = req.xmax_bits in
-  let rbits = req.rbits and wbits = req.wbits in
-  let plain engine managed =
-    Protocol.Compiled { engine; wbits_used = wbits; warnings = []; managed }
+  let cfg =
+    St.config ~xmax_bits:req.xmax_bits
+      ?iterations:(if req.iterations > 0 then Some req.iterations else None)
+      ~rbits:req.rbits ~wbits:req.wbits ()
   in
-  match req.compiler with
-  | "eva" -> (
-      try plain "eva" (Fhe_eva.Eva.compile ~xmax_bits ~rbits ~wbits req.program)
-      with e -> Protocol.Failed [ diag_of_exn e ])
-  | "hecate" -> (
-      let iterations = if req.iterations > 0 then Some req.iterations else None in
-      try
-        let r =
-          Fhe_hecate.Hecate.compile ?iterations ~xmax_bits ~rbits ~wbits
-            req.program
-        in
-        plain "hecate" r.Fhe_hecate.Hecate.managed
-      with e -> Protocol.Failed [ diag_of_exn e ])
-  | name -> (
-      match variant_of name with
-      | None -> Protocol.Bad_request (Printf.sprintf "unknown compiler %S" name)
-      | Some variant -> (
-          let strict =
-            not (req.allow_fallback || level = Admission.Pressured)
-          in
-          match
-            Reserve.Pipeline.compile_safe ~variant ~strict ~xmax_bits
-              ~oracle:req.oracle ~rbits ~wbits req.program
-          with
-          | Ok o ->
-              let reply =
-                {
-                  Protocol.engine =
-                    Reserve.Pipeline.engine_name o.Reserve.Pipeline.engine;
-                  wbits_used = o.Reserve.Pipeline.wbits;
-                  warnings =
-                    List.map Reserve.Diag.to_string o.Reserve.Pipeline.warnings;
-                  managed = o.Reserve.Pipeline.managed;
-                }
-              in
-              if o.Reserve.Pipeline.fallbacks = [] then Protocol.Compiled reply
-              else Protocol.Degraded reply
-          | Error attempts ->
-              Protocol.Failed
-                (List.map Reserve.Diag.to_string
-                   (Reserve.Pipeline.attempt_diags attempts))))
+  let plain engine managed =
+    Protocol.Compiled
+      { engine; wbits_used = req.wbits; warnings = []; managed }
+  in
+  if String.lowercase_ascii req.compiler = Fhe_strategy.Portfolio.mode_name
+  then
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match Reg.of_name n with
+          | Some s -> resolve (s :: acc) rest
+          | None -> Error n)
+    in
+    match resolve [] req.strategies with
+    | Error n -> Protocol.Bad_request (Printf.sprintf "unknown strategy %S" n)
+    | Ok subset -> (
+        (* already inside a pool worker — nested pool use is rejected —
+           so the legs run sequentially here; the report is the same *)
+        match
+          Fhe_strategy.Portfolio.run ~strategies:subset cfg req.program
+        with
+        | Ok r -> (
+            match r.Fhe_strategy.Portfolio.winner.result with
+            | Ok m ->
+                plain
+                  ("portfolio:"
+                  ^ St.name r.Fhe_strategy.Portfolio.winner.strategy)
+                  m
+            | Error _ -> assert false (* the winner is an Ok leg *))
+        | Error msg -> Protocol.Failed [ msg ])
+  else
+    match Reg.of_name req.compiler with
+    | None ->
+        Protocol.Bad_request
+          (Printf.sprintf "unknown compiler %S" req.compiler)
+    | Some s -> (
+        match St.safe s with
+        | Some safe -> (
+            let strict =
+              not (req.allow_fallback || level = Admission.Pressured)
+            in
+            match safe cfg ~strict ~oracle:req.oracle req.program with
+            | Ok o ->
+                let reply =
+                  {
+                    Protocol.engine =
+                      Reserve.Pipeline.engine_name o.Reserve.Pipeline.engine;
+                    wbits_used = o.Reserve.Pipeline.wbits;
+                    warnings =
+                      List.map Reserve.Diag.to_string
+                        o.Reserve.Pipeline.warnings;
+                    managed = o.Reserve.Pipeline.managed;
+                  }
+                in
+                if o.Reserve.Pipeline.fallbacks = [] then
+                  Protocol.Compiled reply
+                else Protocol.Degraded reply
+            | Error attempts ->
+                Protocol.Failed
+                  (List.map Reserve.Diag.to_string
+                     (Reserve.Pipeline.attempt_diags attempts)))
+        | None -> (
+            try plain (St.name s) (Reg.compile s cfg req.program)
+            with e -> Protocol.Failed [ diag_of_exn e ]))
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection handling. *)
@@ -198,8 +232,8 @@ let handle_conn t fd =
           (* best-effort notice, then drop the connection *)
           ignore (send (Protocol.Bad_request "request read timed out"))
       | Error (`Malformed m) -> ignore (send (Protocol.Bad_request m))
-      | Ok (typ, payload) -> (
-          match Protocol.decode_request ~typ payload with
+      | Ok (version, typ, payload) -> (
+          match Protocol.decode_request ~version ~typ payload with
           | Error m ->
               (* the frame itself was well-formed, so the stream is
                  still aligned: reply and keep the connection *)
@@ -209,6 +243,9 @@ let handle_conn t fd =
           | Ok Protocol.Stats ->
               let json = Admission.stats_json (Admission.stats t.adm) in
               if send (Protocol.Stats_reply json) = Ok () then loop ()
+          | Ok Protocol.List_strategies ->
+              if send (Protocol.Strategies_reply (strategy_infos ())) = Ok ()
+              then loop ()
           | Ok Protocol.Shutdown ->
               ignore (send Protocol.Pong);
               request_stop t

@@ -72,6 +72,10 @@ val run : config -> unit
 val stats : t -> Admission.stats
 
 val compile_one : Admission.level -> Protocol.compile_request -> Protocol.reply
-(** The compile dispatch itself (engine selection, tenant namespace,
-    fallback policy) with no transport — exposed for the parity tests
-    and for [fhec serve --self-test]. *)
+(** The compile dispatch itself (strategy-registry lookup, portfolio
+    mode, tenant namespace, fallback policy) with no transport —
+    exposed for the parity tests and for [fhec serve --self-test]. *)
+
+val strategy_infos : unit -> Protocol.strategy_info list
+(** The registry listing a [List_strategies] request is answered
+    with. *)

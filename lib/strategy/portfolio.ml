@@ -1,0 +1,62 @@
+type leg = {
+  strategy : Strategy.t;
+  result : (Fhe_ir.Managed.t, string) result;
+  est_latency_us : float;
+  compile_ms : float;
+  from_cache : bool;
+}
+
+type report = { winner : leg; legs : leg list }
+
+let mode_name = "portfolio"
+
+let one_leg cfg p s =
+  match Fhe_util.Timer.time (fun () -> Registry.compile_hit s cfg p) with
+  | (m, from_cache), compile_ms ->
+      {
+        strategy = s;
+        result = Ok m;
+        est_latency_us = Fhe_cost.Model.estimate m;
+        compile_ms;
+        from_cache;
+      }
+  | exception e ->
+      {
+        strategy = s;
+        result = Error (Printexc.to_string e);
+        est_latency_us = 0.;
+        compile_ms = 0.;
+        from_cache = false;
+      }
+
+let run ?pool ?strategies cfg p =
+  let strategies =
+    match strategies with None | Some [] -> Registry.all () | Some l -> l
+  in
+  let legs =
+    match pool with
+    | None -> List.map (one_leg cfg p) strategies
+    | Some pool -> Fhe_par.Pool.map pool (one_leg cfg p) strategies
+  in
+  let winner =
+    List.fold_left
+      (fun best leg ->
+        match (leg.result, best) with
+        | Error _, _ -> best
+        | Ok _, None -> Some leg
+        | Ok _, Some b ->
+            if leg.est_latency_us < b.est_latency_us then Some leg else best)
+      None legs
+  in
+  match winner with
+  | Some w -> Ok { winner = w; legs }
+  | None ->
+      let msgs =
+        List.filter_map
+          (fun l ->
+            match l.result with
+            | Error e -> Some (Strategy.name l.strategy ^ ": " ^ e)
+            | Ok _ -> None)
+          legs
+      in
+      Error ("portfolio: every strategy failed — " ^ String.concat "; " msgs)

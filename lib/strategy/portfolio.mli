@@ -1,0 +1,38 @@
+open Fhe_ir
+
+(** Portfolio mode: compile one program under several strategies, score
+    each plan with the Table 3 cost model, keep the cheapest.
+
+    Legs run in registry order; with a pool they run in parallel via
+    {!Fhe_par.Pool.map}, whose submission-ordered results make the
+    report — and the winner — identical at any [-j] width.  Every leg
+    compiles through {!Registry.compile_hit}, so a warm
+    {!Fhe_cache.Store} makes the whole portfolio nearly free. *)
+
+type leg = {
+  strategy : Strategy.t;
+  result : (Managed.t, string) result;
+  est_latency_us : float;  (** cost-model estimate; 0 on failure *)
+  compile_ms : float;
+  from_cache : bool;
+}
+
+type report = {
+  winner : leg;  (** lowest est-latency [Ok] leg; ties → registry order *)
+  legs : leg list;  (** one per strategy, registry order *)
+}
+
+val mode_name : string
+(** ["portfolio"] — the selector drivers accept alongside strategy
+    names. *)
+
+val run :
+  ?pool:Fhe_par.Pool.t ->
+  ?strategies:Strategy.t list ->
+  Strategy.config ->
+  Program.t ->
+  (report, string) result
+(** [strategies] defaults to {!Registry.all} (also when [[]] is
+    passed, matching the wire protocol's "empty subset = all").
+    [Error] only when every leg fails; the message concatenates the
+    per-leg failures. *)

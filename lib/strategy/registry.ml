@@ -1,0 +1,189 @@
+open Fhe_ir
+
+(* The EVA baseline: a fused forward pass.  Scale tracking and op
+   insertion happen in one walk, so analyze/annotate are trivial and
+   place does the work.  Results are legal by Eva.compile's contract. *)
+module Eva_strategy = struct
+  let name = "eva"
+  let aliases = []
+
+  let caps =
+    {
+      Strategy.redistributes = false;
+      hoists = false;
+      explores = false;
+      fallback_chain = false;
+    }
+
+  let cache_key_tag = "eva"
+  let cache_extra _ _ = []
+
+  type analysis = unit
+  type annotation = unit
+
+  let analyze _ _ = ()
+  let annotate _ _ () = ()
+
+  let place (cfg : Strategy.config) p () =
+    Fhe_eva.Eva.compile ~xmax_bits:cfg.xmax_bits ~rbits:cfg.rbits
+      ~wbits:cfg.wbits p
+
+  let safe = None
+end
+
+(* Hecate: annotate explores the proactive-downscale plan space, place
+   extracts the winning managed program. *)
+module Hecate_strategy = struct
+  let name = "hecate"
+  let aliases = []
+
+  let caps =
+    {
+      Strategy.redistributes = false;
+      hoists = false;
+      explores = true;
+      fallback_chain = false;
+    }
+
+  let cache_key_tag = "hecate"
+
+  let iterations_of (cfg : Strategy.config) p =
+    match cfg.iterations with
+    | Some n -> n
+    | None -> Fhe_hecate.Hecate.default_iterations p
+
+  let cache_extra cfg p = [ string_of_int (iterations_of cfg p) ]
+
+  type analysis = unit
+  type annotation = Fhe_hecate.Hecate.result
+
+  let analyze _ _ = ()
+
+  let annotate (cfg : Strategy.config) p () =
+    Fhe_hecate.Hecate.compile ~iterations:(iterations_of cfg p)
+      ~xmax_bits:cfg.xmax_bits ~rbits:cfg.rbits ~wbits:cfg.wbits p
+
+  let place _ _ (r : Fhe_hecate.Hecate.result) = r.Fhe_hecate.Hecate.managed
+  let safe = None
+end
+
+(* The reserve variants map 1:1 onto the interface: analyze is the §6.1
+   allocation ordering, annotate the §6.2/§6.3 backward reserve
+   analysis, place the §7 insertion (+hoisting for `Full) — matching
+   Pipeline.compile's uncached path, validation included. *)
+module Reserve_strategy (V : sig
+  val variant : Reserve.Pipeline.variant
+end) =
+struct
+  let name = Reserve.Pipeline.variant_name V.variant
+
+  let aliases =
+    match V.variant with
+    | `Ba -> [ "ba" ]
+    | `Ra -> [ "ra" ]
+    | `Full -> [ "reserve"; "full" ]
+
+  let redistribute = match V.variant with `Ba -> false | `Ra | `Full -> true
+  let hoist = match V.variant with `Ba | `Ra -> false | `Full -> true
+
+  let caps =
+    {
+      Strategy.redistributes = redistribute;
+      hoists = hoist;
+      explores = false;
+      fallback_chain = true;
+    }
+
+  let cache_key_tag = name
+
+  (* matches Pipeline.plan_key's eager_input_upscale = None slot *)
+  let cache_extra _ _ = [ "-" ]
+
+  type analysis = int array
+  type annotation = Reserve.Allocation.t
+
+  let prm (cfg : Strategy.config) =
+    Reserve.Rtype.params ~rbits:cfg.rbits ~wbits:cfg.wbits
+
+  let analyze cfg p = Reserve.Ordering.run (prm cfg) p
+
+  let annotate (cfg : Strategy.config) p order =
+    Reserve.Allocation.run (prm cfg) ~redistribute
+      ~output_reserve:cfg.xmax_bits ~order p
+
+  let place _ p alloc =
+    let m = Reserve.Placement.run ~hoist p alloc in
+    Validator.check_exn m;
+    m
+
+  let safe =
+    Some
+      (fun (cfg : Strategy.config) ~strict ~oracle ?oracle_inputs p ->
+        Reserve.Pipeline.compile_safe ~variant:V.variant
+          ~xmax_bits:cfg.xmax_bits ~strict ~oracle ?oracle_inputs
+          ~rbits:cfg.rbits ~wbits:cfg.wbits p)
+end
+
+module Reserve_ba = Reserve_strategy (struct
+  let variant = `Ba
+end)
+
+module Reserve_ra = Reserve_strategy (struct
+  let variant = `Ra
+end)
+
+module Reserve_full = Reserve_strategy (struct
+  let variant = `Full
+end)
+
+(* Canonical order: pins the differential report and Benchjson entry
+   ordering; do not reorder. *)
+let builtin : Strategy.t list =
+  [
+    (module Eva_strategy);
+    (module Hecate_strategy);
+    (module Reserve_ba);
+    (module Reserve_ra);
+    (module Reserve_full);
+  ]
+
+let registered = ref builtin
+let all () = !registered
+let names () = List.map Strategy.name !registered
+
+let spellings s =
+  List.map String.lowercase_ascii (Strategy.name s :: Strategy.aliases s)
+
+let of_name n =
+  let n = String.lowercase_ascii n in
+  List.find_opt (fun s -> List.mem n (spellings s)) !registered
+
+let get_exn n =
+  match of_name n with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Registry.get_exn: unknown strategy %S" n)
+
+let register s =
+  let fresh = spellings s in
+  List.iter
+    (fun existing ->
+      List.iter
+        (fun sp ->
+          if List.mem sp (spellings existing) then
+            invalid_arg
+              (Printf.sprintf "Registry.register: %S already names strategy %S"
+                 sp (Strategy.name existing)))
+        fresh)
+    !registered;
+  registered := !registered @ [ s ]
+
+let compile_uncached = Strategy.compile_uncached
+
+let compile_hit s cfg p =
+  if not (Fhe_cache.Store.active ()) then (compile_uncached s cfg p, false)
+  else
+    Fhe_cache.Store.with_managed_hit
+      ~key:(Strategy.cache_key s cfg p)
+      (fun () -> Fhe_cache.Store.bypass (fun () -> compile_uncached s cfg p))
+
+let compile s cfg p = fst (compile_hit s cfg p)

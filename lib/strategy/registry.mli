@@ -1,0 +1,39 @@
+open Fhe_ir
+
+(** The strategy registry: the one place that knows which scale
+    strategies exist.
+
+    The five built-ins are registered at load time, in the canonical
+    driver order ([eva; hecate; reserve-ba; reserve-ra; reserve-full])
+    that pins the differential report and Benchjson entry ordering.
+    Adding strategy number six is {!register} — every driver (fhec,
+    serve, bench, differential, portfolio) picks it up from here. *)
+
+val all : unit -> Strategy.t list
+(** Registration order; the five built-ins first. *)
+
+val names : unit -> string list
+
+val of_name : string -> Strategy.t option
+(** Case-insensitive lookup by canonical name or alias.  ["portfolio"]
+    is a compilation {e mode}, not a strategy, and is not found here. *)
+
+val get_exn : string -> Strategy.t
+(** @raise Invalid_argument on unknown name. *)
+
+val register : Strategy.t -> unit
+(** Append a strategy.  @raise Invalid_argument if its name or any
+    alias collides with an already-registered spelling. *)
+
+val compile_uncached : Strategy.t -> Strategy.config -> Program.t -> Managed.t
+(** The raw three-phase compile; no cache interaction. *)
+
+val compile_hit : Strategy.t -> Strategy.config -> Program.t -> Managed.t * bool
+(** Compile through {!Fhe_cache.Store} when it is active: hits return
+    the stored plan, misses compile under [Store.bypass] (so nested
+    lookups see a genuinely cold store) and persist the result.  The
+    flag is [true] on a cache hit.  With the store inactive this is
+    {!compile_uncached}. *)
+
+val compile : Strategy.t -> Strategy.config -> Program.t -> Managed.t
+(** [compile s cfg p = fst (compile_hit s cfg p)]. *)

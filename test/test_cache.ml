@@ -398,7 +398,7 @@ let test_differential_flags_poisoned_hit () =
     { wrong with Managed.wbits = 30 };
   let r =
     Fhe_check.Differential.run
-      ~compilers:[ Fhe_check.Differential.Reserve `Full ]
+      ~compilers:[ Option.get (Fhe_check.Differential.of_name "reserve-full") ]
       ~label:"poisoned" p ~inputs:g.Fhe_sim.Progen.inputs
   in
   let entry = List.hd r.Fhe_check.Differential.entries in
@@ -410,7 +410,7 @@ let test_differential_flags_poisoned_hit () =
   fresh_cache ();
   let r' =
     Fhe_check.Differential.run
-      ~compilers:[ Fhe_check.Differential.Reserve `Full ]
+      ~compilers:[ Option.get (Fhe_check.Differential.of_name "reserve-full") ]
       ~label:"clean" p ~inputs:g.Fhe_sim.Progen.inputs
   in
   Alcotest.(check bool) "clean run ok" true (Fhe_check.Differential.ok r')

@@ -168,12 +168,16 @@ let pinned_levels =
     ("Lenet-C", 10, 10, 10, 10);
   ]
 
-let level_of (r : Differential.report) c =
+(* strategies are first-class modules: find entries by canonical name,
+   never by polymorphic equality *)
+let level_of (r : Differential.report) cname =
   match
-    List.find_opt (fun e -> e.Differential.compiler = c) r.Differential.entries
+    List.find_opt
+      (fun e -> Differential.compiler_name e.Differential.compiler = cname)
+      r.Differential.entries
   with
   | Some e -> e.Differential.input_level
-  | None -> Alcotest.fail "missing differential entry"
+  | None -> Alcotest.fail ("missing differential entry: " ^ cname)
 
 let check_pins name (r : Differential.report) =
   let eva, ba, ra, full =
@@ -182,16 +186,11 @@ let check_pins name (r : Differential.report) =
     in
     (a, b, c, d)
   in
-  Alcotest.(check int) (name ^ " eva L") eva (level_of r Differential.Eva);
-  Alcotest.(check int) (name ^ " ba L") ba
-    (level_of r (Differential.Reserve `Ba));
-  Alcotest.(check int) (name ^ " ra L") ra
-    (level_of r (Differential.Reserve `Ra));
-  Alcotest.(check int)
-    (name ^ " full L")
-    full
-    (level_of r (Differential.Reserve `Full));
-  let hec = level_of r Differential.Hecate in
+  Alcotest.(check int) (name ^ " eva L") eva (level_of r "eva");
+  Alcotest.(check int) (name ^ " ba L") ba (level_of r "reserve-ba");
+  Alcotest.(check int) (name ^ " ra L") ra (level_of r "reserve-ra");
+  Alcotest.(check int) (name ^ " full L") full (level_of r "reserve-full");
+  let hec = level_of r "hecate" in
   Alcotest.(check bool)
     (str "%s hecate L=%d within [%d, %d]" name hec (full - 1) (eva + 1))
     true
@@ -221,25 +220,35 @@ let test_differential_lenet () =
     (fun name ->
       let a = Reg.find name in
       let p = a.Reg.build () in
-      let entry_level c =
-        let m =
-          match c with
-          | Differential.Eva -> Fhe_eva.Eva.compile ~rbits:60 ~wbits:30 p
-          | Differential.Hecate ->
+      (* direct engine calls, bypassing the registry on purpose: an
+         independent cross-check that the registered strategies compile
+         the same plans (data, not a dispatch on compiler identity) *)
+      let direct_compiles =
+        [ ("eva", fun p -> Fhe_eva.Eva.compile ~rbits:60 ~wbits:30 p);
+          ( "hecate",
+            fun p ->
               (Fhe_hecate.Hecate.compile ~iterations:10 ~rbits:60 ~wbits:30 p)
-                .Fhe_hecate.Hecate.managed
-          | Differential.Reserve variant ->
-              Reserve.Pipeline.compile ~variant ~rbits:60 ~wbits:30 p
-        in
+                .Fhe_hecate.Hecate.managed );
+          ( "reserve-ba",
+            fun p -> Reserve.Pipeline.compile ~variant:`Ba ~rbits:60 ~wbits:30 p
+          );
+          ( "reserve-ra",
+            fun p -> Reserve.Pipeline.compile ~variant:`Ra ~rbits:60 ~wbits:30 p
+          );
+          ( "reserve-full",
+            fun p ->
+              Reserve.Pipeline.compile ~variant:`Full ~rbits:60 ~wbits:30 p )
+        ]
+      in
+      let entry_level cname =
+        let m = (List.assoc cname direct_compiles) p in
         (match Validator.check m with
         | Ok () -> ()
         | Error (e :: _) ->
-            Alcotest.fail
-              (str "%s %s: %a" name (Differential.compiler_name c)
-                 Validator.pp_error e)
+            Alcotest.fail (str "%s %s: %a" name cname Validator.pp_error e)
         | Error [] -> ());
         Alcotest.(check int)
-          (str "%s %s lemma violations" name (Differential.compiler_name c))
+          (str "%s %s lemma violations" name cname)
           0
           (List.length (Invariants.check m));
         Managed.input_level m
@@ -250,16 +259,11 @@ let test_differential_lenet () =
         in
         (a, b, c, d)
       in
-      Alcotest.(check int) (name ^ " eva L") eva (entry_level Differential.Eva);
-      Alcotest.(check int) (name ^ " ba L") ba
-        (entry_level (Differential.Reserve `Ba));
-      Alcotest.(check int) (name ^ " ra L") ra
-        (entry_level (Differential.Reserve `Ra));
-      Alcotest.(check int)
-        (name ^ " full L")
-        full
-        (entry_level (Differential.Reserve `Full));
-      let hec = entry_level Differential.Hecate in
+      Alcotest.(check int) (name ^ " eva L") eva (entry_level "eva");
+      Alcotest.(check int) (name ^ " ba L") ba (entry_level "reserve-ba");
+      Alcotest.(check int) (name ^ " ra L") ra (entry_level "reserve-ra");
+      Alcotest.(check int) (name ^ " full L") full (entry_level "reserve-full");
+      let hec = entry_level "hecate" in
       Alcotest.(check bool)
         (str "%s hecate L=%d sane" name hec)
         true
@@ -490,6 +494,21 @@ let sample_run () =
           serve_timeouts = 0;
           serve_degraded = 1;
         };
+    portfolio =
+      Some
+        {
+          Benchjson.p_strategies = [ "eva"; "reserve-full" ];
+          p_wins = [ ("eva", 0); ("reserve-full", 1) ];
+          p_entries =
+            [
+              {
+                Benchjson.p_app = "SF";
+                p_winner = "reserve-full";
+                p_win_est_latency_us = 200.0;
+                p_legs = [ ("eva", 250.0); ("reserve-full", 200.0) ];
+              };
+            ];
+        };
     entries =
       [
         {
@@ -552,8 +571,8 @@ let test_benchjson_v1_compat () =
 let test_benchjson_v3_fields () =
   let r = sample_run () in
   let s = Benchjson.to_string (Benchjson.run_to_json r) in
-  Alcotest.(check bool) "emits the v5 schema tag" true
-    (contains s "fhe-bench-compile/v5");
+  Alcotest.(check bool) "emits the v6 schema tag" true
+    (contains s "fhe-bench-compile/v6");
   match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
   | Error e -> Alcotest.fail e
   | Ok r' ->
@@ -605,6 +624,20 @@ let test_benchjson_v4_compat () =
         (r.Benchjson.serve <> None);
       Alcotest.(check bool) "v4 entries have no exec stats" true
         ((List.hd r.Benchjson.entries).Benchjson.exec = None)
+
+(* a v5 file (no portfolio block) must still parse — the committed
+   BENCH_compile.json / BENCH_exec.json baselines are v5 *)
+let test_benchjson_v5_compat () =
+  let s =
+    {|{"schema":"fhe-bench-compile/v5","rbits":60,"waterline":30,"domains":4,"wall_time_par":12.5,"cache":{"hits":10,"misses":2,"stores":12,"poisoned":0},"serve":null,"entries":[{"app":"SF","compiler":"eva","compile_ms":1.5,"warm_compile_ms":0.02,"input_level":3,"modulus_bits":180,"est_latency_us":250,"exec":null}]}|}
+  in
+  match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
+  | Error e -> Alcotest.fail ("v5 baseline rejected: " ^ e)
+  | Ok r ->
+      Alcotest.(check bool) "v5 has no portfolio block" true
+        (r.Benchjson.portfolio = None);
+      Alcotest.(check int) "v5 entries survive" 1
+        (List.length r.Benchjson.entries)
 
 (* a v2 file (no cache block, no warm timings) must still parse *)
 let test_benchjson_v2_compat () =
@@ -803,7 +836,8 @@ let () =
           t "v2 files still parse" test_benchjson_v2_compat;
           t "v3 files still parse" test_benchjson_v3_compat;
           t "v4 files still parse" test_benchjson_v4_compat;
-          t "v5 fields round trip" test_benchjson_v3_fields;
+          t "v5 files still parse" test_benchjson_v5_compat;
+          t "v6 fields round trip" test_benchjson_v3_fields;
           t "parser rejects garbage" test_benchjson_parse_rejects;
           t "string escapes" test_benchjson_escapes;
           t "rejects unknown schema" test_benchjson_rejects_unknown_schema;

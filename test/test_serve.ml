@@ -53,8 +53,8 @@ let app_request ?(tenant = "") ?(compiler = "reserve-full") ?(rbits = 60)
   let inputs = app.Reg.inputs ~seed:42 in
   let xmax_bits = Fhe_sim.Interp.max_magnitude_bits program ~inputs in
   {
-    Proto.tenant; compiler; rbits; wbits; xmax_bits; iterations;
-    allow_fallback = false; oracle = false; deadline_ms; program;
+    Proto.tenant; compiler; strategies = []; rbits; wbits; xmax_bits;
+    iterations; allow_fallback = false; oracle = false; deadline_ms; program;
   }
 
 let managed_bytes (m : Managed.t) = Wire.encode_managed m
@@ -225,7 +225,8 @@ let test_wire_hostile_text () =
 let sample_request () =
   {
     (app_request ~tenant:"acme" ~compiler:"reserve-ra" "HCD") with
-    Proto.iterations = 7;
+    Proto.strategies = [ "eva"; "reserve-full" ];
+    iterations = 7;
     allow_fallback = true;
     oracle = true;
     deadline_ms = 1234;
@@ -370,7 +371,8 @@ let test_protocol_framing_over_fd () =
       | Error m -> Alcotest.fail (str "write_frame: %s" m)
       | Ok () -> ());
       match Proto.read_frame rd with
-      | Ok (typ', payload') ->
+      | Ok (version, typ', payload') ->
+          Alcotest.(check int) "frame version" Proto.version version;
           Alcotest.(check int) "frame type" typ typ';
           Alcotest.(check string) "frame payload" payload payload'
       | Error e ->
@@ -488,8 +490,10 @@ let test_server_ping_stats_shutdown () =
   done;
   Alcotest.(check bool) "server stopped" false (Server.running t)
 
+(* the five named strategies plus portfolio mode: 8 apps x 6 selectors
+   of served-vs-local byte parity *)
 let compilers =
-  [ "eva"; "hecate"; "reserve-ba"; "reserve-ra"; "reserve-full" ]
+  [ "eva"; "hecate"; "reserve-ba"; "reserve-ra"; "reserve-full"; "portfolio" ]
 
 let test_served_equals_local_all_apps () =
   (* the Lenet requests stream ~17 MiB through the socket while the
@@ -549,7 +553,7 @@ let test_server_survives_garbage_frames () =
       | Ok () -> ()
       | Error m -> Alcotest.fail (str "write: %s" m));
       (match Proto.read_frame fd with
-      | Ok (typ, payload) -> (
+      | Ok (_version, typ, payload) -> (
           match Proto.decode_reply ~typ payload with
           | Ok (Proto.Bad_request _) -> ()
           | Ok r ->
@@ -564,7 +568,7 @@ let test_server_survives_garbage_frames () =
       | Ok () -> ()
       | Error m -> Alcotest.fail (str "write: %s" m));
       (match Proto.read_frame fd with
-      | Ok (typ, payload) -> (
+      | Ok (_version, typ, payload) -> (
           match Proto.decode_reply ~typ payload with
           | Ok (Proto.Bad_request _) -> ()
           | Ok r ->
@@ -581,7 +585,7 @@ let test_server_survives_garbage_frames () =
       | Ok () -> ()
       | Error m -> Alcotest.fail (str "write: %s" m));
       match Proto.read_frame fd with
-      | Ok (typ, payload) -> (
+      | Ok (_version, typ, payload) -> (
           match Proto.decode_reply ~typ payload with
           | Ok Proto.Pong -> ()
           | Ok r -> Alcotest.fail (str "expected pong, got %s" (Proto.reply_name r))
