@@ -804,6 +804,11 @@ let measure_exec ?pool () =
             decrypt_ms = st.Ckks.Backend.decrypt_ms;
             keygen_ms = st.Ckks.Backend.keygen_ms;
             max_err = !max_err;
+            peak_ct_bytes = st.Ckks.Backend.mem.Ckks.Backend.peak_ct_bytes;
+            order_ct_bytes = st.Ckks.Backend.mem.Ckks.Backend.order_ct_bytes;
+            resident_ct_bytes =
+              st.Ckks.Backend.mem.Ckks.Backend.resident_ct_bytes;
+            peak_key_bytes = st.Ckks.Backend.mem.Ckks.Backend.peak_key_bytes;
           };
     }
   in
@@ -896,12 +901,16 @@ let exec_section () =
       | Some e ->
           Printf.printf
             "  %-8s %-12s L=%2d  run %8.2f ms (enc %6.2f + eval %8.2f + dec \
-             %5.2f)  keygen %7.2f  max|err| %.3e\n"
+             %5.2f)  keygen %7.2f  max|err| %.3e  peak ct %6.2f MiB (order \
+             %6.2f)  keys %6.2f MiB\n"
             m.Fhe_check.Benchjson.app m.Fhe_check.Benchjson.compiler
             m.Fhe_check.Benchjson.input_level e.Fhe_check.Benchjson.exec_ms
             e.Fhe_check.Benchjson.encrypt_ms e.Fhe_check.Benchjson.eval_ms
             e.Fhe_check.Benchjson.decrypt_ms e.Fhe_check.Benchjson.keygen_ms
-            e.Fhe_check.Benchjson.max_err)
+            e.Fhe_check.Benchjson.max_err
+            (float_of_int e.Fhe_check.Benchjson.peak_ct_bytes /. 1048576.0)
+            (float_of_int e.Fhe_check.Benchjson.order_ct_bytes /. 1048576.0)
+            (float_of_int e.Fhe_check.Benchjson.peak_key_bytes /. 1048576.0))
     run.Fhe_check.Benchjson.entries;
   Printf.printf "wrote %s (%d entries)\n" out
     (List.length run.Fhe_check.Benchjson.entries)
@@ -921,8 +930,11 @@ let load_baseline path =
 let gate () =
   section "perf gate: current measurements vs recorded BENCH_compile.json";
   let failures = ref 0 in
-  let diff ~what ~path ?exec_slack baseline current =
-    match Fhe_check.Benchjson.compare_runs ?exec_slack ~baseline ~current () with
+  let diff ~what ~path ?exec_slack ?mem_slack baseline current =
+    match
+      Fhe_check.Benchjson.compare_runs ?exec_slack ?mem_slack ~baseline
+        ~current ()
+    with
     | [] ->
         Printf.printf "%s gate passed: %d entries within bounds of %s\n" what
           (List.length baseline.Fhe_check.Benchjson.entries)
@@ -955,9 +967,18 @@ let gate () =
       | Some s when s > 1.0 -> s
       | _ -> 3.0
     in
+    (* byte counts are deterministic, so the default slack is tight;
+       BENCH_MEM_SLACK only exists to loosen an intentional change *)
+    let mem_slack =
+      match
+        Option.bind (Sys.getenv_opt "BENCH_MEM_SLACK") float_of_string_opt
+      with
+      | Some s when s >= 1.0 -> s
+      | _ -> 1.10
+    in
     let baseline = load_baseline epath in
     let current = with_pool (fun pool -> measure_exec ?pool ()) in
-    diff ~what:"exec" ~path:epath ~exec_slack baseline current
+    diff ~what:"exec" ~path:epath ~exec_slack ~mem_slack baseline current
   end;
   if !failures > 0 then exit 1
 

@@ -520,7 +520,20 @@ let exec_cmd =
                primes live below 2^30)." in
     Arg.(value & opt int 28 & info [ "rbits" ] ~docv:"BITS" ~doc)
   in
-  let run () app compiler wbits rbits iterations seed jobs =
+  let mem_budget_arg =
+    let doc = "Ciphertext + switch-key memory budget in bytes (0 = \
+               unlimited).  Under a budget, cold ciphertexts spill to a \
+               checksummed on-disk store and switch keys regenerate on \
+               demand; decrypted results are byte-identical either way." in
+    Arg.(value & opt int 0 & info [ "mem-budget" ] ~docv:"BYTES" ~doc)
+  in
+  let no_sched_arg =
+    let doc = "Execute in program order without liveness scheduling, \
+               freeing, or arena reuse (debugging aid; results are \
+               byte-identical with scheduling on)." in
+    Arg.(value & flag & info [ "no-sched" ] ~doc)
+  in
+  let run () app compiler wbits rbits iterations seed jobs mem_budget no_sched =
     handle
       (Result.bind (find_app app) (fun app ->
            protecting @@ fun () ->
@@ -543,7 +556,13 @@ let exec_cmd =
            Result.bind m (fun m ->
            Result.bind (validated m) (fun m ->
                with_pool jobs (fun pool ->
-                   let outs, st = Ckks.Backend.run_timed ?pool m ~inputs in
+                   let mem_budget =
+                     if mem_budget > 0 then Some mem_budget else None
+                   in
+                   let outs, st =
+                     Ckks.Backend.run_timed ?pool ~sched:(not no_sched)
+                       ?mem_budget m ~inputs
+                   in
                    let refs = Fhe_sim.Interp.run_reference p ~inputs in
                    (* results on stdout — deterministic at every pool
                       width and across runs (seeded samplers), so the
@@ -573,6 +592,23 @@ let exec_cmd =
                       decrypt %.2f ms\n"
                      st.Ckks.Backend.keygen_ms st.Ckks.Backend.encrypt_ms
                      st.Ckks.Backend.eval_ms st.Ckks.Backend.decrypt_ms;
+                   (* memory report stays on stderr: stdout is
+                      byte-compared across budgets by the test tree *)
+                   let mem = st.Ckks.Backend.mem in
+                   Printf.eprintf
+                     "mem: peak ct %d B (program order %d B, no-free %d B, \
+                      %s) | peak keys %d B | key gens %d evictions %d | \
+                      spills %d reloads %d recomputes %d | arena reuses %d\n"
+                     mem.Ckks.Backend.peak_ct_bytes
+                     mem.Ckks.Backend.order_ct_bytes
+                     mem.Ckks.Backend.resident_ct_bytes
+                     (if mem.Ckks.Backend.reordered then "reordered"
+                      else "program order")
+                     mem.Ckks.Backend.peak_key_bytes
+                     mem.Ckks.Backend.key_gens mem.Ckks.Backend.key_evictions
+                     mem.Ckks.Backend.ct_spills mem.Ckks.Backend.ct_reloads
+                     mem.Ckks.Backend.ct_recomputes
+                     mem.Ckks.Backend.arena_reuses;
                    Ok ())))))
   in
   Cmd.v
@@ -585,7 +621,8 @@ let exec_cmd =
     Term.(
       ret
         (const run $ cache_term $ app_arg $ compiler_arg $ exec_waterline_arg
-       $ exec_rbits_arg $ iterations_arg $ seed_arg $ jobs_arg))
+       $ exec_rbits_arg $ iterations_arg $ seed_arg $ jobs_arg
+       $ mem_budget_arg $ no_sched_arg))
 
 (* ------------------------------------------------------------------ *)
 (* The compile daemon and its client *)

@@ -78,12 +78,15 @@ let dense_matrix ~seed ~dim ~rows =
       else Array.map (fun _ -> 0.0) row)
     m
 
-let build ?(n_slots = 16384) ?(seed = 11) variant =
-  let width, in_channels = geometry variant in
-  let b = Builder.create ~n_slots () in
-  let chans =
-    List.init in_channels (fun c -> Builder.input b (Printf.sprintf "ch%d" c))
-  in
+(* The full network and the exec-tier miniature share everything but
+   their geometry: conv → x² → pool twice, masked flatten, then a dense
+   head with square activations between (not after) the layers.  [head]
+   gives the row count of each dense layer; each layer's matrix dim is
+   the padded width of what feeds it (the flatten for the first, the
+   previous layer's padded rows after).  Keeping one emitter keeps the
+   two variants' op streams structurally in lockstep — the compile-tier
+   digests pin the full network, the exec tier runs the miniature. *)
+let network b ~width ~seed ~out_channels:(oc1, oc2) ~head chans =
   let conv_w layer =
     let g = Fhe_util.Prng.create (seed + layer) in
     let tbl = Hashtbl.create 64 in
@@ -97,28 +100,40 @@ let build ?(n_slots = 16384) ?(seed = 11) variant =
           w
   in
   (* Conv1 -> x^2 -> AvgPool *)
-  let c1 = conv_layer b ~width ~stride:1 ~out_channels:6 ~weights:(conv_w 1) chans in
-  let s1 = square_layer b c1 in
-  let p1 = pool_layer b ~width ~stride:1 s1 in
+  let c1 = conv_layer b ~width ~stride:1 ~out_channels:oc1 ~weights:(conv_w 1) chans in
+  let p1 = pool_layer b ~width ~stride:1 (square_layer b c1) in
   (* Conv2 -> x^2 -> AvgPool (stride doubled by pool1) *)
-  let c2 = conv_layer b ~width ~stride:2 ~out_channels:16 ~weights:(conv_w 2) p1 in
-  let s2 = square_layer b c2 in
-  let p2 = pool_layer b ~width ~stride:2 s2 in
+  let c2 = conv_layer b ~width ~stride:2 ~out_channels:oc2 ~weights:(conv_w 2) p1 in
+  let p2 = pool_layer b ~width ~stride:2 (square_layer b c2) in
   (* Flatten (stride now 4) and dense head *)
   let flat, feat = flatten b ~width ~stride:4 p2 in
-  let d1 = next_pow2 feat in
-  let fc1 =
-    Kernels.matvec_bsgs b flat ~dim:d1 ~mat:(dense_matrix ~seed:(seed + 10) ~dim:d1 ~rows:120)
+  let rec dense x ~dim ~layer = function
+    | [] -> x
+    | rows :: rest ->
+        let fc =
+          Kernels.matvec_bsgs b x ~dim
+            ~mat:(dense_matrix ~seed:(seed + 10 + layer) ~dim ~rows)
+        in
+        (match rest with
+        | [] -> fc
+        | _ ->
+            dense (Builder.square b fc) ~dim:(next_pow2 rows)
+              ~layer:(layer + 1) rest)
   in
-  let a1 = Builder.square b fc1 in
-  let fc2 =
-    Kernels.matvec_bsgs b a1 ~dim:128 ~mat:(dense_matrix ~seed:(seed + 11) ~dim:128 ~rows:84)
+  dense flat ~dim:(next_pow2 feat) ~layer:0 (head ~feat)
+
+let build ?(n_slots = 16384) ?(seed = 11) variant =
+  let width, in_channels = geometry variant in
+  let b = Builder.create ~n_slots () in
+  let chans =
+    List.init in_channels (fun c -> Builder.input b (Printf.sprintf "ch%d" c))
   in
-  let a2 = Builder.square b fc2 in
-  let fc3 =
-    Kernels.matvec_bsgs b a2 ~dim:128 ~mat:(dense_matrix ~seed:(seed + 12) ~dim:128 ~rows:10)
+  let out =
+    network b ~width ~seed ~out_channels:(6, 16)
+      ~head:(fun ~feat:_ -> [ 120; 84; 10 ])
+      chans
   in
-  Builder.finish b ~outputs:[ fc3 ]
+  Builder.finish b ~outputs:[ out ]
 
 let inputs ~seed variant =
   let width, in_channels = geometry variant in
@@ -139,34 +154,12 @@ let build_small ?(n_slots = 512) ?(seed = 11) variant =
   let chans =
     List.init in_channels (fun c -> Builder.input b (Printf.sprintf "ch%d" c))
   in
-  let conv_w layer =
-    let g = Fhe_util.Prng.create (seed + layer) in
-    let tbl = Hashtbl.create 64 in
-    fun oc ic dy dx ->
-      let key = (oc, ic, dy, dx) in
-      match Hashtbl.find_opt tbl key with
-      | Some w -> w
-      | None ->
-          let w = Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0 /. 25.0 in
-          Hashtbl.replace tbl key w;
-          w
+  let out =
+    network b ~width ~seed ~out_channels:(2, 2)
+      ~head:(fun ~feat -> [ next_pow2 feat; 4 ])
+      chans
   in
-  let c1 = conv_layer b ~width ~stride:1 ~out_channels:2 ~weights:(conv_w 1) chans in
-  let p1 = pool_layer b ~width ~stride:1 (square_layer b c1) in
-  let c2 = conv_layer b ~width ~stride:2 ~out_channels:2 ~weights:(conv_w 2) p1 in
-  let p2 = pool_layer b ~width ~stride:2 (square_layer b c2) in
-  let flat, feat = flatten b ~width ~stride:4 p2 in
-  let d1 = next_pow2 feat in
-  let fc1 =
-    Kernels.matvec_bsgs b flat ~dim:d1
-      ~mat:(dense_matrix ~seed:(seed + 10) ~dim:d1 ~rows:d1)
-  in
-  let a1 = Builder.square b fc1 in
-  let fc2 =
-    Kernels.matvec_bsgs b a1 ~dim:d1
-      ~mat:(dense_matrix ~seed:(seed + 11) ~dim:d1 ~rows:4)
-  in
-  Builder.finish b ~outputs:[ fc2 ]
+  Builder.finish b ~outputs:[ out ]
 
 let inputs_small ~seed variant =
   let _, in_channels = geometry variant in

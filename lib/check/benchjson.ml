@@ -202,7 +202,9 @@ let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 (* ------------------------------------------------------------------ *)
 (* the bench-compile schema *)
 
-let schema = "fhe-bench-compile/v6"
+let schema = "fhe-bench-compile/v7"
+
+let schema_v6 = "fhe-bench-compile/v6"
 
 let schema_v5 = "fhe-bench-compile/v5"
 
@@ -221,6 +223,12 @@ type exec_stats = {
   decrypt_ms : float;
   keygen_ms : float;
   max_err : float;
+  (* v7 additions: memory accounting (deterministic byte counts, not
+     wall-clock).  0 = not measured (pre-v7 baseline). *)
+  peak_ct_bytes : int;
+  order_ct_bytes : int;
+  resident_ct_bytes : int;
+  peak_key_bytes : int;
 }
 
 type measurement = {
@@ -351,7 +359,15 @@ let run_to_json r =
                              ("eval_ms", Num e.eval_ms);
                              ("decrypt_ms", Num e.decrypt_ms);
                              ("keygen_ms", Num e.keygen_ms);
-                             ("max_err", Num e.max_err) ] ) ])
+                             ("max_err", Num e.max_err);
+                             ( "peak_ct_bytes",
+                               Num (float_of_int e.peak_ct_bytes) );
+                             ( "order_ct_bytes",
+                               Num (float_of_int e.order_ct_bytes) );
+                             ( "resident_ct_bytes",
+                               Num (float_of_int e.resident_ct_bytes) );
+                             ( "peak_key_bytes",
+                               Num (float_of_int e.peak_key_bytes) ) ] ) ])
              r.entries) ) ]
 
 let get_str k j =
@@ -365,8 +381,8 @@ let ( let* ) = Result.bind
 let run_of_json j =
   let* s = get_str "schema" j in
   if
-    s <> schema && s <> schema_v5 && s <> schema_v4 && s <> schema_v3
-    && s <> schema_v2 && s <> schema_v1
+    s <> schema && s <> schema_v6 && s <> schema_v5 && s <> schema_v4
+    && s <> schema_v3 && s <> schema_v2 && s <> schema_v1
   then Error (Printf.sprintf "unknown schema %S" s)
   else
     let* rbits = get_num "rbits" j in
@@ -484,7 +500,12 @@ let run_of_json j =
                         eval_ms = getf "eval_ms";
                         decrypt_ms = getf "decrypt_ms";
                         keygen_ms = getf "keygen_ms";
-                        max_err = getf "max_err" }
+                        max_err = getf "max_err";
+                        peak_ct_bytes = int_of_float (getf "peak_ct_bytes");
+                        order_ct_bytes = int_of_float (getf "order_ct_bytes");
+                        resident_ct_bytes =
+                          int_of_float (getf "resident_ct_bytes");
+                        peak_key_bytes = int_of_float (getf "peak_key_bytes") }
                 | _ -> None
               in
               Ok
@@ -502,7 +523,8 @@ let run_of_json j =
         wall_time_par; cache; serve; portfolio; entries }
 
 let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10)
-    ?(exec_slack = 1.75) ?(err_slack = 4.0) ~baseline ~current () =
+    ?(exec_slack = 1.75) ?(err_slack = 4.0) ?(mem_slack = 1.10) ~baseline
+    ~current () =
   let find app compiler =
     List.find_opt
       (fun m -> m.app = app && m.compiler = compiler)
@@ -534,6 +556,31 @@ let compare_runs ?(time_slack = 3.0) ?(latency_slack = 0.10)
                 (Printf.sprintf
                    "%s/%s: decrypt precision regressed %g -> %g max |err|"
                    b.app b.compiler be.max_err ce.max_err)
+            else if
+              (* the v7 memory rules: byte counts are deterministic, so
+                 the slack is tight; a pre-v7 baseline (0 bytes) gates
+                 nothing *)
+              be.peak_ct_bytes > 0
+              && float_of_int ce.peak_ct_bytes
+                 > float_of_int be.peak_ct_bytes *. mem_slack
+            then
+              Some
+                (Printf.sprintf
+                   "%s/%s: peak live ciphertext bytes regressed %d -> %d \
+                    (slack %.2fx)"
+                   b.app b.compiler be.peak_ct_bytes ce.peak_ct_bytes
+                   mem_slack)
+            else if
+              be.peak_key_bytes > 0
+              && float_of_int ce.peak_key_bytes
+                 > float_of_int be.peak_key_bytes *. mem_slack
+            then
+              Some
+                (Printf.sprintf
+                   "%s/%s: peak switch-key bytes regressed %d -> %d \
+                    (slack %.2fx)"
+                   b.app b.compiler be.peak_key_bytes ce.peak_key_bytes
+                   mem_slack)
             else None)
   in
   List.filter_map

@@ -32,7 +32,11 @@ val member : string -> json -> json option
 (** {1 The bench-compile schema} *)
 
 val schema : string
-(** ["fhe-bench-compile/v6"]. *)
+(** ["fhe-bench-compile/v7"]. *)
+
+val schema_v6 : string
+(** ["fhe-bench-compile/v6"]: the pre-memory-accounting schema, still
+    accepted by {!run_of_json}. *)
 
 val schema_v5 : string
 (** ["fhe-bench-compile/v5"]: the pre-portfolio schema, still accepted
@@ -65,9 +69,20 @@ type exec_stats = {
   max_err : float;
       (** max |decrypted - reference| over all output slots, against
           the plaintext interpreter on the same seeded inputs *)
+  peak_ct_bytes : int;
+      (** measured peak live ciphertext bytes under the scheduler (v7;
+          0 = not measured).  Deterministic: a byte count, not a wall
+          clock. *)
+  order_ct_bytes : int;
+      (** analytic peak of program-order execution with freeing — the
+          scheduler's "before" number (v7) *)
+  resident_ct_bytes : int;
+      (** analytic no-freeing total ciphertext bytes (v7) *)
+  peak_key_bytes : int;
+      (** high-water resident switch-key bytes (v7) *)
 }
-(** The [bench exec] measured-runtime snapshot (v5), taken on the
-    exec-scale variant of each app. *)
+(** The [bench exec] measured-runtime snapshot (v5, memory accounting
+    since v7), taken on the exec-scale variant of each app. *)
 
 type measurement = {
   app : string;
@@ -151,6 +166,7 @@ val compare_runs :
   ?latency_slack:float ->
   ?exec_slack:float ->
   ?err_slack:float ->
+  ?mem_slack:float ->
   baseline:run ->
   current:run ->
   unit ->
@@ -170,4 +186,7 @@ val compare_runs :
       must too, its [exec_ms] must stay within [exec_slack] (default
       1.75) times the baseline, and its [max_err] within [err_slack]
       (default 4.0) times the baseline (floored at 1e-9 absolute so
-      exact baselines don't gate on noise). *)
+      exact baselines don't gate on noise);
+    - baseline [peak_ct_bytes] / [peak_key_bytes] > 0 demand the
+      current values stay within [mem_slack] (default 1.10, tight
+      because byte counts are deterministic) times the baseline. *)

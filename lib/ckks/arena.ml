@@ -1,0 +1,44 @@
+type t = {
+  n : int;
+  mutable free : Rvec.t list;
+  mutable n_free : int;
+  mutable reuses : int;
+  mutable fresh : int;
+}
+
+let create ~n = { n; free = []; n_free = 0; reuses = 0; fresh = 0 }
+
+let take t =
+  match t.free with
+  | r :: tl ->
+      t.free <- tl;
+      t.n_free <- t.n_free - 1;
+      t.reuses <- t.reuses + 1;
+      Some r
+  | [] -> None
+
+let alloc_zero t =
+  match take t with
+  | Some r ->
+      Rvec.fill r 0;
+      r
+  | None ->
+      t.fresh <- t.fresh + 1;
+      Rvec.create t.n
+
+let alloc_raw t =
+  match take t with
+  | Some r -> r
+  | None ->
+      t.fresh <- t.fresh + 1;
+      Rvec.create t.n
+
+let release t r =
+  if Rvec.length r = t.n then begin
+    t.free <- r :: t.free;
+    t.n_free <- t.n_free + 1
+  end
+
+let reuses t = t.reuses
+let fresh t = t.fresh
+let available t = t.n_free

@@ -1,0 +1,36 @@
+(** Freelist arena for ciphertext residue rows.
+
+    All rows in a context have the same length [n], so a single
+    freelist suffices: [release] returns a row to the pool and a later
+    [alloc_zero]/[alloc_raw] hands it back instead of allocating fresh
+    Bigarray storage. Rows of any other length are silently dropped.
+
+    The arena is NOT thread-safe: it must only be touched from the
+    driving domain. All [Poly] allocations happen on the driver (worker
+    tasks only ever create scratch [Rvec]s directly), so attaching an
+    arena to a [Context] is safe even with a domain pool installed. *)
+
+type t
+
+val create : n:int -> t
+(** [create ~n] makes an empty arena for rows of length [n]. *)
+
+val alloc_zero : t -> Rvec.t
+(** A zero-filled row: reused from the freelist (and cleared) if
+    available, freshly allocated otherwise. *)
+
+val alloc_raw : t -> Rvec.t
+(** A row with unspecified contents — caller must overwrite fully. *)
+
+val release : t -> Rvec.t -> unit
+(** Return a row to the freelist. The caller promises no live value
+    still references it. Wrong-length rows are ignored. *)
+
+val reuses : t -> int
+(** Number of allocations served from the freelist. *)
+
+val fresh : t -> int
+(** Number of allocations that had to create new storage. *)
+
+val available : t -> int
+(** Rows currently parked in the freelist. *)

@@ -8,6 +8,7 @@ type t = {
   special_plan : Ntt.plan;
   fft : Fftc.plan;
   mutable pool : Fhe_par.Pool.t option;
+  mutable arena : Arena.t option;
 }
 
 let make ~n ~levels ?(level_bits = 28) () =
@@ -31,7 +32,8 @@ let make ~n ~levels ?(level_bits = 28) () =
     plans = Array.map (fun p -> Ntt.make_plan ~n ~p) primes;
     special_plan = Ntt.make_plan ~n ~p:special;
     fft = Fftc.make_plan ~n;
-    pool = None }
+    pool = None;
+    arena = None }
 
 let plan t i = if i = t.levels then t.special_plan else t.plans.(i)
 
@@ -40,6 +42,20 @@ let prime t i = if i = t.levels then t.special else t.primes.(i)
 let slot_count t = t.n / 2
 
 let set_pool t pool = t.pool <- pool
+
+let set_arena t arena = t.arena <- arena
+
+(* Row allocation goes through the arena when one is attached.  Only
+   ever called from the driving domain (worker tasks allocate scratch
+   rows with Rvec.create directly). *)
+let alloc_row t =
+  match t.arena with Some a -> Arena.alloc_zero a | None -> Rvec.create t.n
+
+let alloc_row_raw t =
+  match t.arena with Some a -> Arena.alloc_raw a | None -> Rvec.create t.n
+
+let release_row t r =
+  match t.arena with Some a -> Arena.release a r | None -> ()
 
 (* Fan per-prime row work across the pool when one is attached.  Each
    task writes only its own row, and rows are dense 0..nrows-1, so the

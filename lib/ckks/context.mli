@@ -17,6 +17,9 @@ type t = {
   fft : Fftc.plan;
   mutable pool : Fhe_par.Pool.t option;
       (** when set, per-prime limb work fans out across these domains *)
+  mutable arena : Arena.t option;
+      (** when set, polynomial rows are drawn from / released to this
+          freelist (driver-domain only) *)
 }
 
 val make : n:int -> levels:int -> ?level_bits:int -> unit -> t
@@ -38,6 +41,22 @@ val set_pool : t -> Fhe_par.Pool.t option -> unit
     per-row NTTs, rescale rows, key-switch accumulation rows — runs on
     the pool.  Results are bit-identical to the sequential path: every
     task owns a distinct row index. *)
+
+val set_arena : t -> Arena.t option -> unit
+(** Attach (or detach) a row arena.  With an arena attached,
+    [alloc_row]/[alloc_row_raw] reuse released rows instead of
+    allocating, and [release_row] parks rows for reuse.  The arena is
+    driver-domain-only; this is safe because all [Poly] allocation
+    happens on the driving domain. *)
+
+val alloc_row : t -> Rvec.t
+(** A zero-filled length-[n] row (arena-reused when possible). *)
+
+val alloc_row_raw : t -> Rvec.t
+(** A length-[n] row with unspecified contents — overwrite fully. *)
+
+val release_row : t -> Rvec.t -> unit
+(** Return a row for reuse; no-op without an arena. *)
 
 val par_rows : t -> int -> (int -> unit) -> unit
 (** [par_rows t nrows f] runs [f 0 .. f (nrows-1)], on the attached

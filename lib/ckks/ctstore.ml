@@ -1,0 +1,21 @@
+module Disk = Fhe_cache.Disk
+
+let key ~nonce ~id = Digest.to_hex (Digest.string (Printf.sprintf "ct:%s:%d" nonce id))
+
+let spill ~dir ~nonce ~id ct =
+  let payload = Bytes.to_string (Serialize.ciphertext_to_bytes ct) in
+  let key = key ~nonce ~id in
+  Disk.put ~dir ~key payload;
+  match Disk.get ~dir ~key with
+  | `Hit s -> String.equal s payload
+  | `Miss | `Poisoned -> false
+
+let load ctx ~dir ~nonce ~id =
+  match Disk.get ~dir ~key:(key ~nonce ~id) with
+  | `Hit s -> (
+      match Serialize.ciphertext_of_bytes ctx (Bytes.of_string s) with
+      | Ok ct -> Some ct
+      | Error _ -> None)
+  | `Miss | `Poisoned -> None
+
+let drop ~dir ~nonce ~id = Disk.remove ~dir ~key:(key ~nonce ~id)

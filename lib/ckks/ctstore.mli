@@ -1,0 +1,25 @@
+(** Spill-to-disk for cold ciphertexts, on top of the checksummed
+    {!Fhe_cache.Disk} entry format.
+
+    Entries are keyed by [(nonce, op id)]; the nonce isolates one
+    backend run from another when runs share a spill directory.  A
+    spill is only trusted after verify-on-write: [spill] reads the
+    entry back and compares bytes before reporting success, so the
+    in-memory ciphertext is never dropped on the strength of an
+    unverified write.  A reload that misses, reads poisoned bytes, or
+    fails to decode returns [None] — the scheduler then recomputes the
+    value instead. *)
+
+val spill :
+  dir:string -> nonce:string -> id:int -> Evaluator.ct -> bool
+(** Serialize, write, and verify one ciphertext.  [true] iff the entry
+    read back byte-identical — only then may the caller free the
+    in-memory copy. *)
+
+val load :
+  Context.t -> dir:string -> nonce:string -> id:int -> Evaluator.ct option
+(** Reload a spilled ciphertext; [None] on miss/poison/decode failure
+    (all recoverable by recomputation). *)
+
+val drop : dir:string -> nonce:string -> id:int -> unit
+(** Best-effort removal of one entry. *)

@@ -10,10 +10,9 @@ let scale_mismatch_tolerance = 1e-3
 let encode_at (k : Keys.t) ~level ~scale values =
   Encoder.encode k.Keys.ctx ~level ~scale values
 
-let encrypt (k : Keys.t) ~level ~scale values =
+let encrypt_with (k : Keys.t) fresh ~level ~scale values =
   let ctx = k.Keys.ctx in
   let n = ctx.Context.n in
-  let fresh = k.Keys.enc_sampler in
   let m = encode_at k ~level ~scale values in
   let u =
     Poly.to_ntt ctx
@@ -36,6 +35,19 @@ let encrypt (k : Keys.t) ~level ~scale values =
     c1 = Poly.add ctx (Poly.mul ctx pa u) e1;
     level;
     scale }
+
+let encrypt (k : Keys.t) ~level ~scale values =
+  encrypt_with k k.Keys.enc_sampler ~level ~scale values
+
+(* Deterministic encryption for scheduled execution: the randomness
+   stream depends only on (keygen seed, tag), not on how many
+   encryptions happened before — so inputs can be encrypted in any
+   order, or re-encrypted after being freed, with byte-identical
+   results. *)
+let encrypt_det (k : Keys.t) ~tag ~level ~scale values =
+  encrypt_with k
+    (Sampler.create ~seed:(Keys.derived_enc_seed k tag))
+    ~level ~scale values
 
 let encrypt_sym (k : Keys.t) ~level ~scale values =
   let ctx = k.Keys.ctx in
@@ -159,7 +171,7 @@ let mul (k : Keys.t) a b =
   let e0 = Poly.mul ctx a.c0 b.c0 in
   let e1 = Poly.add ctx (Poly.mul ctx a.c0 b.c1) (Poly.mul ctx a.c1 b.c0) in
   let e2 = Poly.mul ctx a.c1 b.c1 in
-  let rb, ra = key_switch k e2 k.Keys.relin in
+  let rb, ra = key_switch k e2 (Keys.relin_key k) in
   { c0 = Poly.add ctx e0 rb;
     c1 = Poly.add ctx e1 ra;
     level = a.level;
@@ -222,11 +234,10 @@ let rotate (k : Keys.t) a steps =
   let steps = Fhe_util.Bits.pos_rem steps nh in
   if steps = 0 then a
   else begin
-    Keys.add_rotation k steps;
     let g = Keys.galois_element ctx steps in
     let c0g = Poly.automorphism ctx a.c0 ~g in
     let c1g = Poly.automorphism ctx a.c1 ~g in
-    let gk = Hashtbl.find k.Keys.galois steps in
+    let gk = Keys.galois_key k steps in
     let kb, ka = key_switch k c1g gk in
     { a with c0 = Poly.add ctx c0g kb; c1 = ka }
   end

@@ -18,6 +18,14 @@ val encrypt :
   Keys.t -> level:int -> scale:float -> float array -> ct
 (** Public-key encryption of up to [n/2] real slot values. *)
 
+val encrypt_det :
+  Keys.t -> tag:int -> level:int -> scale:float -> float array -> ct
+(** Public-key encryption from a deterministic randomness stream
+    derived from [(keygen seed, tag)].  Two calls with the same keys,
+    tag, and arguments produce byte-identical ciphertexts regardless of
+    what was encrypted in between — the scheduler relies on this to
+    encrypt inputs in any order and to re-encrypt freed inputs. *)
+
 val encrypt_sym :
   Keys.t -> level:int -> scale:float -> float array -> ct
 (** Secret-key encryption (fresh randomness per call). *)

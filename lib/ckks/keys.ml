@@ -3,16 +3,60 @@ type switch_key = {
   ka : Poly.t array;
 }
 
+type mem = {
+  resident_bytes : int;
+  peak_bytes : int;
+  gens : int;
+  evictions : int;
+}
+
 type t = {
   ctx : Context.t;
+  seed : int;
   s : Poly.t;
   pb : Poly.t;
   pa : Poly.t;
-  relin : switch_key;
+  mutable relin : switch_key option;
   galois : (int, switch_key) Hashtbl.t;
-  sampler : Sampler.t;
+  last_use : (int, int) Hashtbl.t;
+  mutable tick : int;
+  mutable budget : int option;
+  mutable resident_bytes : int;
+  mutable peak_bytes : int;
+  mutable gens : int;
+  mutable evictions : int;
   enc_sampler : Sampler.t;
 }
+
+(* The relin key shares the eviction namespace with the Galois keys;
+   Galois entries are keyed by their (nonzero) normalized step, so 0 is
+   free for relin. *)
+let relin_tag = 0
+
+(* SplitMix-style scramble confined to OCaml's 63-bit ints: every
+   switch key and every deterministic encryption draws from its own
+   stream derived from (seed, salt), so the bytes of a key depend only
+   on the keygen seed and its identity — never on generation order.
+   That is what makes evict-then-regenerate byte-identical. *)
+let mix seed salt =
+  let m = 0x2545F4914F6CDD1D in
+  let s = ref ((seed lxor (((2 * salt) + 1) * m)) land max_int) in
+  s := !s lxor (!s lsr 29);
+  s := !s * m land max_int;
+  s := !s lxor (!s lsr 32);
+  !s land max_int
+
+let relin_seed t = mix t.seed 0x7E11
+
+let galois_seed t k = mix t.seed (0x60A1 + k)
+
+let derived_enc_seed t tag = mix (t.seed lxor 0x5EED5) (0xE4C0 + tag)
+
+let switch_key_bytes (ctx : Context.t) =
+  let levels = ctx.Context.levels in
+  (* kb + ka: [levels] digits, each a full-basis poly of [levels+1]
+     rows of [n] boxed-free 64-bit cells *)
+  2 * levels * (levels + 1) * ctx.Context.n * 8
 
 let galois_element (ctx : Context.t) k =
   let nh = Context.slot_count ctx in
@@ -44,18 +88,115 @@ let make_switch_key (ctx : Context.t) sampler ~s ~target =
   done;
   { kb; ka }
 
-let make_galois_key t k =
-  let g = galois_element t.ctx k in
-  let s_g = Poly.automorphism t.ctx t.s ~g in
-  make_switch_key t.ctx t.sampler ~s:t.s ~target:s_g
+let touch t tag =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.last_use tag t.tick
+
+let evict t tag =
+  let release sk =
+    Array.iter (Poly.release t.ctx) sk.kb;
+    Array.iter (Poly.release t.ctx) sk.ka
+  in
+  (if tag = relin_tag then begin
+     (match t.relin with Some sk -> release sk | None -> ());
+     t.relin <- None
+   end
+   else begin
+     (match Hashtbl.find_opt t.galois tag with
+     | Some sk -> release sk
+     | None -> ());
+     Hashtbl.remove t.galois tag
+   end);
+  Hashtbl.remove t.last_use tag;
+  t.resident_bytes <- t.resident_bytes - switch_key_bytes t.ctx;
+  t.evictions <- t.evictions + 1
+
+(* Make room for one more switch key under the byte budget by evicting
+   least-recently-used keys ([keep] is pinned).  If nothing evictable
+   remains we overshoot rather than fail: a budget below one key's size
+   still computes correct results, it just cannot be honored. *)
+let ensure_room t ~keep =
+  match t.budget with
+  | None -> ()
+  | Some budget ->
+      let incoming = switch_key_bytes t.ctx in
+      let exception Done in
+      (try
+         while t.resident_bytes + incoming > budget do
+           let victim =
+             Hashtbl.fold
+               (fun tag tick acc ->
+                 if tag = keep then acc
+                 else
+                   match acc with
+                   | Some (_, best) when best <= tick -> acc
+                   | _ -> Some (tag, tick))
+               t.last_use None
+           in
+           match victim with
+           | Some (tag, _) -> evict t tag
+           | None -> raise Done
+         done
+       with Done -> ())
+
+let account_gen t tag =
+  t.gens <- t.gens + 1;
+  t.resident_bytes <- t.resident_bytes + switch_key_bytes t.ctx;
+  if t.resident_bytes > t.peak_bytes then t.peak_bytes <- t.resident_bytes;
+  touch t tag
+
+let relin_key t =
+  match t.relin with
+  | Some sk ->
+      touch t relin_tag;
+      sk
+  | None ->
+      ensure_room t ~keep:relin_tag;
+      let s2 = Poly.mul t.ctx t.s t.s in
+      let sk =
+        make_switch_key t.ctx
+          (Sampler.create ~seed:(relin_seed t))
+          ~s:t.s ~target:s2
+      in
+      t.relin <- Some sk;
+      account_gen t relin_tag;
+      sk
+
+let galois_key t k =
+  let nh = Context.slot_count t.ctx in
+  let k = Fhe_util.Bits.pos_rem k nh in
+  if k = 0 then invalid_arg "Keys.galois_key: rotation by zero needs no key";
+  match Hashtbl.find_opt t.galois k with
+  | Some sk ->
+      touch t k;
+      sk
+  | None ->
+      ensure_room t ~keep:k;
+      let g = galois_element t.ctx k in
+      let s_g = Poly.automorphism t.ctx t.s ~g in
+      let sk =
+        make_switch_key t.ctx
+          (Sampler.create ~seed:(galois_seed t k))
+          ~s:t.s ~target:s_g
+      in
+      Hashtbl.replace t.galois k sk;
+      account_gen t k;
+      sk
 
 let add_rotation t k =
   let nh = Context.slot_count t.ctx in
   let k = Fhe_util.Bits.pos_rem k nh in
-  if k <> 0 && not (Hashtbl.mem t.galois k) then
-    Hashtbl.replace t.galois k (make_galois_key t k)
+  if k <> 0 then ignore (galois_key t k)
 
-let keygen ?(seed = 0xC0FFEE) ?(rotations = []) ctx =
+let set_budget t budget = t.budget <- budget
+
+let mem t =
+  { resident_bytes = t.resident_bytes;
+    peak_bytes = t.peak_bytes;
+    gens = t.gens;
+    evictions = t.evictions }
+
+let keygen ?(seed = 0xC0FFEE) ?(rotations = []) ?key_budget ctx =
   let sampler = Sampler.create ~seed in
   let n = ctx.Context.n in
   let levels = ctx.Context.levels in
@@ -71,11 +212,26 @@ let keygen ?(seed = 0xC0FFEE) ?(rotations = []) ctx =
          (Sampler.gaussian sampler ~n ()))
   in
   let pb = Poly.add ctx (Poly.neg ctx (Poly.mul ctx pa_full s_top)) pe in
-  let s2 = Poly.mul ctx s s in
-  let relin = make_switch_key ctx sampler ~s ~target:s2 in
   let t =
-    { ctx; s; pb; pa = pa_full; relin; galois = Hashtbl.create 16; sampler;
+    { ctx;
+      seed;
+      s;
+      pb;
+      pa = pa_full;
+      relin = None;
+      galois = Hashtbl.create 16;
+      last_use = Hashtbl.create 16;
+      tick = 0;
+      budget = key_budget;
+      resident_bytes = 0;
+      peak_bytes = 0;
+      gens = 0;
+      evictions = 0;
       enc_sampler = Sampler.create ~seed:(seed lxor 0x5EED5) }
   in
+  (* Without a budget every key is resident forever, so generate the
+     relin key eagerly (keygen-time cost, like before laziness existed).
+     Under a budget stay lazy: the first mul pays for it. *)
+  if key_budget = None then ignore (relin_key t);
   List.iter (add_rotation t) rotations;
   t

@@ -1,37 +1,90 @@
 (** Key material: secret/public keys, relinearization and Galois
-    (rotation) switch keys.
+    (rotation) switch keys — generated lazily, evicted under a byte
+    budget, regenerated deterministically.
 
     Switch keys use the RNS per-prime decomposition with a special
     modulus: the key for digit [j] encrypts [P·target] on residue row
     [j] only, so [Σ_j \[x\]_{q_j} · ksk_j ≡ P·x·target (mod Q_l·P)] at
-    {e any} level [l] — one key set serves the whole modulus chain. *)
+    {e any} level [l] — one key set serves the whole modulus chain.
+
+    Every switch key draws its randomness from a private stream derived
+    from [(keygen seed, key identity)] — never from a shared sampler —
+    so the bytes of a key are independent of the order keys are
+    requested in, and an evicted key regenerates byte-identically on
+    the next miss. That is the determinism contract the `@mem` tier
+    pins. *)
 
 type switch_key = {
   kb : Poly.t array;  (** per digit: b_j = −a_j·s + e_j + P·target (row j) *)
   ka : Poly.t array;
 }
 
+type mem = {
+  resident_bytes : int;  (** switch-key bytes currently resident *)
+  peak_bytes : int;  (** high-water mark of [resident_bytes] *)
+  gens : int;  (** switch-key generations (incl. regenerations) *)
+  evictions : int;
+}
+
 type t = {
   ctx : Context.t;
+  seed : int;  (** keygen seed: root of every derived stream *)
   s : Poly.t;  (** secret key, full basis, NTT *)
   pb : Poly.t;  (** public key b = −a·s + e (top level, no special) *)
   pa : Poly.t;
-  relin : switch_key;  (** switches s² → s *)
-  galois : (int, switch_key) Hashtbl.t;  (** per rotation step k *)
-  sampler : Sampler.t;  (** for lazily generated Galois keys *)
+  mutable relin : switch_key option;
+      (** switches s² → s; [None] when not yet generated or evicted —
+          use {!relin_key}, not this field *)
+  galois : (int, switch_key) Hashtbl.t;
+      (** resident rotation keys per (normalized, nonzero) step — use
+          {!galois_key} to read through the LRU/eviction machinery *)
+  last_use : (int, int) Hashtbl.t;  (** LRU ticks; relin is tag 0 *)
+  mutable tick : int;
+  mutable budget : int option;  (** byte budget; [None] = unlimited *)
+  mutable resident_bytes : int;
+  mutable peak_bytes : int;
+  mutable gens : int;
+  mutable evictions : int;
   enc_sampler : Sampler.t;
-      (** encryption randomness: its own stream, derived from the keygen
-          seed, so whole runs are reproducible while successive
-          encryptions still draw fresh randomness *)
+      (** ad-hoc encryption randomness: its own stream, derived from the
+          keygen seed, so whole runs are reproducible while successive
+          encryptions still draw fresh randomness.  Order-dependent —
+          the scheduler uses {!derived_enc_seed} streams instead. *)
 }
 
-val keygen : ?seed:int -> ?rotations:int list -> Context.t -> t
-(** Generate all key material; [rotations] lists the slot-rotation
-    amounts that will be used (Galois keys are per-amount). *)
+val keygen : ?seed:int -> ?rotations:int list -> ?key_budget:int -> Context.t -> t
+(** Generate the secret/public key pair; [rotations] lists slot-rotation
+    amounts to pre-generate Galois keys for.  Without [key_budget] the
+    relin key is generated eagerly and nothing is ever evicted; with it,
+    all switch keys are lazy and the least-recently-used one is evicted
+    whenever resident switch-key bytes would exceed the budget.  A
+    budget smaller than one key overshoots rather than fails. *)
+
+val relin_key : t -> switch_key
+(** The relinearization key, generating (or regenerating) it on a miss. *)
+
+val galois_key : t -> int -> switch_key
+(** [galois_key t k]: the rotation key for step [k] (normalized mod
+    slot count), generating it on a miss.
+    @raise Invalid_argument when the normalized step is 0. *)
 
 val add_rotation : t -> int -> unit
-(** Generate (idempotently) the Galois key for one more rotation
-    amount. *)
+(** Ensure the Galois key for one more rotation amount is resident
+    (idempotent; no-op for step 0). *)
+
+val set_budget : t -> int option -> unit
+(** Install or clear the switch-key byte budget (takes effect at the
+    next generation; resident keys are not evicted immediately). *)
+
+val mem : t -> mem
+(** Byte/eviction counters (cumulative over the lifetime of [t]). *)
+
+val switch_key_bytes : Context.t -> int
+(** Size of one switch key in this context. *)
+
+val derived_enc_seed : t -> int -> int
+(** Seed of the deterministic encryption stream for input tag [n]:
+    depends only on [(keygen seed, n)], so encryptions commute. *)
 
 val galois_element : Context.t -> int -> int
 (** The ring automorphism exponent [5^k mod 2n] implementing a left

@@ -19,9 +19,24 @@ let prime_index (ctx : Context.t) t r =
 let zero (ctx : Context.t) ~level ~special ~ntt =
   let nrows = level + if special then 1 else 0 in
   { level; special; ntt;
-    data = Array.init nrows (fun _ -> Rvec.create ctx.Context.n) }
+    data = Array.init nrows (fun _ -> Context.alloc_row ctx) }
 
 let copy t = { t with data = Array.map Rvec.copy t.data }
+
+(* Arena-aware copy: rows come from the context's freelist when one is
+   attached.  Driver-domain only (like all Poly allocation). *)
+let copy_into (ctx : Context.t) t =
+  { t with
+    data =
+      Array.map
+        (fun r ->
+          let o = Context.alloc_row_raw ctx in
+          Rvec.blit r o;
+          o)
+        t.data }
+
+let release (ctx : Context.t) t =
+  Array.iter (Context.release_row ctx) t.data
 
 let of_coeff_array (ctx : Context.t) ~level ~special coeffs =
   assert (Array.length coeffs = ctx.Context.n);
@@ -38,7 +53,7 @@ let of_coeff_array (ctx : Context.t) ~level ~special coeffs =
 let to_ntt (ctx : Context.t) t =
   if t.ntt then t
   else begin
-    let t' = copy t in
+    let t' = copy_into ctx t in
     Context.par_rows ctx (rows t) (fun r ->
         Ntt.forward (Context.plan ctx (prime_index ctx t r)) t'.data.(r));
     { t' with ntt = true }
@@ -47,7 +62,7 @@ let to_ntt (ctx : Context.t) t =
 let of_ntt (ctx : Context.t) t =
   if not t.ntt then t
   else begin
-    let t' = copy t in
+    let t' = copy_into ctx t in
     Context.par_rows ctx (rows t) (fun r ->
         Ntt.inverse (Context.plan ctx (prime_index ctx t r)) t'.data.(r));
     { t' with ntt = false }
@@ -187,12 +202,16 @@ let automorphism (ctx : Context.t) t ~g =
 let equal_basis a b = a.level = b.level && a.special = b.special
 
 let restrict (ctx : Context.t) t ~level ~special =
-  ignore ctx;
   if level > t.level || (special && not t.special) then
     invalid_arg "Poly.restrict: cannot grow a basis";
+  let copy_row r =
+    let o = Context.alloc_row_raw ctx in
+    Rvec.blit r o;
+    o
+  in
   let keep =
     Array.init (level + if special then 1 else 0) (fun r ->
-        if r < level then Rvec.copy t.data.(r)
-        else Rvec.copy t.data.(rows t - 1))
+        if r < level then copy_row t.data.(r)
+        else copy_row t.data.(rows t - 1))
   in
   { level; special; ntt = t.ntt; data = keep }

@@ -30,6 +30,11 @@ val zero : Context.t -> level:int -> special:bool -> ntt:bool -> t
 
 val copy : t -> t
 
+val release : Context.t -> t -> unit
+(** Return every row to the context's arena (no-op without one).  The
+    caller promises no live value still references this polynomial's
+    storage — including via ciphertexts that share the record. *)
+
 val of_coeff_array : Context.t -> level:int -> special:bool -> int array -> t
 (** Lift small signed coefficients into every basis row (coeff form). *)
 

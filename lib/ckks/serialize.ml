@@ -143,7 +143,8 @@ let galois_keys_to_bytes (k : Keys.t) =
   w_u8 b version;
   w_poly b k.Keys.pb;
   w_poly b k.Keys.pa;
-  w_switch_key b k.Keys.relin;
+  (* forces generation if the relin key is lazy/evicted *)
+  w_switch_key b (Keys.relin_key k);
   let rotations =
     List.sort compare
       (Hashtbl.fold (fun step _ acc -> step :: acc) k.Keys.galois [])
@@ -169,8 +170,15 @@ let load_evaluation_keys ctx ~secret data =
       let step = r_u32 r in
       Hashtbl.replace galois step (r_switch_key r ctx)
     done;
-    { Keys.ctx; s = secret; pb; pa; relin; galois;
-      sampler = Sampler.create ~seed:0;
+    let last_use = Hashtbl.create (max 4 (nrot + 1)) in
+    (* loaded keys are resident from tick 0; relin is LRU tag 0 *)
+    Hashtbl.replace last_use 0 0;
+    Hashtbl.iter (fun step _ -> Hashtbl.replace last_use step 0) galois;
+    let resident = (1 + nrot) * Keys.switch_key_bytes ctx in
+    { Keys.ctx; seed = 0; s = secret; pb; pa; relin = Some relin; galois;
+      last_use; tick = 0; budget = None;
+      resident_bytes = resident; peak_bytes = resident;
+      gens = 0; evictions = 0;
       enc_sampler = Sampler.create ~seed:(0 lxor 0x5EED5) }
   with
   | keys -> Ok keys

@@ -1,0 +1,166 @@
+module Heap = Fhe_util.Heap
+
+type plan = {
+  order : int array;
+  free_after : int list array;
+  peak : int;
+  order_peak : int;
+  resident : int;
+  reordered : bool;
+}
+
+let sort_uniq_ints l = List.sort_uniq compare l
+
+let plan ?(reorder = true) ~n ~deps ~root ~weight ~outputs () =
+  (* Normalized views of the graph. *)
+  let d = Array.init n (fun i -> sort_uniq_ints (deps i)) in
+  let r = Array.init n root in
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun j ->
+          if j < 0 || j >= i then
+            invalid_arg
+              (Printf.sprintf "Schedule.plan: dep %d of op %d not backward" j i))
+        l;
+      if r.(i) > i || r.(r.(i)) <> r.(i) then
+        invalid_arg (Printf.sprintf "Schedule.plan: unresolved root for op %d" i))
+    d;
+  let w = Array.init n (fun i -> if r.(i) = i then weight i else 0) in
+  (* Distinct weighted dep-roots per op: the storage an op reads. *)
+  let droots =
+    Array.init n (fun i ->
+        sort_uniq_ints
+          (List.filter_map
+             (fun j -> if w.(r.(j)) > 0 then Some r.(j) else None)
+             d.(i)))
+  in
+  let is_out = Array.make n false in
+  Array.iter (fun o -> is_out.(r.(o)) <- true) outputs;
+  (* Remaining-use counts per root (ops not yet executed that read it). *)
+  let base_uses = Array.make n 0 in
+  Array.iter
+    (fun dl -> List.iter (fun rho -> base_uses.(rho) <- base_uses.(rho) + 1) dl)
+    droots;
+  let resident = Array.fold_left ( + ) 0 w in
+
+  (* Simulate an order: peak live weight with freeing + the free plan. *)
+  let simulate order =
+    let remaining = Array.copy base_uses in
+    let live = Array.make n false in
+    let free_after = Array.make (Array.length order) [] in
+    let cur = ref 0 and peak = ref 0 in
+    Array.iteri
+      (fun p i ->
+        if r.(i) = i && w.(i) > 0 then begin
+          live.(i) <- true;
+          cur := !cur + w.(i);
+          if !cur > !peak then peak := !cur
+        end;
+        let kill rho =
+          if live.(rho) && (not is_out.(rho)) && remaining.(rho) = 0 then begin
+            live.(rho) <- false;
+            cur := !cur - w.(rho);
+            free_after.(p) <- rho :: free_after.(p)
+          end
+        in
+        List.iter
+          (fun rho ->
+            remaining.(rho) <- remaining.(rho) - 1;
+            kill rho)
+          droots.(i);
+        (* A root with no uses at all (dead code, non-output) dies at its
+           own position. *)
+        kill r.(i))
+      order;
+    (!peak, free_after)
+  in
+
+  let identity = Array.init n (fun i -> i) in
+  let order_peak, id_free = simulate identity in
+
+  let greedy () =
+    (* Precedence graph over raw deps. *)
+    let indeg = Array.make n 0 in
+    let succs = Array.make n [] in
+    Array.iteri
+      (fun i dl ->
+        indeg.(i) <- List.length dl;
+        List.iter (fun j -> succs.(j) <- i :: succs.(j)) dl)
+      d;
+    let remaining = Array.copy base_uses in
+    (* Net live-weight delta of executing op [i] right now: bytes it
+       allocates minus bytes of dep-roots it is the last use of.
+       Only ever decreases as other ops consume uses, so a lazy
+       re-push heap is sound. *)
+    let prio i =
+      let gain = w.(i) in
+      let freed =
+        List.fold_left
+          (fun acc rho ->
+            if (not is_out.(rho)) && remaining.(rho) = 1 then acc + w.(rho)
+            else acc)
+          0 droots.(i)
+      in
+      gain - freed
+    in
+    let heap = Heap.create () in
+    let key = Array.make n max_int in
+    let push i =
+      let p = prio i in
+      key.(i) <- p;
+      Heap.push heap ~prio:p i
+    in
+    let emitted = Array.make n false in
+    for i = 0 to n - 1 do
+      if indeg.(i) = 0 then push i
+    done;
+    let order = Array.make n 0 in
+    let pos = ref 0 in
+    let rec next () =
+      match Heap.pop heap with
+      | None -> None
+      | Some i ->
+          if emitted.(i) then next ()
+          else
+            let cur = prio i in
+            if cur < key.(i) then begin
+              (* Stale entry: priority dropped since push; re-queue. *)
+              key.(i) <- cur;
+              Heap.push heap ~prio:cur i;
+              next ()
+            end
+            else Some i
+    in
+    let ok = ref true in
+    while !pos < n && !ok do
+      match next () with
+      | None -> ok := false
+      | Some i ->
+          emitted.(i) <- true;
+          order.(!pos) <- i;
+          incr pos;
+          List.iter (fun rho -> remaining.(rho) <- remaining.(rho) - 1) droots.(i);
+          List.iter
+            (fun j ->
+              indeg.(j) <- indeg.(j) - 1;
+              if indeg.(j) = 0 then push j)
+            succs.(i)
+    done;
+    if !ok then Some order else None
+  in
+
+  let make order ~peak ~free_after ~reordered =
+    { order; free_after; peak; order_peak; resident; reordered }
+  in
+  let identity_plan () =
+    make identity ~peak:order_peak ~free_after:id_free ~reordered:false
+  in
+  if not reorder then identity_plan ()
+  else
+    match greedy () with
+    | None -> identity_plan () (* cyclic deps can't happen; belt and braces *)
+    | Some order ->
+        let peak, free_after = simulate order in
+        if peak > order_peak then identity_plan ()
+        else make order ~peak ~free_after ~reordered:(order <> identity)

@@ -1,0 +1,69 @@
+(** Liveness-driven evaluation scheduling over a managed op graph.
+
+    Given a DAG of [n] ops in a valid program order (every dependence
+    points backwards), [plan] produces an execution order that respects
+    all dependences while trying to minimize the peak number of live
+    ciphertext bytes, together with an explicit free plan: after each
+    position, which storage roots are dead and can be released.
+
+    The graph is described by callbacks so the module stays independent
+    of the IR:
+
+    - [deps i] are the operand op ids of op [i] (each [< i]) — these are
+      the {e precedence} edges: op [i] may only run after all of them.
+    - [root i] is the {e storage root} of op [i]'s result: the op whose
+      result physically backs [i]'s value. For a plain op this is [i]
+      itself; for alias ops (deferred rescale, rotate-by-zero, plain
+      passthroughs) it is the root of the aliased operand. [root i <= i],
+      and [root (root i) = root i] (callers pass a fully resolved map).
+      Liveness is computed on roots, so aliases neither allocate nor
+      free anything.
+    - [weight r] is the byte weight of root [r]'s value (0 for plains
+      and for non-root ids). A value is live from the execution of its
+      root until its last use; program outputs are pinned live forever.
+
+    The scheduler is a greedy Sethi–Ullman-style list scheduler: among
+    ready ops it picks the one with the smallest net live-weight delta
+    (bytes allocated by the op minus bytes of operands whose last use it
+    is), with op id as the deterministic tie-break. Both the greedy
+    order and the identity (program) order are then simulated; if the
+    greedy order does not improve peak live bytes, the identity order is
+    kept — so [peak <= order_peak] always holds. *)
+
+type plan = {
+  order : int array;
+      (** Execution order: a permutation of [0 .. n-1], topologically
+          valid w.r.t. [deps]. *)
+  free_after : int list array;
+      (** [free_after.(p)] lists the storage roots whose last use is at
+          position [p] of [order] (dead afterwards, never outputs).
+          Indexed by position, not op id. *)
+  peak : int;
+      (** Peak live weight of [order], with freeing. *)
+  order_peak : int;
+      (** Peak live weight of the identity (program) order, with
+          freeing. Always [>= peak]. *)
+  resident : int;
+      (** Total weight of all roots — the no-freeing peak that a naive
+          executor holds at the end of the program. *)
+  reordered : bool;
+      (** True iff [order] differs from the identity order. *)
+}
+
+val plan :
+  ?reorder:bool ->
+  n:int ->
+  deps:(int -> int list) ->
+  root:(int -> int) ->
+  weight:(int -> int) ->
+  outputs:int array ->
+  unit ->
+  plan
+(** [plan ~n ~deps ~root ~weight ~outputs ()] schedules ops
+    [0 .. n-1]. With [~reorder:false] (default [true]) the identity
+    order is used directly — the free plan and peak accounting are
+    still computed, so a caller can measure program-order peaks.
+
+    Raises [Invalid_argument] if some dependence does not point
+    backwards ([deps i] containing [j >= i]) or a root is not resolved
+    ([root i > i] or [root (root i) <> root i]). *)

@@ -528,6 +528,10 @@ let sample_run () =
                 decrypt_ms = 6.0;
                 keygen_ms = 55.0;
                 max_err = 3.5e-3;
+                peak_ct_bytes = 1_048_576;
+                order_ct_bytes = 2_097_152;
+                resident_ct_bytes = 4_194_304;
+                peak_key_bytes = 25_165_824;
               };
         };
         {
@@ -571,8 +575,8 @@ let test_benchjson_v1_compat () =
 let test_benchjson_v3_fields () =
   let r = sample_run () in
   let s = Benchjson.to_string (Benchjson.run_to_json r) in
-  Alcotest.(check bool) "emits the v6 schema tag" true
-    (contains s "fhe-bench-compile/v6");
+  Alcotest.(check bool) "emits the v7 schema tag" true
+    (contains s "fhe-bench-compile/v7");
   match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
   | Error e -> Alcotest.fail e
   | Ok r' ->
@@ -638,6 +642,26 @@ let test_benchjson_v5_compat () =
         (r.Benchjson.portfolio = None);
       Alcotest.(check int) "v5 entries survive" 1
         (List.length r.Benchjson.entries)
+
+(* a v6 file (exec stats without memory byte counts) must still parse,
+   with the byte counts reading as unmeasured (0) — the mem gate rules
+   fire only on baselines that measured them *)
+let test_benchjson_v6_compat () =
+  let s =
+    {|{"schema":"fhe-bench-compile/v6","rbits":60,"waterline":30,"domains":4,"wall_time_par":12.5,"cache":{"hits":10,"misses":2,"stores":12,"poisoned":0},"serve":null,"portfolio":null,"entries":[{"app":"SF","compiler":"eva","compile_ms":1.5,"warm_compile_ms":0.02,"input_level":3,"modulus_bits":180,"est_latency_us":250,"exec":{"exec_ms":42,"encrypt_ms":6,"eval_ms":30,"decrypt_ms":6,"keygen_ms":55,"max_err":0.0035}}]}|}
+  in
+  match Result.bind (Benchjson.parse s) Benchjson.run_of_json with
+  | Error e -> Alcotest.fail ("v6 baseline rejected: " ^ e)
+  | Ok r -> (
+      match (List.hd r.Benchjson.entries).Benchjson.exec with
+      | None -> Alcotest.fail "v6 exec stats lost"
+      | Some x ->
+          Alcotest.(check (float 1e-9)) "v6 keeps measured runtime" 42.0
+            x.Benchjson.exec_ms;
+          Alcotest.(check int) "v6 peak ct bytes unmeasured" 0
+            x.Benchjson.peak_ct_bytes;
+          Alcotest.(check int) "v6 peak key bytes unmeasured" 0
+            x.Benchjson.peak_key_bytes)
 
 (* a v2 file (no cache block, no warm timings) must still parse *)
 let test_benchjson_v2_compat () =
@@ -780,6 +804,76 @@ let test_benchjson_gate () =
          (bump (fun e -> { e with Benchjson.exec = None }))
        ~current:base ())
 
+(* each exec gate failure path individually, by rule name: push exactly
+   one metric past its slack and assert the message that fires belongs
+   to the right rule *)
+let test_benchjson_gate_rule_names () =
+  let base = sample_run () in
+  let bump_exec f =
+    {
+      base with
+      Benchjson.entries =
+        List.map
+          (fun e -> { e with Benchjson.exec = Option.map f e.Benchjson.exec })
+          base.Benchjson.entries;
+    }
+  in
+  let expect name f sub =
+    match
+      Benchjson.compare_runs ~baseline:base ~current:(bump_exec f) ()
+    with
+    | [ msg ] ->
+        Alcotest.(check bool)
+          (str "%s: %S names the rule" name msg)
+          true (contains msg sub)
+    | msgs ->
+        Alcotest.fail
+          (str "%s: expected exactly 1 regression, got %d" name
+             (List.length msgs))
+  in
+  expect "runtime rule"
+    (fun x -> { x with Benchjson.exec_ms = x.Benchjson.exec_ms *. 2.0 })
+    "measured runtime regressed";
+  expect "precision rule"
+    (fun x -> { x with Benchjson.max_err = x.Benchjson.max_err *. 10.0 })
+    "decrypt precision regressed";
+  expect "peak ct bytes rule"
+    (fun x ->
+      { x with Benchjson.peak_ct_bytes = x.Benchjson.peak_ct_bytes * 2 })
+    "peak live ciphertext bytes regressed";
+  expect "peak key bytes rule"
+    (fun x ->
+      { x with Benchjson.peak_key_bytes = x.Benchjson.peak_key_bytes * 2 })
+    "peak switch-key bytes regressed";
+  let pass name msgs =
+    Alcotest.(check bool)
+      (str "%s: %s" name (String.concat "; " msgs))
+      true (msgs = [])
+  in
+  pass "peak ct bytes within 1.10x slack"
+    (Benchjson.compare_runs ~baseline:base
+       ~current:
+         (bump_exec (fun x ->
+              { x with
+                Benchjson.peak_ct_bytes =
+                  x.Benchjson.peak_ct_bytes * 21 / 20 }))
+       ());
+  pass "mem_slack loosens the byte rules"
+    (Benchjson.compare_runs ~mem_slack:3.0 ~baseline:base
+       ~current:
+         (bump_exec (fun x ->
+              { x with
+                Benchjson.peak_ct_bytes = x.Benchjson.peak_ct_bytes * 2;
+                peak_key_bytes = x.Benchjson.peak_key_bytes * 2 }))
+       ());
+  (* a pre-v7 baseline (bytes unmeasured) must not gate byte growth *)
+  pass "unmeasured baseline bytes gate nothing"
+    (Benchjson.compare_runs
+       ~baseline:
+         (bump_exec (fun x ->
+              { x with Benchjson.peak_ct_bytes = 0; peak_key_bytes = 0 }))
+       ~current:base ())
+
 (* ----------------------------------------------------------------- *)
 
 let () =
@@ -837,10 +931,12 @@ let () =
           t "v3 files still parse" test_benchjson_v3_compat;
           t "v4 files still parse" test_benchjson_v4_compat;
           t "v5 files still parse" test_benchjson_v5_compat;
-          t "v6 fields round trip" test_benchjson_v3_fields;
+          t "v6 files still parse" test_benchjson_v6_compat;
+          t "v7 fields round trip" test_benchjson_v3_fields;
           t "parser rejects garbage" test_benchjson_parse_rejects;
           t "string escapes" test_benchjson_escapes;
           t "rejects unknown schema" test_benchjson_rejects_unknown_schema;
           t "gate comparator" test_benchjson_gate;
+          t "gate rule names" test_benchjson_gate_rule_names;
         ] );
     ]

@@ -151,6 +151,14 @@ let max_err refs got =
     refs;
   !worst
 
+(* a budget tight enough to force ciphertext spilling on every exec
+   app (a level-6 ct at n=512 is ~49 KiB) while the generous key bound
+   keeps switch keys resident — key thrash is @mem's subject, not this
+   tier's *)
+let tight_ct_budget = 262_144
+
+let roomy_key_budget = 64 * 1024 * 1024
+
 let test_precision_pins () =
   List.iter
     (fun (a : Reg.app) ->
@@ -162,11 +170,36 @@ let test_precision_pins () =
         (fun (c, label) ->
           let m = compile_with c p ~xmax_bits in
           Validator.check_exn m;
-          let got = Ckks.Backend.run m ~inputs in
+          let got, st = Ckks.Backend.run_timed m ~inputs in
           let err = max_err refs got in
           if err > a.Reg.exec_tol then
             Alcotest.failf "%s/%s: max|err| %g exceeds pinned tolerance %g"
-              a.Reg.name label err a.Reg.exec_tol)
+              a.Reg.name label err a.Reg.exec_tol;
+          (* the same run under a constrained memory budget: identical
+             levels and bit-identical decrypts, so every pin above
+             transfers verbatim *)
+          let got_b, st_b =
+            Ckks.Backend.run_timed ~mem_budget:tight_ct_budget
+              ~key_budget:roomy_key_budget m ~inputs
+          in
+          if st_b.Ckks.Backend.output_levels <> st.Ckks.Backend.output_levels
+          then
+            Alcotest.failf "%s/%s: output levels changed under mem budget"
+              a.Reg.name label;
+          Array.iteri
+            (fun o s ->
+              Array.iteri
+                (fun j x ->
+                  if
+                    not
+                      (Int64.equal (Int64.bits_of_float x)
+                         (Int64.bits_of_float got_b.(o).(j)))
+                  then
+                    Alcotest.failf
+                      "%s/%s output %d slot %d: unlimited %h vs budgeted %h"
+                      a.Reg.name label o j x got_b.(o).(j))
+                s)
+            got)
         compilers)
     Reg.all
 
@@ -207,8 +240,9 @@ let suite =
       test_ntt_negacyclic;
     Alcotest.test_case "NTT optimized >= 3x Reference at 2^12" `Slow
       test_ntt_speedup;
-    Alcotest.test_case "8 apps x 5 compilers precision pins" `Slow
-      test_precision_pins;
+    Alcotest.test_case
+      "8 apps x 5 compilers precision pins (unlimited + tight mem budget)"
+      `Slow test_precision_pins;
     Alcotest.test_case "pool width 1 vs 4 bit-identical" `Slow
       test_pool_byte_identity ]
 
