@@ -982,6 +982,80 @@ let gate () =
   end;
   if !failures > 0 then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* bench tensor: the tensor frontend's layout search per catalog app.
+   The compile-tier table is pure cost-model output (byte-identical at
+   any -j, which the @tensor harness checks under
+   BENCH_JSON_DETERMINISTIC); without that flag the section also runs
+   every supported layout of the exec-scale graphs on the real CKKS
+   backend — the measured side of the EXPERIMENTS.md layout table. *)
+
+module Tn = Fhe_apps.Tensors
+module TLay = Fhe_tensor.Layout
+module TLow = Fhe_tensor.Lower
+
+let tensor_section () =
+  section "tensor: packing/layout search per tensor-frontend app";
+  let deterministic =
+    match Sys.getenv_opt "BENCH_JSON_DETERMINISTIC" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  let reserve = strategy "reserve" in
+  with_pool (fun pool ->
+      List.iter
+        (fun (e : Tn.entry) ->
+          let g = e.Tn.graph () in
+          let cands, best = TLow.search ?pool g in
+          Printf.printf "%s (%d slots, batch %d, pinned %s):\n" e.Tn.name
+            (Fhe_tensor.Graph.n_slots g)
+            (Fhe_tensor.Graph.batch g)
+            (TLay.name e.Tn.plan);
+          List.iter
+            (fun (c : TLow.candidate) ->
+              Printf.printf "  %c %-12s %7d ops  depth %2d  est %10.3f s\n"
+                (if c.TLow.plan = best.TLow.plan then '*' else ' ')
+                (TLay.name c.TLow.plan)
+                (Program.n_ops c.TLow.prog)
+                (Analysis.max_mult_depth c.TLow.prog)
+                (c.TLow.est /. 1e6))
+            cands;
+          if not deterministic then begin
+            (* exec-scale: really run each supported packing *)
+            let eg = e.Tn.exec_graph () in
+            let data = e.Tn.exec_data ~seed:42 in
+            List.iter
+              (fun plan ->
+                let p = TLow.lower ~plan eg in
+                let inputs = TLow.pack_inputs ~plan eg ~data in
+                let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+                let cfg =
+                  St.config ~xmax_bits ~iterations:0 ~rbits:exec_rbits
+                    ~wbits:exec_wbits ()
+                in
+                let m =
+                  Fhe_cache.Store.bypass (fun () ->
+                      SReg.compile_uncached reserve cfg p)
+                in
+                Validator.check_exn m;
+                let outs, st = Ckks.Backend.run_timed ?pool m ~inputs in
+                let refs = TLow.reference ~plan eg ~data in
+                let max_err = ref 0.0 in
+                Array.iteri
+                  (fun o out ->
+                    Array.iteri
+                      (fun j x ->
+                        let d = Float.abs (x -. refs.(o).(j)) in
+                        if d > !max_err then max_err := d)
+                      out)
+                  outs;
+                Printf.printf
+                  "    exec %-12s eval %8.2f ms  max|err| %.3e\n"
+                  (TLay.name plan) st.Ckks.Backend.eval_ms !max_err)
+              (TLow.candidates eg)
+          end)
+        Tn.all)
+
 let all_sections =
   [ ("table3", table3); ("fig2", figure2); ("table4", table4);
     ("fig6", figure6); ("fig7", figure7); ("fig8", figure8); ("micro", micro) ]
@@ -990,7 +1064,8 @@ let all_sections =
    overwrites the recorded baseline and `gate` diffs against it) *)
 let extra_sections =
   [ ("json", json); ("exec", exec_section); ("gate", gate);
-    ("serve", serve_section); ("portfolio", portfolio_section) ]
+    ("serve", serve_section); ("portfolio", portfolio_section);
+    ("tensor", tensor_section) ]
 
 let () =
   (* peel `-j N` off the section list *)

@@ -930,6 +930,109 @@ let client_cmd =
 (* The group-level default term: `fhec --list-strategies` prints the
    registry (one row per strategy: canonical name, capability flags,
    aliases) plus the portfolio pseudo-mode; `fhec` alone shows help. *)
+(* ------------------------------------------------------------------ *)
+(* fhec tensor: the tensor frontend's layout search over the catalog *)
+
+module Tn = Fhe_apps.Tensors
+module TG = Fhe_tensor.Graph
+module TL = Fhe_tensor.Layout
+module TLow = Fhe_tensor.Lower
+
+let tensor_cmd =
+  let list_layouts_arg =
+    let doc = "List the candidate packing layouts and exit." in
+    Arg.(value & flag & info [ "list-layouts" ] ~doc)
+  in
+  let tensor_app_arg =
+    let doc = "Tensor-frontend application (MLP, MLP-W, MLP-B, Lenet-5, \
+               Lenet-C)." in
+    Arg.(
+      value & opt (some string) None & info [ "app"; "a" ] ~docv:"NAME" ~doc)
+  in
+  let layout_arg =
+    let doc =
+      "Lower under $(docv) only instead of searching every supported \
+       layout (see $(b,--list-layouts))."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "layout"; "l" ] ~docv:"NAME" ~doc)
+  in
+  let small_arg =
+    let doc =
+      "Search over the exec-scale graph (same structure, shrunk data)."
+    in
+    Arg.(value & flag & info [ "small" ] ~doc)
+  in
+  let row plan prog est chosen =
+    Printf.printf "%c %-12s %7d ops  depth %2d  est %.6e\n"
+      (if chosen then '*' else ' ')
+      (TL.name plan) (Program.n_ops prog)
+      (Analysis.max_mult_depth prog) est
+  in
+  let run () list_layouts app layout small jobs =
+    if list_layouts then begin
+      List.iter
+        (fun l -> Printf.printf "%-12s %s\n" (TL.name l) (TL.description l))
+        TL.all;
+      `Ok ()
+    end
+    else
+      match app with
+      | None ->
+          `Error (true, "--app NAME is required (or use --list-layouts)")
+      | Some name ->
+          handle
+            (match Tn.find name with
+            | exception Not_found ->
+                Error
+                  (Printf.sprintf "unknown tensor app %S; try: %s" name
+                     (String.concat ", "
+                        (List.map (fun e -> e.Tn.name) Tn.all)))
+            | e -> (
+                let g = if small then e.Tn.exec_graph () else e.Tn.graph () in
+                Printf.printf "%s: %s (%d slots, %d nodes, batch %d)\n"
+                  e.Tn.name e.Tn.description (TG.n_slots g) (TG.n_nodes g)
+                  (TG.batch g);
+                match layout with
+                | Some lname -> (
+                    match TL.of_name lname with
+                    | None ->
+                        Error (Printf.sprintf "unknown layout %S" lname)
+                    | Some plan when not (TLow.supports plan g) ->
+                        Error
+                          (Printf.sprintf
+                             "layout %s cannot pack this graph (see \
+                              --list-layouts)"
+                             (TL.name plan))
+                    | Some plan ->
+                        let prog = protecting (fun () -> Ok (TLow.lower ~plan g)) in
+                        Result.map
+                          (fun prog ->
+                            row plan prog (TLow.cost prog) true)
+                          prog)
+                | None ->
+                    let cands, best =
+                      with_pool jobs (fun pool -> TLow.search ?pool g)
+                    in
+                    List.iter
+                      (fun (c : TLow.candidate) ->
+                        row c.TLow.plan c.TLow.prog c.TLow.est
+                          (c.TLow.plan = best.TLow.plan))
+                      cands;
+                    Printf.printf "chosen %s (pinned plan %s)\n"
+                      (TL.name best.TLow.plan) (TL.name e.Tn.plan);
+                    Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "tensor"
+       ~doc:
+         "Search slot packings for a tensor-frontend application and \
+          report the per-layout lowering costs")
+    Term.(
+      ret
+        (const run $ cache_term $ list_layouts_arg $ tensor_app_arg
+       $ layout_arg $ small_arg $ jobs_arg))
+
 let list_strategies_term =
   let flag =
     let doc =
@@ -968,4 +1071,5 @@ let () =
     (Cmd.eval
        (Cmd.group info ~default:list_strategies_term
           [ list_cmd; compile_cmd; compile_file_cmd; run_cmd; compare_cmd;
-            exec_cmd; fuzz_cmd; check_cmd; serve_cmd; client_cmd ]))
+            exec_cmd; fuzz_cmd; check_cmd; serve_cmd; client_cmd;
+            tensor_cmd ]))

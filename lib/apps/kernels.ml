@@ -1,111 +1,5 @@
-open Fhe_ir
-
-let sum_slots b e ~n =
-  assert (n > 0 && n land (n - 1) = 0);
-  let rec go e k =
-    if k = 0 then e else go (Builder.add b e (Builder.rotate b e k)) (k / 2)
-  in
-  go e (n / 2)
-
-let mean_slots b e ~n =
-  Builder.mul b (sum_slots b e ~n) (Builder.const b (1.0 /. float_of_int n))
-
-let conv2d b img ~width ~height ~weights =
-  let kh = Array.length weights in
-  let kw = Array.length weights.(0) in
-  ignore height;
-  let cy = kh / 2 and cx = kw / 2 in
-  let terms = ref [] in
-  for dy = 0 to kh - 1 do
-    for dx = 0 to kw - 1 do
-      let w = weights.(dy).(dx) in
-      if w <> 0.0 then begin
-        let shift = ((dy - cy) * width) + (dx - cx) in
-        let tap = Builder.rotate b img shift in
-        let term =
-          if w = 1.0 then tap else Builder.mul b tap (Builder.const b w)
-        in
-        terms := term :: !terms
-      end
-    done
-  done;
-  Builder.add_many b (List.rev !terms)
-
-let replicate b x ~dim =
-  if dim >= Builder.n_slots b then x
-  else Builder.add b x (Builder.rotate b x (-dim))
-
-let diag_of mat ~dim d = Array.init dim (fun r -> mat.(r).((r + d) mod dim))
-
-let nonzero v = Array.exists (fun x -> x <> 0.0) v
-
-let matvec_diag b x ~dim ~mat =
-  assert (Array.length mat = dim);
-  let xx = replicate b x ~dim in
-  let terms = ref [] in
-  for d = 0 to dim - 1 do
-    let diag = diag_of mat ~dim d in
-    if nonzero diag then begin
-      let rx = Builder.rotate b xx d in
-      let tag = Printf.sprintf "diag%d" d in
-      (* the dim-length plaintext is zero-padded: the product is clean
-         outside the first dim slots *)
-      terms := Builder.mul b rx (Builder.vconst b ~tag diag) :: !terms
-    end
-  done;
-  Builder.add_many b (List.rev !terms)
-
-let matvec_bsgs b x ~dim ~mat =
-  assert (Array.length mat = dim);
-  let xx = replicate b x ~dim in
-  let bs =
-    let rec grow k = if k * k >= dim then k else grow (2 * k) in
-    grow 1
-  in
-  let gs = (dim + bs - 1) / bs in
-  let baby = Array.init bs (fun j -> Builder.rotate b xx j) in
-  let outer = ref [] in
-  for g = 0 to gs - 1 do
-    let inner = ref [] in
-    for j = 0 to bs - 1 do
-      let d = (g * bs) + j in
-      if d < dim then begin
-        let diag = diag_of mat ~dim d in
-        if nonzero diag then begin
-          (* dim-periodic mask over (up to) 2·dim slots so the later
-             full-width rotation by g·bs sees the wrapped values *)
-          let pre_len = min (2 * dim) (Builder.n_slots b) in
-          let pre =
-            Array.init pre_len (fun r ->
-                diag.((r + (2 * dim) - (g * bs)) mod dim))
-          in
-          let tag = Printf.sprintf "bsgs%d_%d" g j in
-          inner := Builder.mul b baby.(j) (Builder.vconst b ~tag pre) :: !inner
-        end
-      end
-    done;
-    match List.rev !inner with
-    | [] -> ()
-    | terms ->
-        outer := Builder.rotate b (Builder.add_many b terms) (g * bs) :: !outer
-  done;
-  let dirty = Builder.add_many b (List.rev !outer) in
-  (* slots >= dim hold wrap-around garbage: mask them off so consumers
-     (replicate) see a clean packed vector *)
-  let ones = Array.make dim 1.0 in
-  Builder.mul b dirty (Builder.vconst b ~tag:"bsgs_mask" ones)
-
-let masked_gather b parts =
-  let terms =
-    List.map
-      (fun (ct, src_off, len, dst_off) ->
-        let mask = Array.make (src_off + len) 0.0 in
-        for i = src_off to (src_off + len) - 1 do
-          mask.(i) <- 1.0
-        done;
-        let tag = Printf.sprintf "gather%d_%d_%d" src_off len dst_off in
-        let selected = Builder.mul b ct (Builder.vconst b ~tag mask) in
-        Builder.rotate b selected (src_off - dst_off))
-      parts
-  in
-  Builder.add_many b terms
+(* The kernel library moved to {!Fhe_tensor.Kernels} when the tensor
+   frontend arrived (the lowering is its main consumer); this alias
+   keeps the historical [Fhe_apps.Kernels] path working for the
+   hand-built apps, the tests, and the bench micro-section. *)
+include Fhe_tensor.Kernels

@@ -1,69 +1,10 @@
-open Fhe_ir
+module T = Fhe_tensor
 
 type variant = Mnist | Cifar
 
 let geometry = function
   | Mnist -> (28, 1) (* width/height, input channels *)
   | Cifar -> (32, 3)
-
-(* Convolution over strided (dilated) channel layouts: the logical pixel
-   (r, c) of a stride-s feature map lives in slot s*(r*width + c). *)
-let conv_layer b ~width ~stride ~out_channels ~weights chans =
-  let kh = 5 and kw = 5 in
-  let cy = kh / 2 and cx = kw / 2 in
-  List.init out_channels (fun oc ->
-      let terms = ref [] in
-      List.iteri
-        (fun ic x ->
-          for dy = 0 to kh - 1 do
-            for dx = 0 to kw - 1 do
-              let w = weights oc ic dy dx in
-              let shift = stride * (((dy - cy) * width) + (dx - cx)) in
-              let tap = Builder.rotate b x shift in
-              terms := Builder.mul b tap (Builder.const b w) :: !terms
-            done
-          done)
-        chans;
-      Builder.add_many b (List.rev !terms))
-
-let square_layer b chans = List.map (Builder.square b) chans
-
-let pool_layer b ~width ~stride chans =
-  let quarter = Builder.const b 0.25 in
-  let pool x =
-    let s = stride in
-    let sum =
-      Builder.add b
-        (Builder.add b x (Builder.rotate b x s))
-        (Builder.add b
-           (Builder.rotate b x (s * width))
-           (Builder.rotate b x ((s * width) + s)))
-    in
-    Builder.mul b sum quarter
-  in
-  List.map pool chans
-
-(* One-hot masked flatten: pick each valid strided position and rotate
-   it to its packed destination.  Masks are shared across channels. *)
-let flatten b ~width ~stride chans =
-  let grid = width / stride in
-  let feat_per_chan = grid * grid in
-  let terms = ref [] in
-  List.iteri
-    (fun c x ->
-      for r = 0 to grid - 1 do
-        for cc = 0 to grid - 1 do
-          let pos = stride * ((r * width) + cc) in
-          let dst = (c * feat_per_chan) + (r * grid) + cc in
-          let mask = Array.make (pos + 1) 0.0 in
-          mask.(pos) <- 1.0;
-          let tag = Printf.sprintf "onehot%d" pos in
-          let sel = Builder.mul b x (Builder.vconst b ~tag mask) in
-          terms := Builder.rotate b sel (pos - dst) :: !terms
-        done
-      done)
-    chans;
-  (Builder.add_many b (List.rev !terms), List.length chans * feat_per_chan)
 
 let next_pow2 n =
   let rec go k = if k >= n then k else go (2 * k) in
@@ -78,62 +19,81 @@ let dense_matrix ~seed ~dim ~rows =
       else Array.map (fun _ -> 0.0) row)
     m
 
+(* Per-conv-layer weights, drawn lazily in emission order and memoized
+   so every lowering of the same graph sees identical values. *)
+let conv_weights ~seed layer =
+  let g = Fhe_util.Prng.create (seed + layer) in
+  let tbl = Hashtbl.create 64 in
+  fun oc ic dy dx ->
+    let key = (oc, ic, dy, dx) in
+    match Hashtbl.find_opt tbl key with
+    | Some w -> w
+    | None ->
+        let w = Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0 /. 25.0 in
+        Hashtbl.replace tbl key w;
+        w
+
 (* The full network and the exec-tier miniature share everything but
    their geometry: conv → x² → pool twice, masked flatten, then a dense
    head with square activations between (not after) the layers.  [head]
    gives the row count of each dense layer; each layer's matrix dim is
    the padded width of what feeds it (the flatten for the first, the
-   previous layer's padded rows after).  Keeping one emitter keeps the
+   previous layer's padded rows after).  One graph emitter keeps the
    two variants' op streams structurally in lockstep — the compile-tier
    digests pin the full network, the exec tier runs the miniature. *)
-let network b ~width ~seed ~out_channels:(oc1, oc2) ~head chans =
-  let conv_w layer =
-    let g = Fhe_util.Prng.create (seed + layer) in
-    let tbl = Hashtbl.create 64 in
-    fun oc ic dy dx ->
-      let key = (oc, ic, dy, dx) in
-      match Hashtbl.find_opt tbl key with
-      | Some w -> w
-      | None ->
-          let w = Fhe_util.Prng.uniform g ~lo:(-1.0) ~hi:1.0 /. 25.0 in
-          Hashtbl.replace tbl key w;
-          w
-  in
+let graph_of ~n_slots ~width ~in_channels ~seed ~out_channels:(oc1, oc2) ~head
+    () =
+  let g = T.Graph.create ~n_slots () in
+  let x = T.Graph.input_img g ~prefix:"ch" ~channels:in_channels ~width () in
   (* Conv1 -> x^2 -> AvgPool *)
-  let c1 = conv_layer b ~width ~stride:1 ~out_channels:oc1 ~weights:(conv_w 1) chans in
-  let p1 = pool_layer b ~width ~stride:1 (square_layer b c1) in
+  let c1 =
+    T.Graph.conv2d g ~out_channels:oc1 ~ksize:5
+      ~weights:(conv_weights ~seed 1) x
+  in
+  let p1 = T.Graph.pool_avg g (T.Graph.square g c1) in
   (* Conv2 -> x^2 -> AvgPool (stride doubled by pool1) *)
-  let c2 = conv_layer b ~width ~stride:2 ~out_channels:oc2 ~weights:(conv_w 2) p1 in
-  let p2 = pool_layer b ~width ~stride:2 (square_layer b c2) in
+  let c2 =
+    T.Graph.conv2d g ~out_channels:oc2 ~ksize:5
+      ~weights:(conv_weights ~seed 2) p1
+  in
+  let p2 = T.Graph.pool_avg g (T.Graph.square g c2) in
   (* Flatten (stride now 4) and dense head *)
-  let flat, feat = flatten b ~width ~stride:4 p2 in
+  let flat = T.Graph.flatten g p2 in
+  let feat = T.Graph.dim g flat in
   let rec dense x ~dim ~layer = function
     | [] -> x
-    | rows :: rest ->
+    | rows :: rest -> (
         let fc =
-          Kernels.matvec_bsgs b x ~dim
+          T.Graph.dense g ~rows
             ~mat:(dense_matrix ~seed:(seed + 10 + layer) ~dim ~rows)
+            x
         in
-        (match rest with
+        match rest with
         | [] -> fc
         | _ ->
-            dense (Builder.square b fc) ~dim:(next_pow2 rows)
+            dense (T.Graph.square g fc) ~dim:(next_pow2 rows)
               ~layer:(layer + 1) rest)
   in
-  dense flat ~dim:(next_pow2 feat) ~layer:0 (head ~feat)
+  T.Graph.output g (dense flat ~dim:(next_pow2 feat) ~layer:0 (head ~feat));
+  g
 
-let build ?(n_slots = 16384) ?(seed = 11) variant =
+(* The dense head runs BSGS — O(√dim) input rotations dominate at the
+   1024-wide flatten — pinned as the lowering plan. *)
+let plan = { T.Layout.dense = T.Layout.Bsgs }
+
+let graph ?(n_slots = 16384) ?(seed = 11) variant =
   let width, in_channels = geometry variant in
-  let b = Builder.create ~n_slots () in
-  let chans =
-    List.init in_channels (fun c -> Builder.input b (Printf.sprintf "ch%d" c))
-  in
-  let out =
-    network b ~width ~seed ~out_channels:(6, 16)
-      ~head:(fun ~feat:_ -> [ 120; 84; 10 ])
-      chans
-  in
-  Builder.finish b ~outputs:[ out ]
+  graph_of ~n_slots ~width ~in_channels ~seed ~out_channels:(6, 16)
+    ~head:(fun ~feat:_ -> [ 120; 84; 10 ])
+    ()
+
+let build ?n_slots ?seed variant = T.Lower.lower ~plan (graph ?n_slots ?seed variant)
+
+let data ~seed variant =
+  let width, in_channels = geometry variant in
+  [ ( "ch",
+      Array.init in_channels (fun c ->
+          Data.image ~seed:(seed + c) (width * width)) ) ]
 
 let inputs ~seed variant =
   let width, in_channels = geometry variant in
@@ -147,19 +107,20 @@ let inputs ~seed variant =
    full network uses (strided rotations, masked flatten, BSGS dense). *)
 let small_width = 8
 
-let build_small ?(n_slots = 512) ?(seed = 11) variant =
-  let width = small_width in
+let graph_small ?(n_slots = 512) ?(seed = 11) variant =
   let _, in_channels = geometry variant in
-  let b = Builder.create ~n_slots () in
-  let chans =
-    List.init in_channels (fun c -> Builder.input b (Printf.sprintf "ch%d" c))
-  in
-  let out =
-    network b ~width ~seed ~out_channels:(2, 2)
-      ~head:(fun ~feat -> [ next_pow2 feat; 4 ])
-      chans
-  in
-  Builder.finish b ~outputs:[ out ]
+  graph_of ~n_slots ~width:small_width ~in_channels ~seed ~out_channels:(2, 2)
+    ~head:(fun ~feat -> [ next_pow2 feat; 4 ])
+    ()
+
+let build_small ?n_slots ?seed variant =
+  T.Lower.lower ~plan (graph_small ?n_slots ?seed variant)
+
+let data_small ~seed variant =
+  let _, in_channels = geometry variant in
+  [ ( "ch",
+      Array.init in_channels (fun c ->
+          Data.image ~seed:(seed + c) (small_width * small_width)) ) ]
 
 let inputs_small ~seed variant =
   let _, in_channels = geometry variant in

@@ -9,17 +9,33 @@ open Fhe_ir
     (no repacking — later layers use dilated rotations); a one-hot
     masked flatten compacts the strided feature maps into one packed
     vector for the BSGS dense layers.  Roughly 10k ops at depth ~13,
-    the scale the paper's Lenet rows exercise. *)
+    the scale the paper's Lenet rows exercise.
+
+    Both the full network and the exec miniature are described once as
+    an {!Fhe_tensor.Graph} and lowered under the pinned [bsgs] plan —
+    digest-identical to the historical hand-built emission. *)
 
 type variant = Mnist | Cifar
+
+val plan : Fhe_tensor.Layout.plan
+(** The pinned lowering plan: [bsgs]. *)
+
+val graph : ?n_slots:int -> ?seed:int -> variant -> Fhe_tensor.Graph.t
+(** The full network as a tensor graph. *)
 
 val build : ?n_slots:int -> ?seed:int -> variant -> Program.t
 (** Inputs: ["ch0"] (and ["ch1"], ["ch2"] for [Cifar]). *)
 
 val inputs : seed:int -> variant -> (string * float array) list
 
+val data : seed:int -> variant -> (string * float array array) list
+(** The same pixels as {!inputs}, keyed by the image-input prefix for
+    {!Fhe_tensor.Lower.pack_inputs}/[reference]. *)
+
 val small_width : int
 (** Image width of the exec-tier miniature (8). *)
+
+val graph_small : ?n_slots:int -> ?seed:int -> variant -> Fhe_tensor.Graph.t
 
 val build_small : ?n_slots:int -> ?seed:int -> variant -> Program.t
 (** Exec-tier miniature: the same conv → x² → pool → conv → x² → pool →
@@ -28,3 +44,5 @@ val build_small : ?n_slots:int -> ?seed:int -> variant -> Program.t
     milliseconds.  Inputs as {!build}. *)
 
 val inputs_small : seed:int -> variant -> (string * float array) list
+
+val data_small : seed:int -> variant -> (string * float array array) list

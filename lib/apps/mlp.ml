@@ -1,4 +1,4 @@
-open Fhe_ir
+module T = Fhe_tensor
 
 let input_dim = 64
 
@@ -9,15 +9,89 @@ let layer_matrix ~seed ~rows =
   let m = Data.matrix ~seed ~rows:input_dim ~cols:input_dim in
   Array.mapi (fun r row -> if r < rows then row else Array.map (fun _ -> 0.0) row) m
 
-let build ?(n_slots = 16384) ?(seed = 7) () =
-  let b = Builder.create ~n_slots () in
-  let x = Builder.input b "x" in
+(* The historical 64-64-16-10 network as a tensor graph.  Lowered under
+   the [diag] plan this reproduces the hand-built emission op-for-op
+   (same digests); the batched builds lower the very same graph under a
+   batched packing. *)
+let graph ?(n_slots = 16384) ?(seed = 7) ?(batch = 1) () =
+  let g = T.Graph.create ~n_slots () in
+  let x = T.Graph.input_vec g ~name:"x" ~batch ~dim:input_dim () in
   let dense s rows v =
-    Kernels.matvec_diag b v ~dim:input_dim ~mat:(layer_matrix ~seed:s ~rows)
+    T.Graph.dense g ~rows ~mat:(layer_matrix ~seed:s ~rows) v
   in
-  let h1 = Builder.square b (dense (seed + 1) 64 x) in
-  let h2 = Builder.square b (dense (seed + 2) 16 h1) in
+  let h1 = T.Graph.square g (dense (seed + 1) 64 x) in
+  let h2 = T.Graph.square g (dense (seed + 2) 16 h1) in
   let logits = dense (seed + 3) 10 h2 in
-  Builder.finish b ~outputs:[ logits ]
+  T.Graph.output g logits;
+  g
+
+let plan = { T.Layout.dense = T.Layout.Diag }
+
+let build ?(n_slots = 16384) ?(seed = 7) () =
+  T.Lower.lower ~plan (graph ~n_slots ~seed ())
 
 let inputs ~seed = [ ("x", Data.signal ~seed ~lo:0.0 ~hi:1.0 input_dim) ]
+
+(* ------------------------------------------------------------------ *)
+(* wide variant: 128-128-32-10 with a degree-2 polynomial activation
+   (0.5·x + 0.25·x²) instead of the plain square                       *)
+
+let wide_dim = 128
+
+let wide_matrix ~seed ~rows =
+  let m = Data.matrix ~seed ~rows:wide_dim ~cols:wide_dim in
+  Array.mapi
+    (fun r row ->
+      if r < rows then Array.map (fun w -> w /. 4.0) row
+      else Array.map (fun _ -> 0.0) row)
+    m
+
+let act_coeffs = [| 0.0; 0.5; 0.25 |]
+
+let graph_wide ?(n_slots = 16384) ?(seed = 7) () =
+  let g = T.Graph.create ~n_slots () in
+  let x = T.Graph.input_vec g ~name:"x" ~dim:wide_dim () in
+  let dense s rows v =
+    T.Graph.dense g ~rows ~mat:(wide_matrix ~seed:s ~rows) v
+  in
+  let act v = T.Graph.poly g ~coeffs:act_coeffs v in
+  let h1 = act (dense (seed + 1) 128 x) in
+  let h2 = act (dense (seed + 2) 32 h1) in
+  let logits = dense (seed + 3) 10 h2 in
+  T.Graph.output g logits;
+  g
+
+let plan_wide = { T.Layout.dense = T.Layout.Bsgs }
+
+let build_wide ?(n_slots = 16384) ?(seed = 7) () =
+  T.Lower.lower ~plan:plan_wide (graph_wide ~n_slots ~seed ())
+
+let inputs_wide ~seed = [ ("x", Data.signal ~seed ~lo:0.0 ~hi:1.0 wide_dim) ]
+
+(* ------------------------------------------------------------------ *)
+(* batched variant: the 64-dim network with [batch] users interleaved
+   in one ciphertext (component r of user u at slot r·(n_slots/64)+u)  *)
+
+let plan_batched = { T.Layout.dense = T.Layout.Interleaved }
+
+let graph_batched ?(n_slots = 16384) ?(seed = 7) ?batch () =
+  let batch =
+    match batch with Some b -> b | None -> n_slots / input_dim
+  in
+  graph ~n_slots ~seed ~batch ()
+
+let build_batched ?(n_slots = 16384) ?(seed = 7) ?batch () =
+  T.Lower.lower ~plan:plan_batched (graph_batched ~n_slots ~seed ?batch ())
+
+let batched_data ~n_slots ?batch ~seed () =
+  let batch =
+    match batch with Some b -> b | None -> n_slots / input_dim
+  in
+  [ ( "x",
+      Array.init batch (fun u ->
+          Data.signal ~seed:(seed + u) ~lo:0.0 ~hi:1.0 input_dim) ) ]
+
+let inputs_batched ?(n_slots = 16384) ?batch ~seed () =
+  T.Lower.pack_inputs ~plan:plan_batched
+    (graph_batched ~n_slots ?batch ())
+    ~data:(batched_data ~n_slots ?batch ~seed ())

@@ -2,12 +2,71 @@ open Fhe_ir
 
 (** Multi-Layer Perceptron (MLP) inference: a 64→64→16→10 network with
     square activations, dense layers as Halevi–Shoup diagonal
-    matrix-vector products over one packed input ciphertext. *)
+    matrix-vector products over one packed input ciphertext.
+
+    Since the tensor frontend landed, all variants are built from one
+    {!Fhe_tensor.Graph} description and lowered under a pinned
+    {!Fhe_tensor.Layout.plan}: [build] uses the historical [diag]
+    packing (digest-identical to the hand-built emission), [build_wide]
+    a wider network under [bsgs], and [build_batched] the same 64-dim
+    network with many users interleaved in one ciphertext. *)
 
 val input_dim : int
+
+val graph :
+  ?n_slots:int -> ?seed:int -> ?batch:int -> unit -> Fhe_tensor.Graph.t
+(** The 64-64-16-10 network as a tensor graph ([batch] users, default
+    1). *)
+
+val plan : Fhe_tensor.Layout.plan
+(** The pinned packing of {!build}: [diag]. *)
 
 val build : ?n_slots:int -> ?seed:int -> unit -> Program.t
 (** Input: ["x"] (the feature vector in the first {!input_dim} slots);
     output: the 10 logits in the first slots. *)
 
 val inputs : seed:int -> (string * float array) list
+
+(** {1 Wide variant} *)
+
+val wide_dim : int
+(** 128. *)
+
+val act_coeffs : float array
+(** The wide variant's activation polynomial [0.5·x + 0.25·x²]. *)
+
+val graph_wide : ?n_slots:int -> ?seed:int -> unit -> Fhe_tensor.Graph.t
+(** A 128-128-32-10 network with the polynomial activation. *)
+
+val plan_wide : Fhe_tensor.Layout.plan
+(** The pinned packing of {!build_wide}: [bsgs]. *)
+
+val build_wide : ?n_slots:int -> ?seed:int -> unit -> Program.t
+
+val inputs_wide : seed:int -> (string * float array) list
+
+(** {1 Batched variant} *)
+
+val plan_batched : Fhe_tensor.Layout.plan
+(** The pinned packing of {!build_batched}: [interleaved]. *)
+
+val graph_batched :
+  ?n_slots:int -> ?seed:int -> ?batch:int -> unit -> Fhe_tensor.Graph.t
+(** The 64-dim network over [batch] users per ciphertext (default: the
+    maximum, [n_slots/64]). *)
+
+val build_batched :
+  ?n_slots:int -> ?seed:int -> ?batch:int -> unit -> Program.t
+
+val batched_data :
+  n_slots:int ->
+  ?batch:int ->
+  seed:int ->
+  unit ->
+  (string * float array array) list
+(** The logical per-user input vectors (user [u] drawn at seed
+    [seed + u]). *)
+
+val inputs_batched :
+  ?n_slots:int -> ?batch:int -> seed:int -> unit -> (string * float array) list
+(** {!batched_data} packed for the interleaved layout. *)

@@ -84,10 +84,34 @@ let small =
     (fun a -> not (String.starts_with ~prefix:"Lenet" a.name))
     all
 
+(* Apps the tensor frontend adds beyond the paper's eight.  Kept out of
+   [all] so the §8 tables and the tiers pinned to the paper's app set
+   are untouched; the @tensor and exec tiers walk this list
+   explicitly. *)
+let tensor =
+  [ { name = "MLP-W";
+      description = "128-128-32-10 perceptron, poly(x/2 + x\xc2\xb2/4) activations";
+      build = (fun () -> Mlp.build_wide ());
+      inputs = (fun ~seed -> Mlp.inputs_wide ~seed);
+      exec_build = (fun () -> Mlp.build_wide ~n_slots:256 ());
+      exec_inputs = (fun ~seed -> Mlp.inputs_wide ~seed);
+      exec_tol = 1e-3 };
+    { name = "MLP-B";
+      description = "batched 64-64-16-10 perceptron, 256 users interleaved";
+      build = (fun () -> Mlp.build_batched ());
+      inputs = (fun ~seed -> Mlp.inputs_batched ~seed ());
+      exec_build = (fun () -> Mlp.build_batched ~n_slots:512 ~batch:8 ());
+      exec_inputs =
+        (fun ~seed -> Mlp.inputs_batched ~n_slots:512 ~batch:8 ~seed ());
+      exec_tol = 2.5 }
+  ]
+
 let find name =
   let lower = String.lowercase_ascii name in
   match
-    List.find_opt (fun a -> String.lowercase_ascii a.name = lower) all
+    List.find_opt
+      (fun a -> String.lowercase_ascii a.name = lower)
+      (all @ tensor)
   with
   | Some a -> a
   | None -> raise Not_found

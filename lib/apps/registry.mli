@@ -24,5 +24,10 @@ val all : app list
 val small : app list
 (** The six non-LeNet apps (used where LeNet-scale runs are too slow). *)
 
+val tensor : app list
+(** Apps the tensor frontend adds beyond the paper's eight (MLP-W,
+    MLP-B).  Kept separate from {!all} so tiers pinned to the paper's
+    app set are untouched. *)
+
 val find : string -> app
-(** Case-insensitive lookup. @raise Not_found. *)
+(** Case-insensitive lookup over {!all} and {!tensor}. @raise Not_found. *)

@@ -1,0 +1,74 @@
+module T = Fhe_tensor
+
+(* The tensor-frontend catalog: every registry app whose circuit is now
+   *generated* from a {!Fhe_tensor.Graph} rather than hand-built, plus
+   the wide/batched MLP variants the frontend adds.  [fhec tensor], the
+   bench tensor section and the @tensor tier all drive layout search
+   from these graphs; the pinned [plan] is what the production [build]
+   in {!Registry} uses, and the digest pins in test_tensor.ml hold the
+   lowering to the historical hand-built op streams. *)
+
+type entry = {
+  name : string;
+  description : string;
+  graph : unit -> T.Graph.t;  (** compile-tier graph (16384 slots) *)
+  plan : T.Layout.plan;  (** the pinned production packing *)
+  data : seed:int -> (string * float array array) list;
+      (** logical tensor data for {!T.Lower.pack_inputs} /
+          {!T.Lower.reference} at compile-tier geometry *)
+  exec_graph : unit -> T.Graph.t;  (** exec-scale graph (shrunk data) *)
+  exec_data : seed:int -> (string * float array array) list;
+}
+
+let mlp_data ~seed =
+  [ ("x", [| Data.signal ~seed ~lo:0.0 ~hi:1.0 Mlp.input_dim |]) ]
+
+let mlp_wide_data ~seed =
+  [ ("x", [| Data.signal ~seed ~lo:0.0 ~hi:1.0 Mlp.wide_dim |]) ]
+
+let all =
+  [ { name = "MLP";
+      description = "64-64-16-10 perceptron, square activations";
+      graph = (fun () -> Mlp.graph ());
+      plan = Mlp.plan;
+      data = (fun ~seed -> mlp_data ~seed);
+      exec_graph = (fun () -> Mlp.graph ~n_slots:128 ());
+      exec_data = (fun ~seed -> mlp_data ~seed) };
+    { name = "MLP-W";
+      description = "128-128-32-10 perceptron, poly(x/2 + x\xc2\xb2/4) activations";
+      graph = (fun () -> Mlp.graph_wide ());
+      plan = Mlp.plan_wide;
+      data = (fun ~seed -> mlp_wide_data ~seed);
+      exec_graph = (fun () -> Mlp.graph_wide ~n_slots:256 ());
+      exec_data = (fun ~seed -> mlp_wide_data ~seed) };
+    { name = "MLP-B";
+      description = "batched 64-64-16-10 perceptron, 256 users interleaved";
+      graph = (fun () -> Mlp.graph_batched ());
+      plan = Mlp.plan_batched;
+      data = (fun ~seed -> Mlp.batched_data ~n_slots:16384 ~seed ());
+      exec_graph = (fun () -> Mlp.graph_batched ~n_slots:512 ~batch:8 ());
+      exec_data =
+        (fun ~seed -> Mlp.batched_data ~n_slots:512 ~batch:8 ~seed ()) };
+    { name = "Lenet-5";
+      description = "LeNet-5 inference, MNIST shapes";
+      graph = (fun () -> Lenet.graph Lenet.Mnist);
+      plan = Lenet.plan;
+      data = (fun ~seed -> Lenet.data ~seed Lenet.Mnist);
+      exec_graph = (fun () -> Lenet.graph_small Lenet.Mnist);
+      exec_data = (fun ~seed -> Lenet.data_small ~seed Lenet.Mnist) };
+    { name = "Lenet-C";
+      description = "LeNet-5 inference, CIFAR-10 shapes";
+      graph = (fun () -> Lenet.graph Lenet.Cifar);
+      plan = Lenet.plan;
+      data = (fun ~seed -> Lenet.data ~seed Lenet.Cifar);
+      exec_graph = (fun () -> Lenet.graph_small Lenet.Cifar);
+      exec_data = (fun ~seed -> Lenet.data_small ~seed Lenet.Cifar) }
+  ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  match
+    List.find_opt (fun e -> String.lowercase_ascii e.name = lower) all
+  with
+  | Some e -> e
+  | None -> raise Not_found

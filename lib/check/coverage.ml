@@ -34,13 +34,18 @@ let features ?(rbits = 60) ?(wbits = 30) p =
           then hit "op:mul-cc"
           else if Program.vtype p i = Op.Cipher then hit "op:mul-cp"
           else hit "op:mul-pp"
-      | Op.Rotate (_, k) ->
+      | Op.Rotate (a, k) ->
           hit "op:rotate";
           Hashtbl.replace rot_amounts k ();
           if k = 1 || k = n_slots - 1 then hit "rot:unit"
           else if k > 1 && k land (k - 1) = 0 then hit "rot:pow2"
           else hit "rot:other";
-          if 2 * k >= n_slots then hit "rot:halfspan"
+          if 2 * k >= n_slots then hit "rot:halfspan";
+          (* composed rotations — what tensor lowerings emit and the
+             Constfold composition rule must canonicalize *)
+          (match Program.kind p a with
+          | Op.Rotate _ -> hit "rot:chain"
+          | _ -> ())
       | Op.Rescale _ | Op.Modswitch _ | Op.Upscale _ -> hit "op:scale-mgmt")
     p;
   hitf "rot:distinct:%d" (bucket (Hashtbl.length rot_amounts));
@@ -102,7 +107,12 @@ let profiles =
       { d with Fhe_sim.Progen.w_add = 5; w_sub = 3; w_mul = 1;
         max_depth = 2 } );
     ( "neg-rot",
-      { d with Fhe_sim.Progen.w_neg = 3; w_rotate = 3; w_mul = 1 } ) ]
+      { d with Fhe_sim.Progen.w_neg = 3; w_rotate = 3; w_mul = 1 } );
+    (* the tensor-lowering shape: rotation chains plus rotate-then-mask
+       (strided layouts, masked flattens) at tensor-typical strides *)
+    ( "tensor",
+      { d with Fhe_sim.Progen.w_rotate = 4; w_mul = 2; w_rotmask = 4;
+        rot_chain = 3; rotate_strides = [ 1; 2; 4; 7; 8 ] } ) ]
 
 type candidate = {
   gen : Fhe_sim.Progen.t;

@@ -3,10 +3,19 @@ type expr = Op.id
 (* The dedup table keys on the intern uid (Intern.kind), not the raw
    Op.kind: O(1) integer keying instead of re-hashing whole kinds, and
    bit-exact float payload equality — polymorphic keying aliased
-   [Const 0.0] with [Const (-0.0)] and could miss equal NaN kinds. *)
+   [Const 0.0] with [Const (-0.0)] and could miss equal NaN kinds.
+
+   The table value holds the interned node itself, not just the op id:
+   intern records are weakly held, and if one died under a mid-build
+   GC, re-interning an equal kind minted a fresh uid, the lookup
+   missed, and the builder emitted a duplicate op — emission depended
+   on collector timing (the full LeNet-5 stream used to carry ~145
+   GC-duplicated rotations).  Keeping the node alive for the builder's
+   lifetime makes emission a pure function of the call sequence, which
+   is what lets the tensor frontend pin lowered-circuit digests. *)
 type t = {
   ops : Op.kind Fhe_util.Vec.t;
-  tbl : (int, Op.id) Hashtbl.t option;
+  tbl : (int, Intern.t * Op.id) Hashtbl.t option;
   n_slots : int;
 }
 
@@ -23,11 +32,11 @@ let emit t k =
   | Some tbl -> (
       let node = Intern.kind k in
       match Hashtbl.find_opt tbl node.Intern.uid with
-      | Some id -> id
+      | Some (_, id) -> id
       | None ->
           Fhe_util.Vec.push t.ops node.Intern.kind;
           let id = Fhe_util.Vec.length t.ops - 1 in
-          Hashtbl.add tbl node.Intern.uid id;
+          Hashtbl.add tbl node.Intern.uid (node, id);
           id)
 
 let input t ?(vt = Op.Cipher) name =

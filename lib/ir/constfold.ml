@@ -57,7 +57,12 @@ let run p =
       | Op.Rotate (a, amt) -> (
           match new_kind a with
           | Op.Rotate (inner, amt') ->
-              let s = (amt + amt') mod Program.n_slots p in
+              (* canonicalize into [0, n_slots): OCaml's [mod] keeps the
+                 sign of the dividend, and programs built outside
+                 [Builder] (Wire, Parser, Program.make) may carry
+                 negative amounts *)
+              let n = Program.n_slots p in
+              let s = (((amt + amt') mod n) + n) mod n in
               if s = 0 then inner else emit (Op.Rotate (inner, s))
           | _ -> emit k)
       | Op.Input _ | Op.Const _ | Op.Vconst _ -> emit k

@@ -30,20 +30,25 @@ type profile = {
   w_square : int;
   max_depth : int;
   rotate_strides : int list;
+  w_rotmask : int;
+  rot_chain : int;
 }
 
 let default_profile =
   { w_add = 1; w_sub = 1; w_mul = 1; w_neg = 1; w_rotate = 1; w_square = 1;
-    max_depth = 4; rotate_strides = [] }
+    max_depth = 4; rotate_strides = []; w_rotmask = 0; rot_chain = 1 }
 
 (* op selector: scan the weight ranges in declared order.  With the
    default profile the total is 6 and the scan maps a draw of [k] to
-   op [k] — exactly the historical [Prng.int rng 6] dispatch. *)
-type picked = Padd | Psub | Pmul | Pneg | Protate | Psquare
+   op [k] — exactly the historical [Prng.int rng 6] dispatch.  The
+   tensor-era [w_rotmask] range sits after the historical six so a zero
+   weight leaves the scan (and every fixed-seed pin) untouched. *)
+type picked = Padd | Psub | Pmul | Pneg | Protate | Psquare | Protmask
 
 let pick_op rng pr =
   let total =
     pr.w_add + pr.w_sub + pr.w_mul + pr.w_neg + pr.w_rotate + pr.w_square
+    + pr.w_rotmask
   in
   if total <= 0 then invalid_arg "Progen: profile weights sum to 0";
   let r = Fhe_util.Prng.int rng total in
@@ -53,7 +58,10 @@ let pick_op rng pr =
   else if r < pr.w_add + pr.w_sub + pr.w_mul + pr.w_neg then Pneg
   else if r < pr.w_add + pr.w_sub + pr.w_mul + pr.w_neg + pr.w_rotate then
     Protate
-  else Psquare
+  else if
+    r < pr.w_add + pr.w_sub + pr.w_mul + pr.w_neg + pr.w_rotate + pr.w_square
+  then Psquare
+  else Protmask
 
 let make ?(n_slots = 16) ?(size = 25) ?(n_inputs = 2)
     ?(profile = default_profile) seed =
@@ -90,6 +98,25 @@ let make ?(n_slots = 16) ?(size = 25) ?(n_inputs = 2)
     | strides ->
         List.nth strides (Fhe_util.Prng.int rng (List.length strides))
   in
+  (* a rotation pick emits a chain of [rot_chain] rotations (each with
+     its own drawn amount) — the tensor-lowering idiom that stresses
+     rotate composition; the default of 1 is the historical single
+     rotation, draw-for-draw *)
+  let rotate_chain x =
+    let r = ref x in
+    for _ = 1 to max 1 profile.rot_chain do
+      r := Builder.rotate b !r (rotate_amount ())
+    done;
+    !r
+  in
+  (* rotate-then-mask: the select-and-align step of strided tensor
+     layouts (one rotation, then a 0/1 prefix mask) *)
+  let rotmask x =
+    let rx = Builder.rotate b x (rotate_amount ()) in
+    let len = 1 + Fhe_util.Prng.int rng (n_slots - 1) in
+    let mask = Array.make len 1.0 in
+    Builder.mul b rx (Builder.vconst b ~tag:(Printf.sprintf "mask%d" len) mask)
+  in
   for _ = 1 to size do
     let a = pick () and c = pick () in
     let e, de =
@@ -100,10 +127,12 @@ let make ?(n_slots = 16) ?(size = 25) ?(n_inputs = 2)
           (Builder.mul b a c, max (d a) (d c) + 1)
       | Pmul -> (Builder.add b a c, max (d a) (d c))
       | Pneg -> (Builder.neg b a, d a)
-      | Protate -> (Builder.rotate b a (rotate_amount ()), d a)
+      | Protate -> (rotate_chain a, d a)
       | Psquare when 2 * d a < profile.max_depth ->
           (Builder.square b a, d a + 1)
       | Psquare -> (Builder.add b a c, max (d a) (d c))
+      | Protmask when d a < profile.max_depth -> (rotmask a, d a + 1)
+      | Protmask -> (Builder.add b a c, max (d a) (d c))
     in
     push e de
   done;

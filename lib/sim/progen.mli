@@ -22,6 +22,15 @@ type profile = {
   rotate_strides : int list;
       (** rotation amounts to draw from; [[]] = uniform in
           [[1, n_slots)] *)
+  w_rotmask : int;
+      (** weight of the rotate-then-mask idiom (one rotation followed by
+          a 0/1 prefix-mask plaintext multiplication — the
+          select-and-align step tensor lowerings emit).  0 (the
+          default) reproduces the historical draw sequence exactly. *)
+  rot_chain : int;
+      (** rotations emitted per rotation pick, each with its own drawn
+          amount (>= 1); the default 1 is the historical single
+          rotation, draw-for-draw *)
 }
 
 val default_profile : profile

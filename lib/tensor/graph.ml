@@ -1,0 +1,154 @@
+type act = Square | Poly of float array
+
+type node =
+  | Vec_input of { name : string; dim : int; batch : int }
+  | Img_input of { prefix : string; channels : int; width : int }
+  | Dense of { src : int; mat : float array array; rows : int }
+  | Conv2d of {
+      src : int;
+      out_channels : int;
+      ksize : int;
+      weights : int -> int -> int -> int -> float;
+    }
+  | Act of { src : int; act : act }
+  | Pool of { src : int; avg : bool }
+  | Flatten of { src : int }
+
+type shape =
+  | Vec of { dim : int; batch : int }
+  | Img of { channels : int; width : int; stride : int }
+
+type t = {
+  n_slots : int;
+  mutable nodes : node list; (* reversed *)
+  mutable shapes : shape list; (* reversed, parallel to nodes *)
+  mutable n : int;
+  mutable outputs : int list; (* reversed *)
+}
+
+let create ~n_slots () =
+  if n_slots <= 0 || n_slots land (n_slots - 1) <> 0 then
+    invalid_arg "Graph.create: n_slots must be a positive power of two";
+  { n_slots; nodes = []; shapes = []; n = 0; outputs = [] }
+
+let n_slots g = g.n_slots
+
+let n_nodes g = g.n
+
+let nodes g = Array.of_list (List.rev g.nodes)
+
+let shapes g = Array.of_list (List.rev g.shapes)
+
+let outputs g = List.rev g.outputs
+
+let shape g id =
+  if id < 0 || id >= g.n then invalid_arg "Graph.shape: bad id";
+  List.nth g.shapes (g.n - 1 - id)
+
+let push g node shape =
+  g.nodes <- node :: g.nodes;
+  g.shapes <- shape :: g.shapes;
+  let id = g.n in
+  g.n <- id + 1;
+  id
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let input_vec g ~name ?(batch = 1) ~dim () =
+  if dim <= 0 || dim > g.n_slots then invalid_arg "Graph.input_vec: dim";
+  if batch < 1 then invalid_arg "Graph.input_vec: batch";
+  push g (Vec_input { name; dim; batch }) (Vec { dim; batch })
+
+let input_img g ~prefix ~channels ~width () =
+  if channels < 1 then invalid_arg "Graph.input_img: channels";
+  if width <= 0 || width * width > g.n_slots then
+    invalid_arg "Graph.input_img: width";
+  push g (Img_input { prefix; channels; width })
+    (Img { channels; width; stride = 1 })
+
+let dense g ~rows ~mat src =
+  let dim = Array.length mat in
+  if not (is_pow2 dim) then invalid_arg "Graph.dense: dim must be a power of 2";
+  if Array.exists (fun row -> Array.length row <> dim) mat then
+    invalid_arg "Graph.dense: matrix must be square";
+  if rows < 1 || rows > dim then invalid_arg "Graph.dense: rows";
+  (match shape g src with
+  | Vec { dim = d; _ } ->
+      if d > dim then invalid_arg "Graph.dense: input wider than matrix"
+  | Img _ -> invalid_arg "Graph.dense: flatten the image first");
+  let batch = match shape g src with Vec { batch; _ } -> batch | _ -> 1 in
+  push g (Dense { src; mat; rows }) (Vec { dim = rows; batch })
+
+let conv2d g ~out_channels ~ksize ~weights src =
+  if out_channels < 1 then invalid_arg "Graph.conv2d: out_channels";
+  if ksize < 1 || ksize mod 2 = 0 then
+    invalid_arg "Graph.conv2d: kernel size must be odd";
+  match shape g src with
+  | Vec _ -> invalid_arg "Graph.conv2d: needs an image"
+  | Img { width; stride; _ } ->
+      push g (Conv2d { src; out_channels; ksize; weights })
+        (Img { channels = out_channels; width; stride })
+
+let act g a src =
+  (match a with
+  | Square -> ()
+  | Poly cs ->
+      if Array.length cs < 2 then
+        invalid_arg "Graph.poly: need at least degree 1");
+  push g (Act { src; act = a }) (shape g src)
+
+let square g src = act g Square src
+
+let poly g ~coeffs src = act g (Poly coeffs) src
+
+let pool g ~avg src =
+  match shape g src with
+  | Vec _ -> invalid_arg "Graph.pool: needs an image"
+  | Img { channels; width; stride } ->
+      if width / (2 * stride) < 1 then invalid_arg "Graph.pool: map too small";
+      push g (Pool { src; avg }) (Img { channels; width; stride = 2 * stride })
+
+let pool_avg g src = pool g ~avg:true src
+
+let pool_sum g src = pool g ~avg:false src
+
+let flatten g src =
+  match shape g src with
+  | Vec _ -> invalid_arg "Graph.flatten: already a vector"
+  | Img { channels; width; stride } ->
+      let grid = width / stride in
+      let feat = channels * grid * grid in
+      if feat > g.n_slots then invalid_arg "Graph.flatten: too many features";
+      push g (Flatten { src }) (Vec { dim = feat; batch = 1 })
+
+let dim g id =
+  match shape g id with
+  | Vec { dim; _ } -> dim
+  | Img _ -> invalid_arg "Graph.dim: not a vector"
+
+let output g id =
+  if id < 0 || id >= g.n then invalid_arg "Graph.output: bad id";
+  g.outputs <- id :: g.outputs
+
+let batch g =
+  List.fold_left
+    (fun acc n ->
+      match n with Vec_input { batch; _ } -> max acc batch | _ -> acc)
+    1 g.nodes
+
+let has_img g =
+  List.exists (fun n -> match n with Img_input _ -> true | _ -> false) g.nodes
+
+(* the single dense/input vector width, when the graph has one — the
+   batched packings need it to be globally uniform *)
+let uniform_dim g =
+  let dims =
+    List.filter_map
+      (fun n ->
+        match n with
+        | Vec_input { dim; _ } -> Some dim
+        | Dense { mat; _ } -> Some (Array.length mat)
+        | _ -> None)
+      g.nodes
+  in
+  match List.sort_uniq compare dims with [ d ] -> Some d | _ -> None

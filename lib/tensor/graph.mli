@@ -1,0 +1,113 @@
+(** The tensor DSL: a small graph of tensor ops (dense/matmul, conv2d,
+    pooling, pointwise activations, flatten) over two tensor kinds —
+    batched vectors and square multi-channel feature maps — that
+    {!Lower} turns into rotate/mask/mul-reduce circuits over
+    {!Fhe_ir.Builder} under a chosen {!Layout.plan}.
+
+    Nodes are created in program order and identified by dense integer
+    ids; construction validates shapes eagerly so lowering never fails
+    on a well-typed graph. *)
+
+type act = Square | Poly of float array
+(** Pointwise activation: [x²], or a polynomial [c₀ + c₁x + … + cₙxⁿ]
+    given as its coefficient array [c₀..cₙ] (degree ≥ 1), evaluated by
+    Horner's rule. *)
+
+type node =
+  | Vec_input of { name : string; dim : int; batch : int }
+  | Img_input of { prefix : string; channels : int; width : int }
+  | Dense of { src : int; mat : float array array; rows : int }
+  | Conv2d of {
+      src : int;
+      out_channels : int;
+      ksize : int;
+      weights : int -> int -> int -> int -> float;
+          (** [weights oc ic dy dx], pure and memoized by the caller *)
+    }
+  | Act of { src : int; act : act }
+  | Pool of { src : int; avg : bool }  (** 2×2, stride 2 *)
+  | Flatten of { src : int }
+
+type shape =
+  | Vec of { dim : int; batch : int }
+      (** [dim] logical components per user, [batch] users *)
+  | Img of { channels : int; width : int; stride : int }
+      (** square [width×width] maps, one ciphertext per channel, logical
+          pixel [(r,c)] at slot [stride·(r·width+c)] *)
+
+type t
+
+val create : n_slots:int -> unit -> t
+(** Fresh graph over [n_slots]-slot ciphertexts (power of two). *)
+
+val input_vec : t -> name:string -> ?batch:int -> dim:int -> unit -> int
+(** A ciphertext input holding [batch] (default 1) users' [dim]-vectors. *)
+
+val input_img : t -> prefix:string -> channels:int -> width:int -> unit -> int
+(** Image input: channel [c] is the ciphertext input named
+    [prefix ^ string_of_int c]. *)
+
+val dense : t -> rows:int -> mat:float array array -> int -> int
+(** Matrix-vector product with a square padded matrix whose width is a
+    power of two (rows past [rows] must be zero); the result is a
+    [rows]-vector.  The source vector may be narrower than the matrix
+    (zero padding). *)
+
+val conv2d :
+  t ->
+  out_channels:int ->
+  ksize:int ->
+  weights:(int -> int -> int -> int -> float) ->
+  int ->
+  int
+(** [ksize×ksize] (odd) same-padding convolution over a feature map.
+    Edge taps follow the strided slot layout: indices are linear in
+    [r·width+c], so out-of-row taps read the neighbouring row and
+    out-of-map taps read (zero) slots beyond the map — the same
+    arithmetic the hand-built LeNet always computed. *)
+
+val square : t -> int -> int
+
+val poly : t -> coeffs:float array -> int -> int
+
+val pool_avg : t -> int -> int
+(** 2×2 average pooling, stride 2.  The map keeps its slot footprint and
+    doubles its layout stride (no compaction until {!flatten}). *)
+
+val pool_sum : t -> int -> int
+
+val flatten : t -> int -> int
+(** One-hot masked flatten of a strided feature map into a packed
+    vector: destination [c·grid² + r·grid + cc] for channel [c], grid
+    position [(r,cc)], [grid = width/stride]. *)
+
+val output : t -> int -> unit
+(** Mark a node as a program output (in call order).  An image output
+    contributes one circuit output per channel. *)
+
+(** {1 Introspection} *)
+
+val n_slots : t -> int
+
+val n_nodes : t -> int
+
+val nodes : t -> node array
+
+val shapes : t -> shape array
+
+val outputs : t -> int list
+
+val shape : t -> int -> shape
+
+val dim : t -> int -> int
+(** Logical width of a vector node ([rows] of a dense, [feat] of a
+    flatten). *)
+
+val batch : t -> int
+(** Largest input batch (1 when unbatched). *)
+
+val has_img : t -> bool
+
+val uniform_dim : t -> int option
+(** The single matrix/vector-input width when all agree — the batched
+    packings require one global block width. *)

@@ -57,6 +57,31 @@ val matvec_bsgs :
     rotation per giant step, plus a final cleanup mask (one extra
     plaintext-mul depth).  Used for the LeNet dense layers. *)
 
+val matvec_interleaved :
+  Builder.t ->
+  Builder.expr ->
+  dim:int ->
+  mat:float array array ->
+  Builder.expr
+(** Batched diagonal matvec over the interleaved packing: component [r]
+    of user [u] at slot [r·stride + u], [stride = n_slots/dim] (so [dim]
+    must divide the slot count).  One full-width rotation by [d·stride]
+    plus one tiled diagonal mask per nonzero diagonal serves up to
+    [stride] users at once; no replication step. *)
+
+val matvec_blocked :
+  Builder.t ->
+  Builder.expr ->
+  dim:int ->
+  batch:int ->
+  mat:float array array ->
+  Builder.expr
+(** Batched diagonal matvec over the blocked packing: user [u] owns
+    slots [u·dim .. u·dim+dim-1] ([batch·dim <= n_slots]).  Each nonzero
+    diagonal costs up to two rotations (in-block and wrap-around) with
+    0/1-masked diagonals; with [batch = 1] this is a replication-free
+    packed matvec. *)
+
 val masked_gather :
   Builder.t ->
   (Builder.expr * int * int * int) list ->

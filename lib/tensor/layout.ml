@@ -1,0 +1,29 @@
+type dense_kernel = Diag | Bsgs | Interleaved | Blocked
+
+type plan = { dense : dense_kernel }
+
+let all = [ { dense = Diag }; { dense = Bsgs };
+            { dense = Interleaved }; { dense = Blocked } ]
+
+let name p =
+  match p.dense with
+  | Diag -> "diag"
+  | Bsgs -> "bsgs"
+  | Interleaved -> "interleaved"
+  | Blocked -> "blocked"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "diag" -> Some { dense = Diag }
+  | "bsgs" -> Some { dense = Bsgs }
+  | "interleaved" -> Some { dense = Interleaved }
+  | "blocked" -> Some { dense = Blocked }
+  | _ -> None
+
+let description p =
+  match p.dense with
+  | Diag -> "Halevi-Shoup diagonals over a replicated packed vector"
+  | Bsgs -> "baby-step/giant-step diagonals (O(sqrt dim) input rotations)"
+  | Interleaved ->
+      "batched: component r of user u at slot r*(n_slots/dim) + u"
+  | Blocked -> "batched: user u owns the contiguous block u*dim .. u*dim+dim-1"

@@ -1,0 +1,27 @@
+(** Candidate slot packings for the tensor lowering (CHET-style
+    CipherTensor kernels).
+
+    A [plan] fixes the dense (matvec) kernel and, with it, how vectors
+    are laid out in slots: [Diag]/[Bsgs] pack one sample in the first
+    [dim] slots (the layout the hand-built apps always used), while
+    [Interleaved]/[Blocked] pack a whole batch of users into one
+    ciphertext.  Convolutional feature maps always use the halide-style
+    strided layout (logical pixel [(r,c)] of a stride-[s] map at slot
+    [s·(r·width+c)]) — the stride is forced by the avg-pool emission, so
+    it is not a search dimension. *)
+
+type dense_kernel = Diag | Bsgs | Interleaved | Blocked
+
+type plan = { dense : dense_kernel }
+
+val all : plan list
+(** Every plan, in canonical (tie-breaking) order:
+    diag, bsgs, interleaved, blocked. *)
+
+val name : plan -> string
+
+val of_name : string -> plan option
+(** Case-insensitive inverse of {!name}. *)
+
+val description : plan -> string
+(** One-line human description for [--list-layouts]. *)

@@ -1,0 +1,391 @@
+open Fhe_ir
+
+(* ------------------------------------------------------------------ *)
+(* plan validity                                                       *)
+
+let supports plan (g : Graph.t) =
+  let n = Graph.n_slots g in
+  match plan.Layout.dense with
+  | Layout.Diag | Layout.Bsgs -> Graph.batch g = 1
+  | Layout.Interleaved -> (
+      (not (Graph.has_img g))
+      &&
+      match Graph.uniform_dim g with
+      | Some d -> n mod d = 0 && Graph.batch g <= n / d
+      | None -> false)
+  | Layout.Blocked -> (
+      ((not (Graph.has_img g)) || Graph.batch g = 1)
+      &&
+      match Graph.uniform_dim g with
+      | Some d -> Graph.batch g * d <= n
+      | None -> false)
+
+let candidates g = List.filter (fun p -> supports p g) Layout.all
+
+(* ------------------------------------------------------------------ *)
+(* lowering                                                            *)
+
+type value = Vvec of Builder.expr | Vimg of Builder.expr list
+
+(* the packed (one-user) layouts rely on vectors being zero outside
+   their logical extent (the replicate trick); a polynomial with a
+   nonzero constant term splats it into every slot, so those layouts
+   re-mask the result to the source's logical width *)
+let needs_poly_mask plan =
+  match plan.Layout.dense with
+  | Layout.Diag | Layout.Bsgs -> true
+  | Layout.Interleaved | Layout.Blocked -> false
+
+let horner b x coeffs =
+  let deg = Array.length coeffs - 1 in
+  let acc = ref (Builder.mul b x (Builder.const b coeffs.(deg))) in
+  for i = deg - 1 downto 1 do
+    acc := Builder.mul b (Builder.add b !acc (Builder.const b coeffs.(i))) x
+  done;
+  Builder.add b !acc (Builder.const b coeffs.(0))
+
+let lower ?(plan = { Layout.dense = Layout.Diag }) (g : Graph.t) =
+  if not (supports plan g) then
+    invalid_arg
+      (Printf.sprintf "Lower.lower: layout %s does not support this graph"
+         (Layout.name plan));
+  let b = Builder.create ~n_slots:(Graph.n_slots g) () in
+  let nodes = Graph.nodes g and shapes = Graph.shapes g in
+  let vals = Array.make (Array.length nodes) (Vvec 0) in
+  let vec i = match vals.(i) with Vvec e -> e | Vimg _ -> assert false in
+  let img i = match vals.(i) with Vimg cs -> cs | Vvec _ -> assert false in
+  let img_geom i =
+    match shapes.(i) with
+    | Graph.Img { width; stride; _ } -> (width, stride)
+    | Graph.Vec _ -> assert false
+  in
+  let batch = Graph.batch g in
+  Array.iteri
+    (fun i node ->
+      let v =
+        match node with
+        | Graph.Vec_input { name; _ } -> Vvec (Builder.input b name)
+        | Graph.Img_input { prefix; channels; _ } ->
+            Vimg
+              (List.init channels (fun c ->
+                   Builder.input b (Printf.sprintf "%s%d" prefix c)))
+        | Graph.Dense { src; mat; _ } ->
+            let x = vec src in
+            let dim = Array.length mat in
+            Vvec
+              (match plan.Layout.dense with
+              | Layout.Diag -> Kernels.matvec_diag b x ~dim ~mat
+              | Layout.Bsgs -> Kernels.matvec_bsgs b x ~dim ~mat
+              | Layout.Interleaved -> Kernels.matvec_interleaved b x ~dim ~mat
+              | Layout.Blocked -> Kernels.matvec_blocked b x ~dim ~batch ~mat)
+        | Graph.Conv2d { src; out_channels; ksize; weights } ->
+            let width, stride = img_geom src in
+            let chans = img src in
+            let cy = ksize / 2 and cx = ksize / 2 in
+            Vimg
+              (List.init out_channels (fun oc ->
+                   let terms = ref [] in
+                   List.iteri
+                     (fun ic x ->
+                       for dy = 0 to ksize - 1 do
+                         for dx = 0 to ksize - 1 do
+                           let w = weights oc ic dy dx in
+                           let shift =
+                             stride * (((dy - cy) * width) + (dx - cx))
+                           in
+                           let tap = Builder.rotate b x shift in
+                           terms :=
+                             Builder.mul b tap (Builder.const b w) :: !terms
+                         done
+                       done)
+                     chans;
+                   Builder.add_many b (List.rev !terms)))
+        | Graph.Act { src; act = Graph.Square } -> (
+            match vals.(src) with
+            | Vvec x -> Vvec (Builder.square b x)
+            | Vimg cs -> Vimg (List.map (Builder.square b) cs))
+        | Graph.Act { src; act = Graph.Poly coeffs } -> (
+            match vals.(src) with
+            | Vvec x ->
+                let y = horner b x coeffs in
+                if coeffs.(0) <> 0.0 && needs_poly_mask plan then begin
+                  let d = Graph.dim g src in
+                  let tag = Printf.sprintf "polymask%d" d in
+                  Vvec (Builder.mul b y (Builder.vconst b ~tag (Array.make d 1.0)))
+                end
+                else Vvec y
+            | Vimg cs -> Vimg (List.map (fun x -> horner b x coeffs) cs))
+        | Graph.Pool { src; avg } ->
+            let width, stride = img_geom src in
+            let chans = img src in
+            let quarter = if avg then Some (Builder.const b 0.25) else None in
+            let pool x =
+              let s = stride in
+              let sum =
+                Builder.add b
+                  (Builder.add b x (Builder.rotate b x s))
+                  (Builder.add b
+                     (Builder.rotate b x (s * width))
+                     (Builder.rotate b x ((s * width) + s)))
+              in
+              match quarter with
+              | Some q -> Builder.mul b sum q
+              | None -> sum
+            in
+            Vimg (List.map pool chans)
+        | Graph.Flatten { src } ->
+            let width, stride = img_geom src in
+            let chans = img src in
+            let grid = width / stride in
+            let feat_per_chan = grid * grid in
+            let terms = ref [] in
+            List.iteri
+              (fun c x ->
+                for r = 0 to grid - 1 do
+                  for cc = 0 to grid - 1 do
+                    let pos = stride * ((r * width) + cc) in
+                    let dst = (c * feat_per_chan) + (r * grid) + cc in
+                    let mask = Array.make (pos + 1) 0.0 in
+                    mask.(pos) <- 1.0;
+                    let tag = Printf.sprintf "onehot%d" pos in
+                    let sel = Builder.mul b x (Builder.vconst b ~tag mask) in
+                    terms := Builder.rotate b sel (pos - dst) :: !terms
+                  done
+                done)
+              chans;
+            Vvec (Builder.add_many b (List.rev !terms))
+      in
+      vals.(i) <- v)
+    nodes;
+  let outputs =
+    List.concat_map
+      (fun o -> match vals.(o) with Vvec e -> [ e ] | Vimg cs -> cs)
+      (Graph.outputs g)
+  in
+  Builder.finish b ~outputs
+
+(* ------------------------------------------------------------------ *)
+(* input packing and the layout-aware reference semantics              *)
+
+(* slot of component [r] of user [u] for a width-[d] vector under each
+   packing *)
+let vec_slot plan ~n ~d r u =
+  match plan.Layout.dense with
+  | Layout.Diag | Layout.Bsgs ->
+      assert (u = 0);
+      r
+  | Layout.Interleaved -> (r * (n / d)) + u
+  | Layout.Blocked -> (u * d) + r
+
+(* the block width the packing is built around: the uniform dense width
+   when the graph has one, the input's own width otherwise (packed
+   layouts never look at it) *)
+let block_dim plan g ~fallback =
+  match plan.Layout.dense with
+  | Layout.Diag | Layout.Bsgs -> fallback
+  | Layout.Interleaved | Layout.Blocked -> (
+      match Graph.uniform_dim g with Some d -> d | None -> fallback)
+
+let pack_vec plan g ~dim ~batch users =
+  let n = Graph.n_slots g in
+  let d = block_dim plan g ~fallback:dim in
+  let arr = Array.make n 0.0 in
+  for u = 0 to batch - 1 do
+    let v = users.(u) in
+    for r = 0 to min dim (Array.length v) - 1 do
+      arr.(vec_slot plan ~n ~d r u) <- v.(r)
+    done
+  done;
+  arr
+
+let pack_inputs ~plan (g : Graph.t) ~data =
+  let find name =
+    match List.assoc_opt name data with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Lower.pack_inputs: no data %S" name)
+  in
+  Array.to_list (Graph.nodes g)
+  |> List.concat_map (fun node ->
+         match node with
+         | Graph.Vec_input { name; dim; batch } ->
+             let users = find name in
+             if Array.length users < batch then
+               invalid_arg "Lower.pack_inputs: fewer users than batch";
+             [ (name, pack_vec plan g ~dim ~batch users) ]
+         | Graph.Img_input { prefix; channels; width } ->
+             let chans = find prefix in
+             if Array.length chans < channels then
+               invalid_arg "Lower.pack_inputs: missing channels";
+             List.init channels (fun c ->
+                 let src = chans.(c) in
+                 let arr = Array.make (width * width) 0.0 in
+                 Array.blit src 0 arr 0
+                   (min (Array.length src) (width * width));
+                 (Printf.sprintf "%s%d" prefix c, arr))
+         | _ -> [])
+
+let reference ~plan (g : Graph.t) ~data =
+  let n = Graph.n_slots g in
+  let nodes = Graph.nodes g and shapes = Graph.shapes g in
+  let batch = Graph.batch g in
+  let packed = List.map (fun (k, v) -> (k, v)) (pack_inputs ~plan g ~data) in
+  (* cyclic slot read, mirroring Builder.rotate's normalisation *)
+  let at arr i = arr.(((i mod n) + n) mod n) in
+  let vals = Array.make (Array.length nodes) ([||] : float array array) in
+  let geom i =
+    match shapes.(i) with
+    | Graph.Img { width; stride; _ } -> (width, stride)
+    | Graph.Vec _ -> assert false
+  in
+  let pad a =
+    let r = Array.make n 0.0 in
+    Array.blit a 0 r 0 (min n (Array.length a));
+    r
+  in
+  Array.iteri
+    (fun i node ->
+      let v =
+        match node with
+        | Graph.Vec_input { name; _ } ->
+            [| pad (List.assoc name packed) |]
+        | Graph.Img_input { prefix; channels; _ } ->
+            Array.init channels (fun c ->
+                pad (List.assoc (Printf.sprintf "%s%d" prefix c) packed))
+        | Graph.Dense { src; mat; _ } ->
+            let x = vals.(src).(0) in
+            let dim = Array.length mat in
+            let d = block_dim plan g ~fallback:dim in
+            let y = Array.make n 0.0 in
+            let users =
+              match plan.Layout.dense with
+              | Layout.Diag | Layout.Bsgs -> 1
+              | Layout.Interleaved -> n / d
+              | Layout.Blocked -> batch
+            in
+            for u = 0 to users - 1 do
+              for r = 0 to dim - 1 do
+                let s = ref 0.0 in
+                for c = 0 to dim - 1 do
+                  s := !s +. (mat.(r).(c) *. x.(vec_slot plan ~n ~d c u))
+                done;
+                y.(vec_slot plan ~n ~d r u) <- !s
+              done
+            done;
+            [| y |]
+        | Graph.Conv2d { src; out_channels; ksize; weights } ->
+            let width, stride = geom src in
+            let chans = vals.(src) in
+            let cy = ksize / 2 and cx = ksize / 2 in
+            Array.init out_channels (fun oc ->
+                Array.init n (fun i ->
+                    let s = ref 0.0 in
+                    for ic = 0 to Array.length chans - 1 do
+                      for dy = 0 to ksize - 1 do
+                        for dx = 0 to ksize - 1 do
+                          let shift =
+                            stride * (((dy - cy) * width) + (dx - cx))
+                          in
+                          s :=
+                            !s
+                            +. (weights oc ic dy dx *. at chans.(ic) (i + shift))
+                        done
+                      done
+                    done;
+                    !s))
+        | Graph.Act { src; act } ->
+            let f =
+              match act with
+              | Graph.Square -> fun x -> x *. x
+              | Graph.Poly coeffs ->
+                  fun x ->
+                    let deg = Array.length coeffs - 1 in
+                    let acc = ref coeffs.(deg) in
+                    for k = deg - 1 downto 0 do
+                      acc := (!acc *. x) +. coeffs.(k)
+                    done;
+                    !acc
+            in
+            let mapped = Array.map (Array.map f) vals.(src) in
+            (* mirror the packed-layout cleanup mask *)
+            (match (node, shapes.(src)) with
+            | ( Graph.Act { act = Graph.Poly coeffs; _ },
+                Graph.Vec { dim; _ } )
+              when coeffs.(0) <> 0.0 && needs_poly_mask plan ->
+                Array.iter
+                  (fun row ->
+                    for s = dim to n - 1 do
+                      row.(s) <- 0.0
+                    done)
+                  mapped
+            | _ -> ());
+            mapped
+        | Graph.Pool { src; avg } ->
+            let width, stride = geom src in
+            let f = if avg then 0.25 else 1.0 in
+            Array.map
+              (fun x ->
+                Array.init n (fun i ->
+                    f
+                    *. (at x i +. at x (i + stride)
+                       +. at x (i + (stride * width))
+                       +. at x (i + (stride * width) + stride))))
+              vals.(src)
+        | Graph.Flatten { src } ->
+            let width, stride = geom src in
+            let chans = vals.(src) in
+            let grid = width / stride in
+            let feat_per_chan = grid * grid in
+            let y = Array.make n 0.0 in
+            Array.iteri
+              (fun c x ->
+                for r = 0 to grid - 1 do
+                  for cc = 0 to grid - 1 do
+                    let pos = stride * ((r * width) + cc) in
+                    let dst = (c * feat_per_chan) + (r * grid) + cc in
+                    y.(dst) <- x.(pos)
+                  done
+                done)
+              chans;
+            [| y |]
+      in
+      vals.(i) <- v)
+    nodes;
+  Array.concat (List.map (fun o -> vals.(o)) (Graph.outputs g))
+
+(* ------------------------------------------------------------------ *)
+(* layout search                                                       *)
+
+let cost ?(rbits = 60) ?(wbits = 30) p =
+  let depth = Fhe_ir.Analysis.mult_depth p in
+  let t = ref 0.0 in
+  for i = 0 to Program.n_ops p - 1 do
+    t := !t +. Fhe_cost.Model.arith_cost_estimate ~rbits ~wbits p ~depth i
+  done;
+  !t
+
+type candidate = { plan : Layout.plan; prog : Program.t; est : float }
+
+let search ?pool ?rbits ?wbits (g : Graph.t) =
+  let plans = candidates g in
+  if plans = [] then invalid_arg "Lower.search: no layout supports this graph";
+  let eval plan =
+    let prog = lower ~plan g in
+    { plan; prog; est = cost ?rbits ?wbits prog }
+  in
+  let cands =
+    match (pool, plans) with
+    | None, _ | _, [ _ ] -> List.map eval plans
+    | Some pool, first :: rest ->
+        (* the first lowering populates any weight memos shared through
+           the graph's closures; the rest then race read-only *)
+        let head = eval first in
+        head :: Fhe_par.Pool.map pool eval rest
+    | _, [] -> assert false
+  in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        match acc with Some b when b.est <= c.est -> acc | _ -> Some c)
+      None cands
+  in
+  (cands, Option.get best)

@@ -1,0 +1,68 @@
+open Fhe_ir
+
+(** Lowering from the tensor DSL to rotate/mask/mul-reduce circuits,
+    plus the layout search that picks the packing (DESIGN.md §12).
+
+    A {!Layout.plan} fixes the dense kernel and with it the slot
+    placement of every vector in the graph; feature maps always use the
+    strided layout.  [lower] is deterministic: the same graph and plan
+    produce byte-identical programs (and therefore identical
+    {!Fhe_ir.Intern} digests), which is what lets the registry pin the
+    regenerated MLP/LeNet against their historical hand-built op
+    streams. *)
+
+val supports : Layout.plan -> Graph.t -> bool
+(** Whether a packing can express this graph: the packed layouts
+    ([diag]/[bsgs]) require batch 1; the batched layouts require one
+    uniform matrix width ([interleaved] additionally an image-free graph
+    and a batch no larger than [n_slots/dim], [blocked] a batch whose
+    blocks fit the ciphertext). *)
+
+val candidates : Graph.t -> Layout.plan list
+(** The supported subset of {!Layout.all}, in canonical order. *)
+
+val lower : ?plan:Layout.plan -> Graph.t -> Program.t
+(** Emit the circuit under [plan] (default [diag]).
+    @raise Invalid_argument if the plan does not support the graph. *)
+
+val pack_inputs :
+  plan:Layout.plan ->
+  Graph.t ->
+  data:(string * float array array) list ->
+  (string * float array) list
+(** Pack logical tensor data into circuit input vectors.  [data] binds
+    each vector input's name to a [batch × dim] array of user vectors,
+    and each image input's prefix to a [channels × width²] array of
+    row-major channel planes. *)
+
+val reference :
+  plan:Layout.plan ->
+  Graph.t ->
+  data:(string * float array array) list ->
+  float array array
+(** The DSL interpreter: evaluate the graph on plain floats under the
+    plan's slot placement — dense layers as per-user mat-vec products,
+    convolutions/pools by direct (cyclic) index arithmetic over the
+    strided maps, flatten as a gather — one [n_slots] slot vector per
+    circuit output.  No rotations, masks, or add-tree ordering are
+    involved, so agreement with {!Fhe_sim.Interp.run_reference} on the
+    lowered circuit checks the emission, not itself. *)
+
+val cost : ?rbits:int -> ?wbits:int -> Program.t -> float
+(** Σ of {!Fhe_cost.Model.arith_cost_estimate} over the program (the
+    §6.1 estimator at the default 60/30 geometry): the layout-search
+    objective. *)
+
+type candidate = { plan : Layout.plan; prog : Program.t; est : float }
+
+val search :
+  ?pool:Fhe_par.Pool.t ->
+  ?rbits:int ->
+  ?wbits:int ->
+  Graph.t ->
+  candidate list * candidate
+(** Lower the graph under every supported plan, score each with {!cost},
+    and return all candidates (canonical order) plus the winner — the
+    cheapest, ties broken toward the earlier plan.  With [?pool] the
+    candidate lowerings race in parallel; results are in submission
+    order, so the outcome is byte-identical at any pool width. *)

@@ -8,8 +8,9 @@
    - the optimized forward transform is measurably faster than the
      Reference at n = 2^12 (the regression guard for the speedup the
      PR claims);
-   - all 8 registry apps x all 5 compilers execute end-to-end on
-     Ckks.Backend within their pinned decrypt-precision bounds;
+   - all 8 registry apps plus the 2 tensor-frontend apps x all 5
+     compilers execute end-to-end on Ckks.Backend within their pinned
+     decrypt-precision bounds;
    - runs are byte-identical at pool widths 1 and 4 (deterministic
      parallelism of the RNS limb fan-out). *)
 
@@ -201,7 +202,10 @@ let test_precision_pins () =
                 s)
             got)
         compilers)
-    Reg.all
+    (* the paper's eight plus the tensor-frontend additions: the wide
+       (polynomial-activation) and batched (interleaved-packing) MLPs
+       carry their own measured-error pins *)
+    (Reg.all @ Reg.tensor)
 
 (* ------------------------------------------------------------------ *)
 (* deterministic parallelism: -j 1 and -j 4 decrypt bit-identically *)
@@ -241,7 +245,7 @@ let suite =
     Alcotest.test_case "NTT optimized >= 3x Reference at 2^12" `Slow
       test_ntt_speedup;
     Alcotest.test_case
-      "8 apps x 5 compilers precision pins (unlimited + tight mem budget)"
+      "10 apps x 5 compilers precision pins (unlimited + tight mem budget)"
       `Slow test_precision_pins;
     Alcotest.test_case "pool width 1 vs 4 bit-identical" `Slow
       test_pool_byte_identity ]

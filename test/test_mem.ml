@@ -511,6 +511,28 @@ let test_backend_spill_fault_recomputes () =
   Alcotest.(check bool) "nothing reloaded from the faulted store" true
     (st.Ckks.Backend.mem.Ckks.Backend.ct_reloads = 0)
 
+(* the tensor frontend's batched packing is the memory-pressure case
+   the liveness scheduler exists for: many interleaved users per
+   ciphertext keep whole layers live at once.  Under a tight ciphertext
+   budget the batched MLP must actually spill — and decrypt
+   bit-identically to the unlimited run. *)
+let test_tensor_batched_spills () =
+  let a = Reg.find "MLP-B" in
+  let p = a.Reg.exec_build () in
+  let inputs = a.Reg.exec_inputs ~seed:42 in
+  let xmax_bits = Fhe_sim.Interp.max_magnitude_bits p ~inputs in
+  let m = compile_with (`Rsv `Full) p ~xmax_bits in
+  let free = Ckks.Backend.run m ~inputs in
+  let tight, st =
+    Ckks.Backend.run_timed ~mem_budget:tight_ct_budget
+      ~key_budget:roomy_key_budget m ~inputs
+  in
+  check_bitwise ~what:"MLP-B tight budget vs unlimited" free tight;
+  Alcotest.(check bool) "the batched tensor app spilled" true
+    (st.Ckks.Backend.mem.Ckks.Backend.ct_spills > 0);
+  Alcotest.(check bool) "spilled ciphertexts were reloaded" true
+    (st.Ckks.Backend.mem.Ckks.Backend.ct_reloads > 0)
+
 let test_backend_key_budget_identity () =
   let a = Reg.find "MLP" in
   let p = a.Reg.exec_build () in
@@ -599,6 +621,9 @@ let suite =
       `Slow test_backend_budget_identity;
     Alcotest.test_case "backend: lost spills recompute, decrypts identical"
       `Slow test_backend_spill_fault_recomputes;
+    Alcotest.test_case
+      "backend: batched tensor app spills under budget, decrypts identical"
+      `Slow test_tensor_batched_spills;
     Alcotest.test_case "backend: key budget evicts, decrypts identical"
       `Slow test_backend_key_budget_identity;
     Alcotest.test_case "lenet: scheduled peak >= 30% under program order"
